@@ -1,0 +1,149 @@
+//! Decision pricing on the GAP8 model (paper Eqs. 2 and 4).
+
+use crate::policy::Decision;
+use np_dory::DeploymentPlan;
+use np_gap8::perf::CycleBreakdown;
+use np_gap8::power::PowerModel;
+use np_gap8::Gap8Config;
+
+/// The paper's two ensembles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnsembleId {
+    /// D1 = (F1, M1.0).
+    D1,
+    /// D2 = (F2, M1.0).
+    D2,
+}
+
+impl std::fmt::Display for EnsembleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleId::D1 => f.write_str("D1"),
+            EnsembleId::D2 => f.write_str("D2"),
+        }
+    }
+}
+
+/// Per-decision cycle costs derived from the deployment plans of the
+/// ensemble members (and the auxiliary CNN for Aux policies).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Small model cycles.
+    pub small: CycleBreakdown,
+    /// Big model cycles.
+    pub big: CycleBreakdown,
+    /// Auxiliary CNN cycles.
+    pub aux: CycleBreakdown,
+    /// Policy decision logic itself (comparisons on the FC — negligible
+    /// but modeled, supporting the paper's claim that policy cost must not
+    /// nullify the gains).
+    pub decision_overhead: CycleBreakdown,
+    /// SoC configuration for unit conversion.
+    pub config: Gap8Config,
+    /// Power model for energy accounting.
+    pub power: PowerModel,
+}
+
+impl CostModel {
+    /// Builds the model from deployment plans.
+    pub fn new(small: &DeploymentPlan, big: &DeploymentPlan, aux: &DeploymentPlan) -> CostModel {
+        CostModel {
+            small: small.cycles,
+            big: big.cycles,
+            aux: aux.cycles,
+            decision_overhead: CycleBreakdown {
+                compute: 0,
+                dma_stall: 0,
+                setup: 200,
+            },
+            config: small.config.clone(),
+            power: PowerModel::default(),
+        }
+    }
+
+    /// Cycles of one frame under a decision, per the paper's accounting:
+    ///
+    /// * OP-style decisions (`Ensemble` = both models) never need the aux
+    ///   CNN (`uses_aux = false`): `C = C_small + 1(big) · C_big` (Eq. 2).
+    /// * Aux policies (`uses_aux = true`) pay the aux CNN every frame and
+    ///   then exactly one of the two models (Eq. 4).
+    pub fn frame_cycles(&self, decision: Decision, uses_aux: bool) -> CycleBreakdown {
+        let mut total = self.decision_overhead;
+        if uses_aux {
+            total = total.add(&self.aux);
+        }
+        if decision.runs_small() {
+            total = total.add(&self.small);
+        }
+        if decision.runs_big() {
+            total = total.add(&self.big);
+        }
+        total
+    }
+
+    /// Latency in milliseconds of a cycle breakdown.
+    pub fn to_ms(&self, cycles: &CycleBreakdown) -> f64 {
+        self.config.cycles_to_ms(cycles.total())
+    }
+
+    /// Energy in millijoules of a cycle breakdown.
+    pub fn to_mj(&self, cycles: &CycleBreakdown) -> f64 {
+        self.power.energy_mj(cycles, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        let cfg = Gap8Config::default();
+        CostModel {
+            small: CycleBreakdown { compute: 1000, dma_stall: 100, setup: 10 },
+            big: CycleBreakdown { compute: 3000, dma_stall: 300, setup: 10 },
+            aux: CycleBreakdown { compute: 100, dma_stall: 10, setup: 10 },
+            decision_overhead: CycleBreakdown { compute: 0, dma_stall: 0, setup: 1 },
+            config: cfg,
+            power: PowerModel::default(),
+        }
+    }
+
+    #[test]
+    fn eq2_op_accounting() {
+        let m = model();
+        // OP easy frame: small only.
+        let easy = m.frame_cycles(Decision::Small, false);
+        assert_eq!(easy.total(), 1110 + 1);
+        // OP hard frame: both models.
+        let hard = m.frame_cycles(Decision::Ensemble, false);
+        assert_eq!(hard.total(), 1110 + 3310 + 1);
+    }
+
+    #[test]
+    fn eq4_aux_accounting() {
+        let m = model();
+        // Aux easy frame: aux + small.
+        let easy = m.frame_cycles(Decision::Small, true);
+        assert_eq!(easy.total(), 120 + 1110 + 1);
+        // Aux hard frame: aux + big (small is skipped).
+        let hard = m.frame_cycles(Decision::Big, true);
+        assert_eq!(hard.total(), 120 + 3310 + 1);
+    }
+
+    #[test]
+    fn aux_policy_cheaper_than_op_when_big_dominates() {
+        let m = model();
+        // When every frame is hard: Aux runs aux+big, OP runs small+big.
+        let aux_hard = m.frame_cycles(Decision::Big, true).total();
+        let op_hard = m.frame_cycles(Decision::Ensemble, false).total();
+        assert!(aux_hard < op_hard);
+    }
+
+    #[test]
+    fn decision_overhead_is_negligible() {
+        let m = model();
+        let overhead = m.decision_overhead.total() as f64;
+        let small = m.small.total() as f64;
+        assert!(overhead < 0.01 * small);
+    }
+}

@@ -1,0 +1,172 @@
+//! Validation-set error maps for the Aux-HLC policy (paper Fig. 3).
+
+use crate::features::FrameFeatures;
+use np_dataset::GridSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-grid-cell advantage of the big model over the small one:
+/// `E(i,j) = MAE_small(i,j) − MAE_big(i,j)`, computed on validation frames
+/// whose ground-truth head lies in cell `(i,j)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorMap {
+    grid: GridSpec,
+    values: Vec<f32>,
+    counts: Vec<usize>,
+}
+
+impl ErrorMap {
+    /// Builds the map from validation-set features and the ground-truth
+    /// cell of each frame.
+    ///
+    /// Cells never visited in validation get value 0 (no evidence either
+    /// way — the policy will then fall back to the small model for low
+    /// thresholds, which is the conservative choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or any cell index is out of range.
+    pub fn build(grid: GridSpec, features: &[FrameFeatures], truth_cells: &[usize]) -> ErrorMap {
+        assert_eq!(features.len(), truth_cells.len(), "length mismatch");
+        let n = grid.n_cells();
+        let mut small_err = vec![0.0f32; n];
+        let mut big_err = vec![0.0f32; n];
+        let mut counts = vec![0usize; n];
+        for (f, &cell) in features.iter().zip(truth_cells.iter()) {
+            assert!(cell < n, "cell {cell} out of range {n}");
+            small_err[cell] += f.small_pose.total_error(&f.truth);
+            big_err[cell] += f.big_pose.total_error(&f.truth);
+            counts[cell] += 1;
+        }
+        let values = (0..n)
+            .map(|c| {
+                if counts[c] == 0 {
+                    0.0
+                } else {
+                    (small_err[c] - big_err[c]) / counts[c] as f32
+                }
+            })
+            .collect();
+        ErrorMap {
+            grid,
+            values,
+            counts,
+        }
+    }
+
+    /// The grid this map is defined over.
+    pub fn grid(&self) -> GridSpec {
+        self.grid
+    }
+
+    /// `E` value of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn value(&self, cell: usize) -> f32 {
+        self.values[cell]
+    }
+
+    /// Validation samples that fell in a cell.
+    pub fn count(&self, cell: usize) -> usize {
+        self.counts[cell]
+    }
+
+    /// All values (for plotting Fig. 3).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mean `E` over border cells minus mean `E` over interior cells — a
+    /// summary statistic of the paper's Fig. 3 claim that the big model's
+    /// advantage concentrates at borders and corners.
+    pub fn border_advantage(&self) -> f32 {
+        let mut border = (0.0f32, 0usize);
+        let mut interior = (0.0f32, 0usize);
+        for c in 0..self.grid.n_cells() {
+            if self.counts[c] == 0 {
+                continue;
+            }
+            if self.grid.is_border(c) {
+                border.0 += self.values[c];
+                border.1 += 1;
+            } else {
+                interior.0 += self.values[c];
+                interior.1 += 1;
+            }
+        }
+        let b = if border.1 > 0 { border.0 / border.1 as f32 } else { 0.0 };
+        let i = if interior.1 > 0 { interior.0 / interior.1 as f32 } else { 0.0 };
+        b - i
+    }
+
+    /// Renders the map as an ASCII table (rows top to bottom).
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::new();
+        for r in 0..self.grid.rows {
+            for c in 0..self.grid.cols {
+                let v = self.values[r * self.grid.cols + c];
+                out.push_str(&format!("{v:>7.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_dataset::Pose;
+
+    fn feature(small_err: f32, big_err: f32) -> FrameFeatures {
+        // Truth at origin-ish; predictions offset along x by the error.
+        let truth = Pose::new(1.0, 0.0, 0.0, 0.0);
+        FrameFeatures {
+            frame: 0,
+            small_scaled: [0.0; 4],
+            big_scaled: [0.0; 4],
+            small_pose: Pose::new(1.0 + small_err, 0.0, 0.0, 0.0),
+            big_pose: Pose::new(1.0 + big_err, 0.0, 0.0, 0.0),
+            avg_pose: truth,
+            truth,
+            aux_cell: 0,
+            aux_margin: 1.0,
+        }
+    }
+
+    #[test]
+    fn map_values_are_mae_differences() {
+        let grid = GridSpec::GRID_2X2;
+        let features = vec![
+            feature(0.5, 0.1), // cell 0: E = 0.4
+            feature(0.3, 0.1), // cell 0: E = 0.2 -> mean 0.3
+            feature(0.2, 0.2), // cell 3: E = 0
+        ];
+        let cells = vec![0, 0, 3];
+        let map = ErrorMap::build(grid, &features, &cells);
+        assert!((map.value(0) - 0.3).abs() < 1e-5);
+        assert_eq!(map.value(3), 0.0);
+        assert_eq!(map.value(1), 0.0); // unvisited
+        assert_eq!(map.count(0), 2);
+        assert_eq!(map.count(1), 0);
+    }
+
+    #[test]
+    fn border_advantage_positive_when_borders_hard() {
+        let grid = GridSpec::GRID_3X3;
+        // Centre cell (4) easy, corner cell (0) hard for the small model.
+        let features = vec![feature(0.8, 0.1), feature(0.1, 0.1)];
+        let cells = vec![0, 4];
+        let map = ErrorMap::build(grid, &features, &cells);
+        assert!(map.border_advantage() > 0.5);
+    }
+
+    #[test]
+    fn ascii_rendering_has_grid_shape() {
+        let grid = GridSpec::GRID_2X2;
+        let map = ErrorMap::build(grid, &[], &[]);
+        let s = map.to_ascii();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Policy evaluation over the temporally-ordered test sequences.
+
+use crate::cost::CostModel;
+use crate::features::EvalTable;
+use crate::policy::{AdaptivePolicy, Decision};
+use np_gap8::perf::CycleBreakdown;
+
+/// Outcome of evaluating one policy at one threshold setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-variable MAE in physical units (x, y, z m; phi rad).
+    pub mae_per_var: [f32; 4],
+    /// Sum MAE — the paper's headline metric.
+    pub mae_sum: f32,
+    /// Mean cycles per inference on the GAP8 model.
+    pub mean_cycles: f64,
+    /// Mean latency per inference in milliseconds.
+    pub latency_ms: f64,
+    /// Mean energy per inference in millijoules.
+    pub energy_mj: f64,
+    /// Fraction of frames on which the big model ran.
+    pub frac_big: f64,
+    /// Frames evaluated.
+    pub n_frames: usize,
+}
+
+/// Replays `table`'s sequences through `policy`, pricing each decision
+/// with `costs`.
+///
+/// The prediction used for accuracy follows the paper:
+/// [`Decision::Small`] → small model output, [`Decision::Big`] → big model
+/// output, [`Decision::Ensemble`] → average of the two scaled outputs.
+///
+/// # Panics
+///
+/// Panics if the table is empty.
+pub fn evaluate_policy(
+    policy: &mut dyn AdaptivePolicy,
+    table: &EvalTable,
+    costs: &CostModel,
+) -> EvalResult {
+    assert!(table.n_frames() > 0, "empty evaluation table");
+    let uses_aux = policy.uses_aux();
+    let mut err = [0.0f32; 4];
+    let mut cycles_acc = CycleBreakdown::default();
+    let mut big_frames = 0usize;
+    let mut n = 0usize;
+
+    for seq in &table.sequences {
+        policy.reset();
+        for frame in seq {
+            let decision = policy.decide(frame);
+            let pred = match decision {
+                Decision::Small => &frame.small_pose,
+                Decision::Big => &frame.big_pose,
+                Decision::Ensemble => &frame.avg_pose,
+            };
+            let e = pred.abs_error(&frame.truth);
+            for (a, v) in err.iter_mut().zip(e.iter()) {
+                *a += v;
+            }
+            cycles_acc = cycles_acc.add(&costs.frame_cycles(decision, uses_aux));
+            if decision.runs_big() {
+                big_frames += 1;
+            }
+            n += 1;
+        }
+    }
+
+    for a in &mut err {
+        *a /= n as f32;
+    }
+    let mean = CycleBreakdown {
+        compute: cycles_acc.compute / n as u64,
+        dma_stall: cycles_acc.dma_stall / n as u64,
+        setup: cycles_acc.setup / n as u64,
+    };
+    EvalResult {
+        policy: policy.name(),
+        mae_per_var: err,
+        mae_sum: err.iter().sum(),
+        mean_cycles: cycles_acc.total() as f64 / n as f64,
+        latency_ms: costs.to_ms(&mean),
+        energy_mj: costs.to_mj(&mean),
+        frac_big: big_frames as f64 / n as f64,
+        n_frames: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FrameFeatures;
+    use crate::policy::{OraclePolicy, RandomPolicy};
+    use np_dataset::{GridSpec, Pose};
+    use np_gap8::perf::CycleBreakdown;
+    use np_gap8::power::PowerModel;
+    use np_gap8::Gap8Config;
+
+    fn table() -> EvalTable {
+        let truth = Pose::new(1.0, 0.0, 0.0, 0.0);
+        let mk = |s_err: f32, b_err: f32| FrameFeatures {
+            frame: 0,
+            small_scaled: [0.5; 4],
+            big_scaled: [0.5; 4],
+            small_pose: Pose::new(1.0 + s_err, 0.0, 0.0, 0.0),
+            big_pose: Pose::new(1.0 + b_err, 0.0, 0.0, 0.0),
+            avg_pose: Pose::new(1.0 + (s_err + b_err) / 2.0, 0.0, 0.0, 0.0),
+            truth,
+            aux_cell: 0,
+            aux_margin: 0.5,
+        };
+        EvalTable {
+            sequences: vec![
+                vec![mk(0.4, 0.1), mk(0.3, 0.2)],
+                vec![mk(0.2, 0.25), mk(0.5, 0.05)],
+            ],
+            grid: GridSpec::GRID_2X2,
+        }
+    }
+
+    fn costs() -> CostModel {
+        CostModel {
+            small: CycleBreakdown { compute: 1000, dma_stall: 0, setup: 0 },
+            big: CycleBreakdown { compute: 4000, dma_stall: 0, setup: 0 },
+            aux: CycleBreakdown { compute: 100, dma_stall: 0, setup: 0 },
+            decision_overhead: CycleBreakdown::default(),
+            config: Gap8Config::default(),
+            power: PowerModel::default(),
+        }
+    }
+
+    #[test]
+    fn all_small_vs_all_big_extremes() {
+        let t = table();
+        let c = costs();
+        let mut always_small = RandomPolicy::new(0.0, 1);
+        let mut always_big = RandomPolicy::new(1.0, 1);
+        let rs = evaluate_policy(&mut always_small, &t, &c);
+        let rb = evaluate_policy(&mut always_big, &t, &c);
+        assert_eq!(rs.frac_big, 0.0);
+        assert_eq!(rb.frac_big, 1.0);
+        assert_eq!(rs.mean_cycles, 1000.0);
+        assert_eq!(rb.mean_cycles, 4000.0);
+        // Small has MAE mean(0.4,0.3,0.2,0.5)=0.35; big 0.15.
+        assert!((rs.mae_sum - 0.35).abs() < 1e-5);
+        assert!((rb.mae_sum - 0.15).abs() < 1e-5);
+    }
+
+    #[test]
+    fn oracle_dominates_random() {
+        let t = table();
+        let c = costs();
+        let mut oracle = OraclePolicy::new();
+        let ro = evaluate_policy(&mut oracle, &t, &c);
+        // Oracle picks big everywhere except frame 3 (small 0.2 < big 0.25).
+        assert!((ro.frac_big - 0.75).abs() < 1e-9);
+        assert!((ro.mae_sum - (0.1 + 0.2 + 0.2 + 0.05) / 4.0).abs() < 1e-5);
+        // Oracle's MAE is the pointwise minimum — better than both
+        // static extremes.
+        let mut big = RandomPolicy::new(1.0, 1);
+        let rb = evaluate_policy(&mut big, &t, &c);
+        assert!(ro.mae_sum < rb.mae_sum + 1e-6);
+    }
+
+    #[test]
+    fn latency_and_energy_track_cycles() {
+        let t = table();
+        let c = costs();
+        let mut p = RandomPolicy::new(1.0, 1);
+        let r = evaluate_policy(&mut p, &t, &c);
+        // 4000 cycles @ 170 MHz ≈ 0.0235 ms.
+        assert!((r.latency_ms - 4000.0 / 170.0e6 * 1e3).abs() < 1e-6);
+        assert!(r.energy_mj > 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Policy extensions beyond the paper — the "more advanced adaptive
+//! inference techniques" its conclusion points to as future work.
+//!
+//! * [`OpEmaPolicy`] — OP with an exponentially-smoothed score, filtering
+//!   out single-frame output noise before triggering the big model.
+//! * [`Hysteresis`] — a wrapper that requires `k` consecutive triggers
+//!   before switching to the big model (and `k` consecutive non-triggers
+//!   before switching back), suppressing decision chatter.
+
+use crate::features::FrameFeatures;
+use crate::policy::{AdaptivePolicy, Decision};
+
+/// Output-based partitioning with an exponential moving average of the
+/// score: `s_t = alpha * |O_sum,t − O_sum,t−1| + (1−alpha) * s_{t−1}`.
+///
+/// `alpha = 1` recovers the paper's OP exactly.
+#[derive(Debug, Clone)]
+pub struct OpEmaPolicy {
+    th: f32,
+    alpha: f32,
+    prev_sum: Option<f32>,
+    ema: f32,
+}
+
+impl OpEmaPolicy {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(th: f32, alpha: f32) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        OpEmaPolicy {
+            th,
+            alpha,
+            prev_sum: None,
+            ema: 0.0,
+        }
+    }
+}
+
+impl AdaptivePolicy for OpEmaPolicy {
+    fn name(&self) -> String {
+        format!("OP-EMA(th={:.3},a={:.2})", self.th, self.alpha)
+    }
+
+    fn reset(&mut self) {
+        self.prev_sum = None;
+        self.ema = 0.0;
+    }
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        let sum: f32 = frame.small_scaled.iter().sum();
+        let decision = match self.prev_sum {
+            None => Decision::Ensemble,
+            Some(prev) => {
+                let score = (sum - prev).abs();
+                self.ema = self.alpha * score + (1.0 - self.alpha) * self.ema;
+                if self.ema > self.th {
+                    Decision::Ensemble
+                } else {
+                    Decision::Small
+                }
+            }
+        };
+        self.prev_sum = Some(sum);
+        decision
+    }
+}
+
+/// Debouncing wrapper: the inner policy's trigger must persist for
+/// `window` consecutive frames before the decision actually flips.
+#[derive(Debug, Clone)]
+pub struct Hysteresis<P> {
+    inner: P,
+    window: usize,
+    streak: usize,
+    active: bool,
+}
+
+impl<P: AdaptivePolicy> Hysteresis<P> {
+    /// Wraps `inner`; `window = 1` is transparent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(inner: P, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Hysteresis {
+            inner,
+            window,
+            streak: 0,
+            active: false,
+        }
+    }
+}
+
+impl<P: AdaptivePolicy> AdaptivePolicy for Hysteresis<P> {
+    fn name(&self) -> String {
+        format!("Hysteresis({}, w={})", self.inner.name(), self.window)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.streak = 0;
+        self.active = false;
+    }
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        let raw = self.inner.decide(frame);
+        let wants_big = raw.runs_big();
+        if wants_big != self.active {
+            self.streak += 1;
+            if self.streak >= self.window {
+                self.active = wants_big;
+                self.streak = 0;
+            }
+        } else {
+            self.streak = 0;
+        }
+        if self.active {
+            raw // honour the inner policy's Big vs Ensemble choice
+        } else {
+            Decision::Small
+        }
+    }
+
+    fn uses_aux(&self) -> bool {
+        self.inner.uses_aux()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::OpPolicy;
+    use np_dataset::Pose;
+
+    fn frame(sum_each: f32) -> FrameFeatures {
+        FrameFeatures {
+            frame: 0,
+            small_scaled: [sum_each; 4],
+            big_scaled: [0.5; 4],
+            small_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            big_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            avg_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            truth: Pose::new(1.0, 0.0, 0.0, 0.0),
+            aux_cell: 0,
+            aux_margin: 0.5,
+        }
+    }
+
+    #[test]
+    fn ema_with_alpha_one_matches_op() {
+        let mut op = OpPolicy::new(0.1);
+        let mut ema = OpEmaPolicy::new(0.1, 1.0);
+        let seq = [0.5f32, 0.5, 0.55, 0.8, 0.8, 0.5];
+        for &s in &seq {
+            assert_eq!(op.decide(&frame(s)), ema.decide(&frame(s)));
+        }
+    }
+
+    #[test]
+    fn ema_smooths_single_frame_spikes() {
+        // One spike in an otherwise flat stream: plain OP triggers on both
+        // edges of the spike, a low-alpha EMA at most once.
+        let seq = [0.5f32, 0.5, 0.5, 0.56, 0.5, 0.5];
+        let mut op = OpPolicy::new(0.1);
+        let mut ema = OpEmaPolicy::new(0.1, 0.3);
+        let mut op_triggers = 0;
+        let mut ema_triggers = 0;
+        for (i, &s) in seq.iter().enumerate() {
+            if op.decide(&frame(s)).runs_big() && i > 0 {
+                op_triggers += 1;
+            }
+            if ema.decide(&frame(s)).runs_big() && i > 0 {
+                ema_triggers += 1;
+            }
+        }
+        assert!(op_triggers > ema_triggers, "op {op_triggers} vs ema {ema_triggers}");
+    }
+
+    #[test]
+    fn hysteresis_debounces() {
+        // The inner OP alternates trigger / no-trigger on a staircase
+        // signal (every other frame moves); a window of 2 means the
+        // trigger never persists long enough to switch.
+        let mut flappy = Hysteresis::new(OpPolicy::new(0.05), 2);
+        let mut bigs = 0;
+        // Value pairs: the inner trigger fires on every pair boundary and
+        // clears inside each pair, so it never persists two frames.
+        let seq = [0.5f32, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52];
+        for &s in &seq {
+            if flappy.decide(&frame(s)).runs_big() {
+                bigs += 1;
+            }
+        }
+        assert_eq!(bigs, 0, "hysteresis failed to debounce");
+    }
+
+    #[test]
+    fn hysteresis_eventually_switches() {
+        let mut h = Hysteresis::new(OpPolicy::new(0.05), 2);
+        // Sustained large movement: must switch to big within the window.
+        let mut found_big = false;
+        for i in 0..8 {
+            let s = 0.5 + i as f32 * 0.1;
+            if h.decide(&frame(s)).runs_big() {
+                found_big = true;
+            }
+        }
+        assert!(found_big);
+    }
+
+    #[test]
+    fn hysteresis_window_one_is_transparent() {
+        let mut plain = OpPolicy::new(0.05);
+        let mut wrapped = Hysteresis::new(OpPolicy::new(0.05), 1);
+        for &s in &[0.5f32, 0.8, 0.8, 0.5, 0.51] {
+            assert_eq!(plain.decide(&frame(s)), wrapped.decide(&frame(s)));
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The adaptation policies.
+
+use crate::error_map::ErrorMap;
+use crate::features::FrameFeatures;
+use np_nn::init::SmallRng;
+
+/// What to execute for a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run only the small model.
+    Small,
+    /// Run only the big model.
+    Big,
+    /// Run both and average the (scaled) outputs — OP's hard-frame path.
+    Ensemble,
+}
+
+impl Decision {
+    /// True when the big model runs.
+    pub fn runs_big(self) -> bool {
+        matches!(self, Decision::Big | Decision::Ensemble)
+    }
+
+    /// True when the small model runs.
+    pub fn runs_small(self) -> bool {
+        matches!(self, Decision::Small | Decision::Ensemble)
+    }
+}
+
+/// A per-frame model-selection policy.
+///
+/// Policies are stateful over a sequence (OP tracks the previous output
+/// sum) and are `reset` at sequence boundaries.
+pub trait AdaptivePolicy {
+    /// Policy name for reports (e.g. `"OP"`, `"Aux-HLC 8x6"`).
+    fn name(&self) -> String;
+
+    /// Resets per-sequence state.
+    fn reset(&mut self);
+
+    /// Decides what to run for the next frame of the current sequence.
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision;
+
+    /// True when the policy requires the auxiliary CNN every frame
+    /// (changes the cost model from paper Eq. 2 to Eq. 4).
+    fn uses_aux(&self) -> bool {
+        false
+    }
+}
+
+/// Output-based Partitioning (paper Sec. III-B1).
+///
+/// Runs the small model every frame; computes
+/// `OP_t = |O_sum,t − O_sum,t−1|` from its min-max-scaled outputs and
+/// invokes the big model (averaging both predictions) when `OP_t > th`.
+///
+/// The first frame of every sequence has no predecessor; the paper does
+/// not special-case it, and we conservatively run the big model there.
+#[derive(Debug, Clone)]
+pub struct OpPolicy {
+    th: f32,
+    prev_sum: Option<f32>,
+}
+
+impl OpPolicy {
+    /// Creates the policy with threshold `th` (in scaled-output units).
+    pub fn new(th: f32) -> Self {
+        OpPolicy { th, prev_sum: None }
+    }
+
+    /// The OP score of a frame given the previous output sum.
+    pub fn score(prev_sum: f32, small_scaled: &[f32; 4]) -> f32 {
+        let sum: f32 = small_scaled.iter().sum();
+        (sum - prev_sum).abs()
+    }
+}
+
+impl AdaptivePolicy for OpPolicy {
+    fn name(&self) -> String {
+        format!("OP(th={:.3})", self.th)
+    }
+
+    fn reset(&mut self) {
+        self.prev_sum = None;
+    }
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        let sum: f32 = frame.small_scaled.iter().sum();
+        let decision = match self.prev_sum {
+            None => Decision::Ensemble,
+            Some(prev) => {
+                if (sum - prev).abs() > self.th {
+                    Decision::Ensemble
+                } else {
+                    Decision::Small
+                }
+            }
+        };
+        self.prev_sum = Some(sum);
+        decision
+    }
+}
+
+/// Auxiliary score-margin policy (paper Eq. 3): big model iff the aux
+/// classifier's score margin is ≤ `th`.
+#[derive(Debug, Clone)]
+pub struct AuxSmPolicy {
+    th: f32,
+    grid_name: String,
+}
+
+impl AuxSmPolicy {
+    /// Creates the policy with margin threshold `th` in `[0, 1]`.
+    pub fn new(th: f32, grid_name: impl Into<String>) -> Self {
+        AuxSmPolicy {
+            th,
+            grid_name: grid_name.into(),
+        }
+    }
+}
+
+impl AdaptivePolicy for AuxSmPolicy {
+    fn name(&self) -> String {
+        format!("Aux-SM {}(th={:.3})", self.grid_name, self.th)
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        if frame.aux_margin <= self.th {
+            Decision::Big
+        } else {
+            Decision::Small
+        }
+    }
+
+    fn uses_aux(&self) -> bool {
+        true
+    }
+}
+
+/// Auxiliary head-localization-class policy: big model iff the predicted
+/// cell's error-map value exceeds `th`.
+#[derive(Debug, Clone)]
+pub struct AuxHlcPolicy {
+    th: f32,
+    map: ErrorMap,
+}
+
+impl AuxHlcPolicy {
+    /// Creates the policy from a validation-set [`ErrorMap`].
+    pub fn new(th: f32, map: ErrorMap) -> Self {
+        AuxHlcPolicy { th, map }
+    }
+
+    /// The underlying error map.
+    pub fn map(&self) -> &ErrorMap {
+        &self.map
+    }
+}
+
+impl AdaptivePolicy for AuxHlcPolicy {
+    fn name(&self) -> String {
+        format!("Aux-HLC {}(th={:.3})", self.map.grid(), self.th)
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        if self.map.value(frame.aux_cell) > self.th {
+            Decision::Big
+        } else {
+            Decision::Small
+        }
+    }
+
+    fn uses_aux(&self) -> bool {
+        true
+    }
+}
+
+/// Zero-cost random baseline: big model with probability `p_big`.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    p_big: f64,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl RandomPolicy {
+    /// Creates the baseline with the given big-model probability.
+    pub fn new(p_big: f64, seed: u64) -> Self {
+        RandomPolicy {
+            p_big,
+            rng: SmallRng::seed(seed),
+            seed,
+        }
+    }
+}
+
+impl AdaptivePolicy for RandomPolicy {
+    fn name(&self) -> String {
+        format!("Random(p={:.2})", self.p_big)
+    }
+
+    fn reset(&mut self) {
+        // Deterministic per-policy: reseed so evaluation order does not
+        // change results.
+        self.rng = SmallRng::seed(self.seed);
+    }
+
+    fn decide(&mut self, _frame: &FrameFeatures) -> Decision {
+        if self.rng.chance(self.p_big) {
+            Decision::Big
+        } else {
+            Decision::Small
+        }
+    }
+}
+
+/// Ideal policy (paper Sec. III-B): runs the big model iff it actually has
+/// lower total error on this frame. Not realizable (needs ground truth) —
+/// used as the upper bound in analyses.
+#[derive(Debug, Clone, Default)]
+pub struct OraclePolicy;
+
+impl OraclePolicy {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        OraclePolicy
+    }
+}
+
+impl AdaptivePolicy for OraclePolicy {
+    fn name(&self) -> String {
+        "Oracle".to_string()
+    }
+
+    fn reset(&mut self) {}
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        let small = frame.small_pose.total_error(&frame.truth);
+        let big = frame.big_pose.total_error(&frame.truth);
+        if big < small {
+            Decision::Big
+        } else {
+            Decision::Small
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_dataset::{GridSpec, Pose};
+
+    fn frame(small_scaled: [f32; 4], margin: f32, cell: usize) -> FrameFeatures {
+        FrameFeatures {
+            frame: 0,
+            small_scaled,
+            big_scaled: [0.5; 4],
+            small_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            big_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            avg_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            truth: Pose::new(1.0, 0.0, 0.0, 0.0),
+            aux_cell: cell,
+            aux_margin: margin,
+        }
+    }
+
+    #[test]
+    fn op_triggers_on_output_jump() {
+        let mut op = OpPolicy::new(0.1);
+        // First frame: conservative ensemble.
+        assert_eq!(op.decide(&frame([0.5; 4], 1.0, 0)), Decision::Ensemble);
+        // Stationary outputs: small.
+        assert_eq!(op.decide(&frame([0.5; 4], 1.0, 0)), Decision::Small);
+        // Jump of 0.4 in the sum: ensemble.
+        assert_eq!(op.decide(&frame([0.6, 0.5, 0.5, 0.5], 1.0, 0)), Decision::Small);
+        assert_eq!(op.decide(&frame([0.9, 0.6, 0.5, 0.5], 1.0, 0)), Decision::Ensemble);
+    }
+
+    #[test]
+    fn op_reset_clears_history() {
+        let mut op = OpPolicy::new(0.1);
+        let _ = op.decide(&frame([0.5; 4], 1.0, 0));
+        op.reset();
+        assert_eq!(op.decide(&frame([0.5; 4], 1.0, 0)), Decision::Ensemble);
+    }
+
+    #[test]
+    fn aux_sm_threshold_semantics() {
+        let mut p = AuxSmPolicy::new(0.3, "2x2");
+        assert_eq!(p.decide(&frame([0.0; 4], 0.2, 0)), Decision::Big);
+        assert_eq!(p.decide(&frame([0.0; 4], 0.3, 0)), Decision::Big); // <= th
+        assert_eq!(p.decide(&frame([0.0; 4], 0.4, 0)), Decision::Small);
+        assert!(p.uses_aux());
+    }
+
+    #[test]
+    fn aux_hlc_uses_error_map() {
+        let grid = GridSpec::GRID_2X2;
+        // Build a map where cell 0 favours big strongly.
+        let truth = Pose::new(1.0, 0.0, 0.0, 0.0);
+        let make = |cell: usize, s_err: f32| FrameFeatures {
+            frame: 0,
+            small_scaled: [0.0; 4],
+            big_scaled: [0.0; 4],
+            small_pose: Pose::new(1.0 + s_err, 0.0, 0.0, 0.0),
+            big_pose: truth,
+            avg_pose: truth,
+            truth,
+            aux_cell: cell,
+            aux_margin: 0.5,
+        };
+        let features = vec![make(0, 0.9), make(1, 0.05)];
+        let map = ErrorMap::build(grid, &features, &[0, 1]);
+        let mut p = AuxHlcPolicy::new(0.5, map);
+        assert_eq!(p.decide(&frame([0.0; 4], 0.5, 0)), Decision::Big);
+        assert_eq!(p.decide(&frame([0.0; 4], 0.5, 1)), Decision::Small);
+    }
+
+    #[test]
+    fn random_policy_respects_probability() {
+        for (p, lo, hi) in [(0.0, 0.0, 0.001), (1.0, 0.999, 1.0), (0.5, 0.4, 0.6)] {
+            let mut pol = RandomPolicy::new(p, 1);
+            let n = 2000;
+            let big = (0..n)
+                .filter(|_| pol.decide(&frame([0.0; 4], 0.5, 0)).runs_big())
+                .count();
+            let frac = big as f64 / n as f64;
+            assert!((lo..=hi).contains(&frac), "p={p}: frac {frac}");
+        }
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_across_resets() {
+        let mut a = RandomPolicy::new(0.5, 7);
+        let seq1: Vec<Decision> = (0..20).map(|_| a.decide(&frame([0.0; 4], 0.5, 0))).collect();
+        a.reset();
+        let seq2: Vec<Decision> = (0..20).map(|_| a.decide(&frame([0.0; 4], 0.5, 0))).collect();
+        assert_eq!(seq1, seq2);
+    }
+
+    #[test]
+    fn oracle_picks_the_better_model() {
+        let truth = Pose::new(1.0, 0.0, 0.0, 0.0);
+        let mut f = frame([0.0; 4], 0.5, 0);
+        f.truth = truth;
+        f.small_pose = Pose::new(1.5, 0.0, 0.0, 0.0);
+        f.big_pose = Pose::new(1.1, 0.0, 0.0, 0.0);
+        let mut oracle = OraclePolicy::new();
+        assert_eq!(oracle.decide(&f), Decision::Big);
+        f.small_pose = Pose::new(1.01, 0.0, 0.0, 0.0);
+        assert_eq!(oracle.decide(&f), Decision::Small);
+    }
+}

@@ -1,0 +1,204 @@
+//! Threshold sweeps and Pareto-front extraction.
+
+use crate::cost::CostModel;
+use crate::error_map::ErrorMap;
+use crate::eval::{evaluate_policy, EvalResult};
+use crate::features::EvalTable;
+use crate::policy::{AuxHlcPolicy, AuxSmPolicy, OpPolicy, RandomPolicy};
+
+/// One point on a policy's accuracy-vs-cost curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// The tunable threshold (or probability) that produced this point.
+    pub threshold: f32,
+    /// The evaluation outcome.
+    pub result: EvalResult,
+}
+
+/// Evenly-spaced quantiles of a sample (used to place sweep thresholds
+/// where the score distribution actually has mass).
+pub fn quantiles(mut values: Vec<f32>, n: usize) -> Vec<f32> {
+    assert!(n >= 2, "need at least two quantiles");
+    values.retain(|v| v.is_finite());
+    if values.is_empty() {
+        return vec![0.0; n];
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (0..n)
+        .map(|i| {
+            let q = i as f32 / (n - 1) as f32;
+            let idx = ((values.len() - 1) as f32 * q).round() as usize;
+            values[idx]
+        })
+        .collect()
+}
+
+/// Sweeps the OP policy across `n` thresholds placed at quantiles of the
+/// observed OP-score distribution.
+pub fn sweep_op(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
+    // Collect the empirical OP scores.
+    let mut scores = Vec::new();
+    for seq in &table.sequences {
+        let mut prev: Option<f32> = None;
+        for f in seq {
+            let sum: f32 = f.small_scaled.iter().sum();
+            if let Some(p) = prev {
+                scores.push((sum - p).abs());
+            }
+            prev = Some(sum);
+        }
+    }
+    let mut ths = quantiles(scores, n);
+    ths.push(f32::INFINITY); // never trigger: degenerates to static small
+    ths.dedup();
+    ths.into_iter()
+        .map(|th| OperatingPoint {
+            threshold: th,
+            result: evaluate_policy(&mut OpPolicy::new(th), table, costs),
+        })
+        .collect()
+}
+
+/// Sweeps Aux-SM across `n` margin thresholds.
+pub fn sweep_aux_sm(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
+    let margins: Vec<f32> = table.iter_frames().map(|f| f.aux_margin).collect();
+    let mut ths = quantiles(margins, n);
+    ths.insert(0, -1.0); // never big
+    ths.push(1.1); // always big
+    ths.dedup();
+    let grid = table.grid.to_string();
+    ths.into_iter()
+        .map(|th| OperatingPoint {
+            threshold: th,
+            result: evaluate_policy(&mut AuxSmPolicy::new(th, grid.clone()), table, costs),
+        })
+        .collect()
+}
+
+/// Sweeps Aux-HLC across the distinct values of the error map.
+pub fn sweep_aux_hlc(
+    table: &EvalTable,
+    costs: &CostModel,
+    map: &ErrorMap,
+    n: usize,
+) -> Vec<OperatingPoint> {
+    let mut ths = quantiles(map.values().to_vec(), n);
+    ths.insert(0, f32::NEG_INFINITY); // always big
+    ths.push(f32::INFINITY); // never big
+    ths.dedup();
+    ths.into_iter()
+        .map(|th| OperatingPoint {
+            threshold: th,
+            result: evaluate_policy(&mut AuxHlcPolicy::new(th, map.clone()), table, costs),
+        })
+        .collect()
+}
+
+/// Sweeps the Random baseline across big-model probabilities.
+pub fn sweep_random(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
+    (0..n)
+        .map(|i| {
+            let p = i as f64 / (n - 1) as f64;
+            OperatingPoint {
+                threshold: p as f32,
+                result: evaluate_policy(&mut RandomPolicy::new(p, 99), table, costs),
+            }
+        })
+        .collect()
+}
+
+/// Non-dominated subset of operating points (minimize MAE and cycles),
+/// sorted by increasing cycles.
+pub fn pareto_front(points: &[OperatingPoint]) -> Vec<OperatingPoint> {
+    let mut sorted: Vec<&OperatingPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.result
+            .mean_cycles
+            .partial_cmp(&b.result.mean_cycles)
+            .expect("finite")
+    });
+    let mut front: Vec<OperatingPoint> = Vec::new();
+    let mut best_mae = f32::INFINITY;
+    for p in sorted {
+        if p.result.mae_sum < best_mae - 1e-6 {
+            best_mae = p.result.mae_sum;
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+/// Finds the cheapest operating point whose MAE does not exceed
+/// `mae_budget` (the paper's "iso-MAE" comparison); `None` if the policy
+/// never reaches that accuracy.
+pub fn cheapest_at_mae(points: &[OperatingPoint], mae_budget: f32) -> Option<&OperatingPoint> {
+    points
+        .iter()
+        .filter(|p| p.result.mae_sum <= mae_budget)
+        .min_by(|a, b| {
+            a.result
+                .mean_cycles
+                .partial_cmp(&b.result.mean_cycles)
+                .expect("finite")
+        })
+}
+
+/// Finds the most accurate operating point whose mean cycles do not exceed
+/// `cycle_budget` (the paper's "iso-latency" comparison).
+pub fn best_at_cycles(points: &[OperatingPoint], cycle_budget: f64) -> Option<&OperatingPoint> {
+    points
+        .iter()
+        .filter(|p| p.result.mean_cycles <= cycle_budget)
+        .min_by(|a, b| a.result.mae_sum.partial_cmp(&b.result.mae_sum).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalResult;
+
+    fn point(mae: f32, cycles: f64) -> OperatingPoint {
+        OperatingPoint {
+            threshold: 0.0,
+            result: EvalResult {
+                policy: "t".into(),
+                mae_per_var: [mae / 4.0; 4],
+                mae_sum: mae,
+                mean_cycles: cycles,
+                latency_ms: 0.0,
+                energy_mj: 0.0,
+                frac_big: 0.0,
+                n_frames: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn quantiles_cover_range() {
+        let q = quantiles(vec![5.0, 1.0, 3.0, 2.0, 4.0], 3);
+        assert_eq!(q, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn pareto_removes_dominated() {
+        let pts = vec![
+            point(1.0, 100.0),
+            point(0.9, 200.0),
+            point(1.2, 150.0), // dominated: slower and worse than (1.0, 100)
+            point(0.8, 400.0),
+        ];
+        let front = pareto_front(&pts);
+        let maes: Vec<f32> = front.iter().map(|p| p.result.mae_sum).collect();
+        assert_eq!(maes, vec![1.0, 0.9, 0.8]);
+    }
+
+    #[test]
+    fn iso_queries() {
+        let pts = vec![point(1.0, 100.0), point(0.9, 200.0), point(0.8, 400.0)];
+        let iso_mae = cheapest_at_mae(&pts, 0.9).expect("point exists");
+        assert_eq!(iso_mae.result.mean_cycles, 200.0);
+        let iso_cycles = best_at_cycles(&pts, 250.0).expect("point exists");
+        assert_eq!(iso_cycles.result.mae_sum, 0.9);
+        assert!(cheapest_at_mae(&pts, 0.5).is_none());
+    }
+}

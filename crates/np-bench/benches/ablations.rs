@@ -1,0 +1,59 @@
+//! Planner-level ablation timings: tiling solver objectives and whole-plan
+//! generation cost for every zoo architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_dataset::GridSpec;
+use np_dory::plan::deploy_with_objective;
+use np_dory::tiling::{solve_tiling, TilingObjective};
+use np_gap8::Gap8Config;
+use np_zoo::ModelId;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let gap8 = Gap8Config::default();
+    let m10 = ModelId::M10.paper_desc();
+
+    for objective in [TilingObjective::MaxTile, TilingObjective::MinDma] {
+        let label = format!("deploy_M10_{objective:?}");
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                black_box(
+                    deploy_with_objective(black_box(&m10), &gap8, objective).expect("fits"),
+                )
+            })
+        });
+    }
+
+    // Single-layer tiling solve on the hardest layer (the stem, largest
+    // spatial extent).
+    let stem = m10.layers.first().expect("m10 has layers").clone();
+    c.bench_function("solve_tiling_stem", |b| {
+        b.iter(|| {
+            black_box(solve_tiling(
+                black_box(&stem),
+                &gap8,
+                TilingObjective::MaxTile,
+            ))
+        })
+    });
+
+    // Full planning across the zoo (what the table2 harness does).
+    c.bench_function("deploy_full_zoo", |b| {
+        b.iter(|| {
+            for id in [
+                ModelId::F1,
+                ModelId::F2,
+                ModelId::M10,
+                ModelId::Aux(GridSpec::GRID_8X6),
+            ] {
+                let desc = id.paper_desc();
+                black_box(
+                    deploy_with_objective(&desc, &gap8, TilingObjective::MaxTile).expect("fits"),
+                );
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end pipeline throughput on the host: frame rendering, proxy
+//! model inference, and evaluation-table replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_dataset::render::{render_frame, Camera, EnvInstance};
+use np_dataset::Pose;
+use np_nn::init::SmallRng;
+use np_tensor::Tensor;
+use np_zoo::ModelId;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Renderer throughput.
+    let cam = Camera::for_resolution(80, 48);
+    let mut rng = SmallRng::seed(1);
+    let env = EnvInstance::known(&mut rng);
+    let pose = Pose::new(1.5, 0.2, 0.0, 0.5);
+    c.bench_function("render_frame_80x48", |b| {
+        b.iter(|| {
+            black_box(render_frame(
+                black_box(&pose),
+                0.3,
+                &env,
+                &cam,
+                &mut rng,
+            ))
+        })
+    });
+
+    // Proxy model inference (single frame).
+    let x = Tensor::zeros(&[1, 1, 48, 80]);
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10] {
+        let mut net = id.build_proxy(&mut SmallRng::seed(2));
+        let label = format!("forward_{}", id.name().replace('.', ""));
+        c.bench_function(&label, |b| b.iter(|| black_box(net.forward(black_box(&x)))));
+    }
+
+    // Batch-16 inference (amortized im2col).
+    let batch = Tensor::zeros(&[16, 1, 48, 80]);
+    let mut f1 = ModelId::F1.build_proxy(&mut SmallRng::seed(3));
+    c.bench_function("forward_F1_batch16", |b| {
+        b.iter(|| black_box(f1.forward(black_box(&batch))))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Policy decision overhead — supporting the paper's requirement that the
+//! policy itself must have negligible cost compared to model execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_adaptive::policy::AdaptivePolicy;
+use np_adaptive::{AuxHlcPolicy, AuxSmPolicy, ErrorMap, FrameFeatures, OpPolicy, RandomPolicy};
+use np_dataset::{GridSpec, Pose};
+use std::hint::black_box;
+
+fn frame(i: usize) -> FrameFeatures {
+    let v = (i as f32 * 0.137).sin() * 0.5 + 0.5;
+    FrameFeatures {
+        frame: i,
+        small_scaled: [v, 1.0 - v, v * 0.5, 0.5],
+        big_scaled: [0.5; 4],
+        small_pose: Pose::new(1.0 + v, 0.0, 0.0, 0.0),
+        big_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+        avg_pose: Pose::new(1.0 + v / 2.0, 0.0, 0.0, 0.0),
+        truth: Pose::new(1.0, 0.0, 0.0, 0.0),
+        aux_cell: i % 48,
+        aux_margin: v,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let frames: Vec<FrameFeatures> = (0..256).map(frame).collect();
+    let grid = GridSpec::GRID_8X6;
+    let map = ErrorMap::build(grid, &[], &[]);
+
+    c.bench_function("op_decide_256_frames", |b| {
+        b.iter(|| {
+            let mut p = OpPolicy::new(0.1);
+            for f in &frames {
+                black_box(p.decide(black_box(f)));
+            }
+        })
+    });
+
+    c.bench_function("aux_sm_decide_256_frames", |b| {
+        b.iter(|| {
+            let mut p = AuxSmPolicy::new(0.3, "8x6");
+            for f in &frames {
+                black_box(p.decide(black_box(f)));
+            }
+        })
+    });
+
+    c.bench_function("aux_hlc_decide_256_frames", |b| {
+        b.iter(|| {
+            let mut p = AuxHlcPolicy::new(0.05, map.clone());
+            for f in &frames {
+                black_box(p.decide(black_box(f)));
+            }
+        })
+    });
+
+    c.bench_function("random_decide_256_frames", |b| {
+        b.iter(|| {
+            let mut p = RandomPolicy::new(0.5, 3);
+            for f in &frames {
+                black_box(p.decide(black_box(f)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Ablations of the design choices called out in DESIGN.md §5:
+//!
+//! 1. OP hard-frame output: ensemble (average) vs big-only.
+//! 2. OP score from all four outputs vs position-only (x, y, z).
+//! 3. PTQ int8 vs f32 proxies: MAE delta of the deployment arithmetic.
+//! 4. Tiling objective: MaxTile vs MinDma cycles per network.
+
+use np_adaptive::features::Backend;
+use np_adaptive::policy::{AdaptivePolicy, Decision};
+use np_adaptive::{evaluate_policy, EnsembleId, FrameFeatures, OpPolicy};
+use np_bench::{Experiment, Scale};
+use np_dataset::{Environment, GridSpec};
+use np_dory::plan::deploy_with_objective;
+use np_dory::tiling::TilingObjective;
+use np_gap8::Gap8Config;
+use np_quant::QuantizedNetwork;
+use np_zoo::ModelId;
+
+/// OP variant that replaces the hard-frame ensemble with big-only output.
+struct OpBigOnly(OpPolicy);
+
+impl AdaptivePolicy for OpBigOnly {
+    fn name(&self) -> String {
+        format!("{}-bigonly", self.0.name())
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        match self.0.decide(frame) {
+            Decision::Ensemble => Decision::Big,
+            d => d,
+        }
+    }
+}
+
+/// OP variant scoring only the position outputs (x, y, z), not phi.
+struct OpPositionOnly {
+    th: f32,
+    prev: Option<f32>,
+}
+
+impl AdaptivePolicy for OpPositionOnly {
+    fn name(&self) -> String {
+        format!("OP-xyz(th={:.3})", self.th)
+    }
+    fn reset(&mut self) {
+        self.prev = None;
+    }
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        let sum: f32 = frame.small_scaled[..3].iter().sum();
+        let d = match self.prev {
+            None => Decision::Ensemble,
+            Some(p) if (sum - p).abs() > self.th => Decision::Ensemble,
+            _ => Decision::Small,
+        };
+        self.prev = Some(sum);
+        d
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::prepare(Environment::Known, scale);
+    let grid = GridSpec::GRID_8X6;
+    let table = exp.eval_table(EnsembleId::D2, grid);
+    let costs = exp.cost_model(EnsembleId::D2, grid);
+
+    println!("# Ablations");
+
+    // --- 1 & 2: OP output mode and score features, matched thresholds ---
+    println!();
+    println!("## OP variants (D2, Known test set)");
+    println!("| variant | th | MAE | mean cycles | % big |");
+    println!("|---|---|---|---|---|");
+    for th in [0.02f32, 0.05, 0.1, 0.2] {
+        let mut standard = OpPolicy::new(th);
+        let mut big_only = OpBigOnly(OpPolicy::new(th));
+        let mut xyz = OpPositionOnly { th, prev: None };
+        for (label, policy) in [
+            ("ensemble", &mut standard as &mut dyn AdaptivePolicy),
+            ("big-only", &mut big_only),
+            ("xyz-score", &mut xyz),
+        ] {
+            let r = evaluate_policy(policy, &table, &costs);
+            println!(
+                "| {label} | {th:.2} | {:.4} | {:.0} | {:.1} |",
+                r.mae_sum,
+                r.mean_cycles,
+                100.0 * r.frac_big
+            );
+        }
+    }
+
+    // --- 3: int8 vs f32 MAE ---
+    println!();
+    println!("## PTQ int8 vs f32 (test-set MAE sum)");
+    println!("| model | f32 | int8 | delta |");
+    println!("|---|---|---|---|");
+    let data = exp.data.clone();
+    let test = data.test_indices();
+    let calib_idx: Vec<usize> = data.train_indices().into_iter().take(64).collect();
+    let calib = data.images_tensor(&calib_idx);
+    let scaler = *data.scaler();
+    for (name, model) in [
+        ("F1", exp.f1.clone()),
+        ("F2", exp.f2.clone()),
+        ("M1.0", exp.m10.clone()),
+    ] {
+        let mut fp = model.clone();
+        let fp_mae = np_zoo::evaluate_mae(&mut fp, &data, &test).sum();
+        let qnet = QuantizedNetwork::quantize(&model, &calib);
+        let mut backend = Backend::Quantized(&qnet);
+        let outs = backend.outputs(&data, &test);
+        let preds: Vec<np_dataset::Pose> = outs
+            .iter()
+            .map(|o| scaler.unscale([o[0], o[1], o[2], o[3]]))
+            .collect();
+        let q_mae = np_zoo::train::mae_of_predictions(&preds, &data, &test).sum();
+        println!(
+            "| {name} | {fp_mae:.4} | {q_mae:.4} | {:+.4} |",
+            q_mae - fp_mae
+        );
+    }
+
+    // --- 4: tiling objective ---
+    println!();
+    println!("## Tiling objective (paper-exact architectures)");
+    println!("| network | MaxTile cycles | MinDma cycles | delta % |");
+    println!("|---|---|---|---|");
+    let gap8 = Gap8Config::default();
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10, ModelId::Aux(grid)] {
+        let desc = id.paper_desc();
+        let a = deploy_with_objective(&desc, &gap8, TilingObjective::MaxTile)
+            .expect("fits")
+            .total_cycles();
+        let b = deploy_with_objective(&desc, &gap8, TilingObjective::MinDma)
+            .expect("fits")
+            .total_cycles();
+        println!(
+            "| {} | {a} | {b} | {:+.2} |",
+            id.name(),
+            100.0 * (b as f64 / a as f64 - 1.0)
+        );
+    }
+
+    // --- 5: extension policies (beyond the paper) ---
+    println!();
+    println!("## Extension policies vs plain OP (D2, matched thresholds)");
+    println!("| policy | th | MAE | mean cycles | % big |");
+    println!("|---|---|---|---|---|");
+    for th in [0.05f32, 0.1] {
+        let mut plain = np_adaptive::OpPolicy::new(th);
+        let mut ema = np_adaptive::OpEmaPolicy::new(th, 0.5);
+        let mut hyst = np_adaptive::Hysteresis::new(np_adaptive::OpPolicy::new(th), 2);
+        for (label, policy) in [
+            ("OP", &mut plain as &mut dyn AdaptivePolicy),
+            ("OP-EMA(0.5)", &mut ema),
+            ("OP+hysteresis(2)", &mut hyst),
+        ] {
+            let r = evaluate_policy(policy, &table, &costs);
+            println!(
+                "| {label} | {th:.2} | {:.4} | {:.0} | {:.1} |",
+                r.mae_sum,
+                r.mean_cycles,
+                100.0 * r.frac_big
+            );
+        }
+    }
+
+    // Echo the EvalTable size so the run is self-describing.
+    eprintln!("[ablation] evaluated on {} test frames", table.n_frames());
+}

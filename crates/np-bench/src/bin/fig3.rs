@@ -1,0 +1,58 @@
+//! Reproduces **Fig. 3**: the 8×6 error map `E(i,j) = MAE_F1(i,j) −
+//! MAE_M1.0(i,j)` over the Known validation set, with the ground-truth
+//! head cell defining `(i,j)`.
+//!
+//! Expected shape (paper): the big model's advantage grows toward image
+//! borders and peaks at corners.
+
+use np_adaptive::EnsembleId;
+use np_bench::{Experiment, Scale};
+use np_dataset::{Environment, GridSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::prepare(Environment::Known, scale);
+    let grid = GridSpec::GRID_8X6;
+    let map = exp.error_map(EnsembleId::D1, grid);
+
+    println!("# Fig. 3 — 8x6 error map E(i,j) = MAE(F1) - MAE(M1.0), Known validation set");
+    println!();
+    println!("{}", map.to_ascii());
+
+    // Border/corner structure summary.
+    let mut border = Vec::new();
+    let mut corner = Vec::new();
+    let mut interior = Vec::new();
+    for c in 0..grid.n_cells() {
+        if map.count(c) == 0 {
+            continue;
+        }
+        if grid.is_corner(c) {
+            corner.push(map.value(c));
+        } else if grid.is_border(c) {
+            border.push(map.value(c));
+        } else {
+            interior.push(map.value(c));
+        }
+    }
+    let mean = |v: &[f32]| {
+        if v.is_empty() {
+            f32::NAN
+        } else {
+            v.iter().sum::<f32>() / v.len() as f32
+        }
+    };
+    println!("mean E interior cells: {:+.4}", mean(&interior));
+    println!("mean E border cells:   {:+.4}", mean(&border));
+    println!("mean E corner cells:   {:+.4}", mean(&corner));
+    println!("border advantage (border+corner mean - interior mean): {:+.4}", map.border_advantage());
+    println!();
+    println!(
+        "Paper shape check (difference increases at edges, more at corners): {}",
+        if map.border_advantage() > 0.0 {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,61 @@
+//! Reproduces **Fig. 4**: Aux-SM vs Aux-HLC comparison across grid sizes
+//! (2×2, 3×3, 8×6) for both ensembles on the Known dataset — total MAE vs
+//! average cycles per inference.
+//!
+//! Each line of output is one operating point (threshold setting).
+
+use np_adaptive::sweep::{sweep_aux_hlc, sweep_aux_sm};
+use np_adaptive::EnsembleId;
+use np_bench::{Experiment, Scale, GRIDS};
+use np_dataset::Environment;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::prepare(Environment::Known, scale);
+    let n_thresholds = 13;
+
+    println!("# Fig. 4 — auxiliary policies on the Known dataset");
+    println!();
+    println!("ensemble,policy,grid,threshold,mae_sum,mean_cycles,frac_big");
+
+    for ens in [EnsembleId::D1, EnsembleId::D2] {
+        for grid in GRIDS {
+            let table = exp.eval_table(ens, grid);
+            let costs = exp.cost_model(ens, grid);
+
+            for p in sweep_aux_sm(&table, &costs, n_thresholds) {
+                println!(
+                    "{ens},Aux-SM,{grid},{:.4},{:.4},{:.0},{:.3}",
+                    p.threshold, p.result.mae_sum, p.result.mean_cycles, p.result.frac_big
+                );
+            }
+            let map = exp.error_map(ens, grid);
+            for p in sweep_aux_hlc(&table, &costs, &map, n_thresholds) {
+                println!(
+                    "{ens},Aux-HLC,{grid},{:.4},{:.4},{:.0},{:.3}",
+                    p.threshold, p.result.mae_sum, p.result.mean_cycles, p.result.frac_big
+                );
+            }
+        }
+    }
+
+    // Headline check from the paper's Fig. 4 text: with Aux-HLC (8x6) on
+    // D2 a point exists with MAE close to the big model at a sizable cycle
+    // reduction.
+    let grid = np_dataset::GridSpec::GRID_8X6;
+    let table = exp.eval_table(EnsembleId::D2, grid);
+    let costs = exp.cost_model(EnsembleId::D2, grid);
+    let map = exp.error_map(EnsembleId::D2, grid);
+    let points = sweep_aux_hlc(&table, &costs, &map, n_thresholds);
+    let big_cycles = exp.plan_m10.total_cycles() as f64;
+    let big_mae = exp.static_mae()[2].sum();
+    if let Some(p) = np_adaptive::sweep::cheapest_at_mae(&points, big_mae * 1.01) {
+        eprintln!(
+            "[fig4] D2 Aux-HLC 8x6 at MAE<=1.01x big ({:.3}): {:.1}% cycle reduction (paper: 26.07% at +0.57% MAE)",
+            p.result.mae_sum,
+            100.0 * (1.0 - p.result.mean_cycles / big_cycles)
+        );
+    } else {
+        eprintln!("[fig4] D2 Aux-HLC 8x6 never reaches within 1% of big-model MAE");
+    }
+}

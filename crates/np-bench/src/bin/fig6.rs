@@ -1,0 +1,17 @@
+//! Reproduces **Fig. 6**: the policy comparison of Fig. 5 repeated on the
+//! Unseen dataset (different lab, subjects, lighting), demonstrating that
+//! the policies generalize.
+//!
+//! Paper headlines: D1's best is Aux-HLC (9.2% latency reduction vs Random
+//! at MAE 1.33); D2-OP reaches the best overall MAE 1.22 (-4.9% vs SoA)
+//! and -6.49% latency at iso-MAE with the big model.
+
+use np_bench::figures::run_policy_comparison;
+use np_bench::{Experiment, Scale};
+use np_dataset::Environment;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::prepare(Environment::Unseen, scale);
+    run_policy_comparison(&mut exp, "Fig. 6", "Unseen");
+}

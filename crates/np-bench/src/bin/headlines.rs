@@ -1,0 +1,67 @@
+//! One-stop summary: regenerates the paper's headline comparisons from the
+//! cached (or freshly trained) models on the Known dataset — a compact
+//! alternative to reading the full fig5/table2 outputs.
+
+use np_adaptive::sweep::{best_at_cycles, cheapest_at_mae, pareto_front, sweep_aux_hlc, sweep_op, sweep_random};
+use np_adaptive::EnsembleId;
+use np_bench::{Experiment, Scale};
+use np_dataset::{Environment, GridSpec};
+
+fn main() {
+    let mut exp = Experiment::prepare(Environment::Known, Scale::from_env());
+    let grid = GridSpec::GRID_8X6;
+    let mae = exp.static_mae();
+    let big_mae = mae[2].sum();
+    let big_cycles = exp.plan_m10.total_cycles() as f64;
+
+    println!("# Headline summary (Known dataset)");
+    println!();
+    println!("static MAE: F1 {:.3}, F2 {:.3}, M1.0 {:.3}", mae[0].sum(), mae[1].sum(), big_mae);
+    println!(
+        "static latency: F1 {:.2} ms, F2 {:.2} ms, M1.0 {:.2} ms",
+        exp.plan_f1.latency_ms(),
+        exp.plan_f2.latency_ms(),
+        exp.plan_m10.latency_ms()
+    );
+    println!();
+
+    for ens in [EnsembleId::D1, EnsembleId::D2] {
+        let table = exp.eval_table(ens, grid);
+        let costs = exp.cost_model(ens, grid);
+        let map = exp.error_map(ens, grid);
+        let mut all = sweep_op(&table, &costs, 15);
+        all.extend(sweep_aux_hlc(&table, &costs, &map, 15));
+        let random = sweep_random(&table, &costs, 11);
+
+        println!("## {ens}");
+        let front = pareto_front(&all);
+        println!("adaptive pareto points: {}", front.len());
+        match cheapest_at_mae(&all, big_mae) {
+            Some(p) => println!(
+                "iso-MAE vs M1.0: {:.1}% cycles via {} (paper D2: -28.03%)",
+                100.0 * (p.result.mean_cycles / big_cycles - 1.0),
+                p.result.policy
+            ),
+            None => println!("iso-MAE vs M1.0: not reached"),
+        }
+        if let Some(p) = best_at_cycles(&all, big_cycles) {
+            println!(
+                "iso-latency vs M1.0: MAE {:+.2}% via {} (paper D2: -3.15%)",
+                100.0 * (p.result.mae_sum / big_mae - 1.0),
+                p.result.policy
+            );
+        }
+        // Does the adaptive front dominate Random?
+        let mut dominated = 0;
+        for r in &random {
+            if all.iter().any(|a| {
+                a.result.mae_sum <= r.result.mae_sum + 1e-6
+                    && a.result.mean_cycles < r.result.mean_cycles - 1.0
+            }) {
+                dominated += 1;
+            }
+        }
+        println!("random points dominated by adaptive: {dominated}/{}", random.len());
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Reproduces **Table I**: static model metrics (per-variable MAE, params,
+//! MACs) for F1, F2 and M1.0.
+//!
+//! Params/MACs come from the paper-exact architectures (analytic — these
+//! should match the paper closely); MAE comes from the trained proxies on
+//! the synthetic Known test set (expect matching *ordering*, not absolute
+//! values).
+
+use np_bench::{Experiment, Scale};
+use np_dataset::Environment;
+use np_zoo::ModelId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::prepare(Environment::Known, scale);
+    let mae = exp.static_mae();
+
+    // Paper reference values: (mae x,y,z,phi,sum, params k, mac M).
+    let paper: [(&str, [f64; 5], f64, f64); 3] = [
+        ("F1", [0.27, 0.27, 0.28, 0.52, 1.34], 14.8, 4.51),
+        ("F2", [0.21, 0.18, 0.24, 0.46, 1.10], 44.5, 7.09),
+        ("M1.0", [0.19, 0.14, 0.23, 0.48, 1.04], 46.8, 11.42),
+    ];
+    let ids = [ModelId::F1, ModelId::F2, ModelId::M10];
+
+    println!("# Table I — static models (measured vs paper)");
+    println!();
+    println!(
+        "| Network | MAE x | MAE y | MAE z | MAE phi | MAE sum | Params | MAC |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for ((id, report), (name, p_mae, p_params, p_mac)) in
+        ids.iter().zip(mae.iter()).zip(paper.iter())
+    {
+        let desc = id.paper_desc();
+        println!(
+            "| {} (ours) | {:.2} | {:.2} | {:.2} | {:.2} | **{:.2}** | {:.1} k | {:.2} M |",
+            name,
+            report.per_var[0],
+            report.per_var[1],
+            report.per_var[2],
+            report.per_var[3],
+            report.sum(),
+            desc.params() as f64 / 1e3,
+            desc.macs() as f64 / 1e6,
+        );
+        println!(
+            "| {} (paper) | {:.2} | {:.2} | {:.2} | {:.2} | **{:.2}** | {:.1} k | {:.2} M |",
+            name, p_mae[0], p_mae[1], p_mae[2], p_mae[3], p_mae[4], p_params, p_mac,
+        );
+    }
+
+    println!();
+    let sums: Vec<f32> = mae.iter().map(|r| r.sum()).collect();
+    println!(
+        "Ordering check (paper: F1 > F2 > M1.0): {:.3} > {:.3} > {:.3} -> {}",
+        sums[0],
+        sums[1],
+        sums[2],
+        if sums[0] > sums[1] && sums[1] > sums[2] {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

@@ -1,0 +1,99 @@
+//! Shared figure harnesses (fig5 and fig6 print the same comparison on
+//! different datasets).
+
+use crate::Experiment;
+use np_adaptive::sweep::{
+    best_at_cycles, cheapest_at_mae, pareto_front, sweep_aux_hlc, sweep_aux_sm, sweep_op,
+    sweep_random,
+};
+use np_adaptive::EnsembleId;
+use np_dataset::GridSpec;
+
+/// Shared by fig5 (Known) and fig6 (Unseen).
+pub fn run_policy_comparison(exp: &mut Experiment, figure: &str, dataset: &str) {
+    let n = 15;
+    println!("# {figure} — OP vs Aux vs Random on the {dataset} dataset");
+    println!();
+    println!("ensemble,policy,threshold,mae_sum,mean_cycles,frac_big,latency_ms,energy_mj");
+
+    let grid_hlc = GridSpec::GRID_8X6;
+    let grid_sm = GridSpec::GRID_2X2;
+    let mut best_overall: Option<(String, f32)> = None;
+    // Static reference, computed once (three full test-set passes).
+    let big_mae = exp.static_mae()[2].sum();
+
+    for ens in [EnsembleId::D1, EnsembleId::D2] {
+        let table = exp.eval_table(ens, grid_hlc);
+        let costs = exp.cost_model(ens, grid_hlc);
+
+        let op_points = sweep_op(&table, &costs, n);
+        let map = exp.error_map(ens, grid_hlc);
+        let hlc_points = sweep_aux_hlc(&table, &costs, &map, n);
+        let random_points = sweep_random(&table, &costs, 11);
+
+        // Aux-SM with its best grid (2x2, per the paper's Fig. 4 analysis).
+        let table_sm = exp.eval_table(ens, grid_sm);
+        let costs_sm = exp.cost_model(ens, grid_sm);
+        let sm_points = sweep_aux_sm(&table_sm, &costs_sm, n);
+
+        for (name, points) in [
+            ("OP", &op_points),
+            ("Aux-HLC 8x6", &hlc_points),
+            ("Aux-SM 2x2", &sm_points),
+            ("Random", &random_points),
+        ] {
+            for p in points {
+                println!(
+                    "{ens},{name},{:.4},{:.4},{:.0},{:.3},{:.3},{:.4}",
+                    p.threshold,
+                    p.result.mae_sum,
+                    p.result.mean_cycles,
+                    p.result.frac_big,
+                    p.result.latency_ms,
+                    p.result.energy_mj
+                );
+                let candidate = (format!("{ens} {name}"), p.result.mae_sum);
+                if best_overall.as_ref().is_none_or(|(_, m)| candidate.1 < *m) {
+                    best_overall = Some(candidate);
+                }
+            }
+        }
+
+        // Headline numbers for this ensemble (vs the static big model).
+        let big_cycles = exp.plan_m10.total_cycles() as f64;
+        let all: Vec<_> = op_points
+            .iter()
+            .chain(hlc_points.iter())
+            .chain(sm_points.iter())
+            .cloned()
+            .collect();
+        let front = pareto_front(&all);
+        eprintln!("[{figure}] {ens}: {} adaptive pareto points", front.len());
+        if let Some(p) = cheapest_at_mae(&all, big_mae) {
+            eprintln!(
+                "[{figure}] {ens} iso-MAE ({:.3} <= {big_mae:.3}): cycles -{:.2}% via {} (paper D2: -28.03%)",
+                p.result.mae_sum,
+                100.0 * (1.0 - p.result.mean_cycles / big_cycles),
+                p.result.policy,
+            );
+        } else {
+            eprintln!("[{figure}] {ens}: no adaptive point reaches the big model's MAE {big_mae:.3}");
+        }
+        if let Some(p) = best_at_cycles(&all, big_cycles) {
+            eprintln!(
+                "[{figure}] {ens} iso-latency: MAE {:.3} vs big {:.3} ({:+.2}%) via {} (paper D2: -3.15%)",
+                p.result.mae_sum,
+                big_mae,
+                100.0 * (p.result.mae_sum / big_mae - 1.0),
+                p.result.policy,
+            );
+        }
+    }
+
+    if let Some((name, mae)) = best_overall {
+        eprintln!(
+            "[{figure}] best overall MAE {mae:.3} via {name} ({:+.2}% vs big {big_mae:.3}; paper: -6.13%)",
+            100.0 * (mae / big_mae - 1.0)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Velocity controller: converts a smoothed relative pose into drone
+//! velocity set-points for the "follow-me" behaviour.
+
+use np_dataset::Pose;
+
+/// A velocity set-point in the drone body frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VelocityCommand {
+    /// Forward velocity (m/s).
+    pub vx: f32,
+    /// Lateral velocity (m/s).
+    pub vy: f32,
+    /// Vertical velocity (m/s).
+    pub vz: f32,
+    /// Yaw rate (rad/s).
+    pub yaw_rate: f32,
+}
+
+/// Proportional follow-me controller: hold the subject at a target
+/// distance, centred laterally and vertically, facing the drone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VelocityController {
+    /// Desired forward distance to the subject (m).
+    pub target_distance: f32,
+    /// Proportional gain on distance error.
+    pub k_x: f32,
+    /// Proportional gain on lateral error.
+    pub k_y: f32,
+    /// Proportional gain on vertical error.
+    pub k_z: f32,
+    /// Proportional gain for yawing toward the subject.
+    pub k_yaw: f32,
+    /// Symmetric velocity limit (m/s).
+    pub max_speed: f32,
+    /// Yaw-rate limit (rad/s).
+    pub max_yaw_rate: f32,
+}
+
+impl Default for VelocityController {
+    fn default() -> Self {
+        VelocityController {
+            target_distance: 1.5,
+            k_x: 3.0,
+            k_y: 2.0,
+            k_z: 1.5,
+            k_yaw: 2.0,
+            max_speed: 1.5,
+            max_yaw_rate: 2.0,
+        }
+    }
+}
+
+impl VelocityController {
+    /// Computes the velocity command from a (smoothed) relative pose.
+    pub fn command(&self, pose: &Pose) -> VelocityCommand {
+        let clamp = |v: f32| v.clamp(-self.max_speed, self.max_speed);
+        // Bearing to the subject: yaw toward it; translate to hold range.
+        let bearing = (pose.y / pose.x.max(0.1)).atan();
+        VelocityCommand {
+            vx: clamp(self.k_x * (pose.x - self.target_distance)),
+            vy: clamp(self.k_y * pose.y),
+            vz: clamp(self.k_z * pose.z),
+            yaw_rate: (self.k_yaw * bearing).clamp(-self.max_yaw_rate, self.max_yaw_rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_command_at_setpoint() {
+        let c = VelocityController::default();
+        let cmd = c.command(&Pose::new(1.5, 0.0, 0.0, 0.0));
+        assert!(cmd.vx.abs() < 1e-6);
+        assert!(cmd.vy.abs() < 1e-6);
+        assert!(cmd.vz.abs() < 1e-6);
+        assert!(cmd.yaw_rate.abs() < 1e-6);
+    }
+
+    #[test]
+    fn approaches_distant_subject() {
+        let c = VelocityController::default();
+        let cmd = c.command(&Pose::new(3.0, 0.0, 0.0, 0.0));
+        assert!(cmd.vx > 0.5, "should fly forward: {}", cmd.vx);
+        let cmd_close = c.command(&Pose::new(0.8, 0.0, 0.0, 0.0));
+        assert!(cmd_close.vx < -0.3, "should back off: {}", cmd_close.vx);
+    }
+
+    #[test]
+    fn yaws_toward_lateral_subject() {
+        let c = VelocityController::default();
+        let cmd = c.command(&Pose::new(1.5, 0.8, 0.0, 0.0));
+        assert!(cmd.yaw_rate > 0.1);
+        assert!(cmd.vy > 0.1);
+    }
+
+    #[test]
+    fn commands_are_limited() {
+        let c = VelocityController::default();
+        let cmd = c.command(&Pose::new(100.0, -100.0, 100.0, 0.0));
+        assert!(cmd.vx.abs() <= c.max_speed);
+        assert!(cmd.vy.abs() <= c.max_speed);
+        assert!(cmd.vz.abs() <= c.max_speed);
+        assert!(cmd.yaw_rate.abs() <= c.max_yaw_rate);
+    }
+}

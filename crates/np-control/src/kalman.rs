@@ -1,0 +1,232 @@
+//! Constant-velocity Kalman filtering of pose streams.
+
+use np_dataset::Pose;
+
+/// Noise configuration of a scalar constant-velocity Kalman filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanConfig {
+    /// Process (acceleration) noise density.
+    pub process_noise: f32,
+    /// Measurement noise variance.
+    pub measurement_noise: f32,
+}
+
+impl Default for KalmanConfig {
+    fn default() -> Self {
+        KalmanConfig {
+            process_noise: 0.8,
+            measurement_noise: 0.05,
+        }
+    }
+}
+
+/// A 1-D constant-velocity Kalman filter (state: position + velocity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarKalman {
+    config: KalmanConfig,
+    // State estimate.
+    pos: f32,
+    vel: f32,
+    // Covariance (symmetric 2x2).
+    p00: f32,
+    p01: f32,
+    p11: f32,
+    initialized: bool,
+}
+
+impl ScalarKalman {
+    /// Creates an uninitialized filter; the first `update` sets the state.
+    pub fn new(config: KalmanConfig) -> Self {
+        ScalarKalman {
+            config,
+            pos: 0.0,
+            vel: 0.0,
+            p00: 1.0,
+            p01: 0.0,
+            p11: 1.0,
+            initialized: false,
+        }
+    }
+
+    /// Time-propagates the state by `dt` seconds.
+    pub fn predict(&mut self, dt: f32) {
+        if !self.initialized {
+            return;
+        }
+        self.pos += self.vel * dt;
+        // P = F P F^T + Q, F = [[1, dt], [0, 1]]
+        let q = self.config.process_noise;
+        let p00 = self.p00 + dt * (2.0 * self.p01 + dt * self.p11);
+        let p01 = self.p01 + dt * self.p11;
+        self.p00 = p00 + q * dt.powi(4) / 4.0;
+        self.p01 = p01 + q * dt.powi(3) / 2.0;
+        self.p11 += q * dt * dt;
+    }
+
+    /// Fuses a position measurement.
+    pub fn update(&mut self, z: f32) {
+        if !self.initialized {
+            self.pos = z;
+            self.vel = 0.0;
+            self.initialized = true;
+            return;
+        }
+        let r = self.config.measurement_noise;
+        let s = self.p00 + r;
+        let k0 = self.p00 / s;
+        let k1 = self.p01 / s;
+        let innov = z - self.pos;
+        self.pos += k0 * innov;
+        self.vel += k1 * innov;
+        // Joseph-free covariance update (standard form).
+        let p00 = (1.0 - k0) * self.p00;
+        let p01 = (1.0 - k0) * self.p01;
+        let p11 = self.p11 - k1 * self.p01;
+        self.p00 = p00;
+        self.p01 = p01;
+        self.p11 = p11;
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> f32 {
+        self.pos
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> f32 {
+        self.vel
+    }
+
+    /// Position variance (confidence).
+    pub fn variance(&self) -> f32 {
+        self.p00
+    }
+}
+
+/// Four scalar filters smoothing a pose stream, as on the Crazyflie's
+/// STM32.
+#[derive(Debug, Clone, Copy)]
+pub struct PoseFilter {
+    x: ScalarKalman,
+    y: ScalarKalman,
+    z: ScalarKalman,
+    phi: ScalarKalman,
+}
+
+impl PoseFilter {
+    /// Creates the filter bank.
+    pub fn new(config: KalmanConfig) -> Self {
+        PoseFilter {
+            x: ScalarKalman::new(config),
+            y: ScalarKalman::new(config),
+            z: ScalarKalman::new(config),
+            phi: ScalarKalman::new(config),
+        }
+    }
+
+    /// Propagates all four filters by `dt` and fuses a measured pose.
+    pub fn step(&mut self, measurement: &Pose, dt: f32) -> Pose {
+        self.x.predict(dt);
+        self.y.predict(dt);
+        self.z.predict(dt);
+        self.phi.predict(dt);
+        self.x.update(measurement.x);
+        self.y.update(measurement.y);
+        self.z.update(measurement.z);
+        self.phi.update(measurement.phi);
+        self.estimate()
+    }
+
+    /// Current smoothed pose.
+    pub fn estimate(&self) -> Pose {
+        Pose::new(
+            self.x.position(),
+            self.y.position(),
+            self.z.position(),
+            self.phi.position(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut f = ScalarKalman::new(KalmanConfig::default());
+        for _ in 0..50 {
+            f.predict(0.1);
+            f.update(2.0);
+        }
+        assert!((f.position() - 2.0).abs() < 1e-3);
+        assert!(f.velocity().abs() < 0.05);
+    }
+
+    #[test]
+    fn tracks_a_ramp() {
+        let mut f = ScalarKalman::new(KalmanConfig::default());
+        let mut t = 0.0f32;
+        for _ in 0..100 {
+            f.predict(0.1);
+            t += 0.1;
+            f.update(3.0 * t);
+        }
+        assert!((f.velocity() - 3.0).abs() < 0.3, "vel {}", f.velocity());
+        assert!((f.position() - 3.0 * t).abs() < 0.2);
+    }
+
+    #[test]
+    fn smooths_noise() {
+        // Variance of the filtered estimate must be far below the noise fed
+        // in. Deterministic pseudo-noise keeps the test reproducible.
+        let mut f = ScalarKalman::new(KalmanConfig {
+            process_noise: 0.01,
+            measurement_noise: 1.0,
+        });
+        let mut estimates = Vec::new();
+        for i in 0..400 {
+            f.predict(0.1);
+            let noise = ((i * 37 % 101) as f32 / 101.0 - 0.5) * 2.0;
+            f.update(5.0 + noise);
+            if i > 100 {
+                estimates.push(f.position());
+            }
+        }
+        let mean: f32 = estimates.iter().sum::<f32>() / estimates.len() as f32;
+        let var: f32 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f32>()
+            / estimates.len() as f32;
+        assert!((mean - 5.0).abs() < 0.1, "biased: {mean}");
+        assert!(var < 0.02, "not smoothing: var {var}");
+    }
+
+    #[test]
+    fn covariance_stays_positive() {
+        let mut f = ScalarKalman::new(KalmanConfig::default());
+        for i in 0..1000 {
+            f.predict(0.05);
+            if i % 3 == 0 {
+                f.update(i as f32 * 0.01);
+            }
+            assert!(f.variance() > 0.0, "variance collapsed at step {i}");
+        }
+    }
+
+    #[test]
+    fn pose_filter_smooths_all_axes() {
+        let mut pf = PoseFilter::new(KalmanConfig::default());
+        let truth = Pose::new(1.5, 0.2, -0.1, 0.8);
+        let mut est = Pose::default();
+        for i in 0..60 {
+            let jitter = ((i * 13 % 7) as f32 - 3.0) * 0.02;
+            let noisy = Pose::new(
+                truth.x + jitter,
+                truth.y - jitter,
+                truth.z + jitter / 2.0,
+                truth.phi + jitter,
+            );
+            est = pf.step(&noisy, 0.05);
+        }
+        assert!(est.total_error(&truth) < 0.1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # np-control
+//!
+//! The closed-loop substrate around the perception task: the same four
+//! stages the paper lists for the Crazyflie 2.1 (Sec. III-C) —
+//! (i) CNN pose estimation (provided by `np-adaptive`), (ii) a Kalman
+//! filter smoothing the pose stream, (iii) a velocity controller, and
+//! (iv) simplified vehicle kinematics standing in for the low-level motor
+//! control.
+//!
+//! The paper evaluates only the perception stage; this crate exists so the
+//! `follow_me` example can demonstrate the full system end to end, and to
+//! quantify how perception latency and error propagate into tracking
+//! error.
+
+pub mod controller;
+pub mod kalman;
+pub mod sim;
+
+pub use controller::{VelocityCommand, VelocityController};
+pub use kalman::{KalmanConfig, PoseFilter, ScalarKalman};
+pub use sim::{FollowSim, SimConfig, SimStats};

@@ -1,0 +1,375 @@
+//! Dataset assembly: sequences, splits, and training-set export.
+
+use crate::grid::GridSpec;
+use crate::pose::{Pose, PoseScaler};
+use crate::render::{render_frame, Camera, EnvInstance};
+use crate::trajectory::{Trajectory, TrajectoryConfig};
+use np_nn::init::SmallRng;
+use np_nn::trainer::{TrainData, TrainTarget};
+use np_tensor::Tensor;
+
+/// Which of the paper's two datasets to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// The benchmark dataset of the reference static models ("Known").
+    Known,
+    /// The generalization dataset: different lab, subjects and lighting
+    /// ("Unseen").
+    Unseen,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Environment style.
+    pub env: Environment,
+    /// Number of independent flight sequences.
+    pub n_sequences: usize,
+    /// Frames per sequence (temporally ordered).
+    pub frames_per_seq: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Fraction of sequences assigned to the training split.
+    pub train_frac: f32,
+    /// Fraction of sequences assigned to the validation split (the rest
+    /// becomes the test split).
+    pub val_frac: f32,
+}
+
+impl DatasetConfig {
+    /// The "Known" dataset at proxy scale: ~3k frames (the paper's real
+    /// counterpart has 30.3k), split 70/20/10 like the paper.
+    pub fn known() -> Self {
+        DatasetConfig {
+            env: Environment::Known,
+            n_sequences: 50,
+            frames_per_seq: 60,
+            width: 80,
+            height: 48,
+            seed: 42,
+            train_frac: 0.70,
+            val_frac: 0.20,
+        }
+    }
+
+    /// The "Unseen" dataset at proxy scale: ~4.5k frames (72/18/10 split,
+    /// like the paper's 45k-frame second dataset).
+    pub fn unseen() -> Self {
+        DatasetConfig {
+            env: Environment::Unseen,
+            n_sequences: 75,
+            frames_per_seq: 60,
+            width: 80,
+            height: 48,
+            seed: 1042,
+            train_frac: 0.72,
+            val_frac: 0.18,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            n_sequences: 6,
+            frames_per_seq: 20,
+            ..DatasetConfig::known()
+        }
+    }
+}
+
+/// One camera frame with ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Row-major grayscale pixels in `[0, 1]`.
+    pub image: Vec<f32>,
+    /// Ground-truth relative pose.
+    pub pose: Pose,
+    /// Ground-truth head-centre pixel position (may be outside the frame).
+    pub head_px: (f32, f32),
+    /// Apparent motion speed at this frame (blur driver).
+    pub speed: f32,
+    /// Sequence this frame belongs to.
+    pub seq: usize,
+}
+
+/// A generated dataset with sequence-level train/val/test splits.
+#[derive(Debug, Clone)]
+pub struct PoseDataset {
+    config: DatasetConfig,
+    camera: Camera,
+    scaler: PoseScaler,
+    frames: Vec<Frame>,
+    train_seqs: Vec<usize>,
+    val_seqs: Vec<usize>,
+    test_seqs: Vec<usize>,
+}
+
+impl PoseDataset {
+    /// Generates the dataset deterministically from `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split fractions leave no sequences for any split.
+    pub fn generate(config: &DatasetConfig) -> PoseDataset {
+        let mut rng = SmallRng::seed(config.seed);
+        let camera = Camera::for_resolution(config.width, config.height);
+        let mut frames = Vec::with_capacity(config.n_sequences * config.frames_per_seq);
+
+        for seq in 0..config.n_sequences {
+            let env = match config.env {
+                Environment::Known => EnvInstance::known(&mut rng),
+                Environment::Unseen => EnvInstance::unseen(&mut rng),
+            };
+            let traj = Trajectory::new(TrajectoryConfig::default(), &mut rng);
+            for sample in traj.run(config.frames_per_seq, &mut rng) {
+                let image = render_frame(&sample.pose, sample.speed, &env, &camera, &mut rng);
+                let (u, v, _) = camera.project(&sample.pose);
+                frames.push(Frame {
+                    image,
+                    pose: sample.pose,
+                    head_px: (u, v),
+                    speed: sample.speed,
+                    seq,
+                });
+            }
+        }
+
+        // Sequence-level splits (no frame of a test sequence ever appears
+        // in training — matching how flight datasets are split).
+        let mut seq_ids: Vec<usize> = (0..config.n_sequences).collect();
+        rng.shuffle(&mut seq_ids);
+        let n_train = ((config.n_sequences as f32) * config.train_frac).round() as usize;
+        let n_val = ((config.n_sequences as f32) * config.val_frac).round() as usize;
+        assert!(
+            n_train > 0 && n_val > 0 && n_train + n_val < config.n_sequences,
+            "split fractions leave an empty split"
+        );
+        let train_seqs = seq_ids[..n_train].to_vec();
+        let val_seqs = seq_ids[n_train..n_train + n_val].to_vec();
+        let test_seqs = seq_ids[n_train + n_val..].to_vec();
+
+        PoseDataset {
+            config: config.clone(),
+            camera,
+            scaler: PoseScaler::default(),
+            frames,
+            train_seqs,
+            val_seqs,
+            test_seqs,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when the dataset has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The camera model used for rendering and grid labeling.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// The pose scaler shared by training targets and the OP policy.
+    pub fn scaler(&self) -> &PoseScaler {
+        &self.scaler
+    }
+
+    /// Frame by global index.
+    pub fn frame(&self, i: usize) -> &Frame {
+        &self.frames[i]
+    }
+
+    fn indices_of(&self, seqs: &[usize]) -> Vec<usize> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| seqs.contains(&f.seq))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Frame indices of the training split.
+    pub fn train_indices(&self) -> Vec<usize> {
+        self.indices_of(&self.train_seqs)
+    }
+
+    /// Frame indices of the validation split.
+    pub fn val_indices(&self) -> Vec<usize> {
+        self.indices_of(&self.val_seqs)
+    }
+
+    /// Frame indices of the test split.
+    pub fn test_indices(&self) -> Vec<usize> {
+        self.indices_of(&self.test_seqs)
+    }
+
+    /// Test frames grouped per sequence in temporal order — the streams
+    /// the OP policy is evaluated on.
+    pub fn test_sequences(&self) -> Vec<Vec<usize>> {
+        self.test_seqs
+            .iter()
+            .map(|&s| {
+                self.frames
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.seq == s)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Stacks the given frames into an `[N, 1, H, W]` tensor.
+    pub fn images_tensor(&self, indices: &[usize]) -> Tensor {
+        let (w, h) = (self.config.width, self.config.height);
+        let mut data = Vec::with_capacity(indices.len() * w * h);
+        for &i in indices {
+            data.extend_from_slice(&self.frames[i].image);
+        }
+        Tensor::from_vec(&[indices.len(), 1, h, w], data)
+    }
+
+    /// Builds a regression training set (targets min-max scaled to `[0,1]`).
+    pub fn regression_data(&self, indices: &[usize]) -> TrainData {
+        let mut targets = Vec::with_capacity(indices.len() * 4);
+        for &i in indices {
+            targets.extend(self.scaler.scale(&self.frames[i].pose));
+        }
+        TrainData::new(
+            self.images_tensor(indices),
+            TrainTarget::Regression(Tensor::from_vec(&[indices.len(), 4], targets)),
+        )
+    }
+
+    /// Builds an auxiliary-task classification set: the grid cell holding
+    /// the ground-truth head centre.
+    pub fn grid_data(&self, indices: &[usize], grid: GridSpec) -> TrainData {
+        let labels = self.grid_labels(indices, grid);
+        TrainData::new(
+            self.images_tensor(indices),
+            TrainTarget::Classification(labels),
+        )
+    }
+
+    /// Ground-truth grid cells for the given frames.
+    pub fn grid_labels(&self, indices: &[usize], grid: GridSpec) -> Vec<usize> {
+        indices
+            .iter()
+            .map(|&i| {
+                let (u, v) = self.frames[i].head_px;
+                grid.cell_of(u, v, self.config.width, self.config.height)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DatasetConfig::tiny();
+        let a = PoseDataset::generate(&cfg);
+        let b = PoseDataset::generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.frame(0).image, b.frame(0).image);
+        assert_eq!(a.frame(a.len() - 1).pose, b.frame(b.len() - 1).pose);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let data = PoseDataset::generate(&DatasetConfig::tiny());
+        let (tr, va, te) = (data.train_indices(), data.val_indices(), data.test_indices());
+        assert_eq!(tr.len() + va.len() + te.len(), data.len());
+        // No sequence appears in two splits.
+        let seq_of = |idx: &Vec<usize>| -> Vec<usize> {
+            let mut seqs: Vec<usize> = idx.iter().map(|&i| data.frame(i).seq).collect();
+            seqs.sort_unstable();
+            seqs.dedup();
+            seqs
+        };
+        let (st, sv, se) = (seq_of(&tr), seq_of(&va), seq_of(&te));
+        for s in &st {
+            assert!(!sv.contains(s) && !se.contains(s));
+        }
+        for s in &sv {
+            assert!(!se.contains(s));
+        }
+    }
+
+    #[test]
+    fn test_sequences_are_temporally_ordered() {
+        let data = PoseDataset::generate(&DatasetConfig::tiny());
+        for seq in data.test_sequences() {
+            assert!(!seq.is_empty());
+            for w in seq.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "non-contiguous test sequence");
+            }
+        }
+    }
+
+    #[test]
+    fn tensors_have_expected_shapes() {
+        let data = PoseDataset::generate(&DatasetConfig::tiny());
+        let idx = data.train_indices();
+        let td = data.regression_data(&idx[..8]);
+        assert_eq!(td.inputs.shape(), &[8, 1, 48, 80]);
+        match &td.targets {
+            TrainTarget::Regression(t) => {
+                assert_eq!(t.shape(), &[8, 4]);
+                assert!(t.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+            _ => panic!("wrong target kind"),
+        }
+    }
+
+    #[test]
+    fn grid_labels_in_range() {
+        let data = PoseDataset::generate(&DatasetConfig::tiny());
+        let idx: Vec<usize> = (0..data.len()).collect();
+        for grid in [GridSpec::GRID_2X2, GridSpec::GRID_3X3, GridSpec::GRID_8X6] {
+            let labels = data.grid_labels(&idx, grid);
+            assert!(labels.iter().all(|&l| l < grid.n_cells()));
+            // Heads actually visit multiple cells.
+            let mut unique = labels.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert!(unique.len() > 2, "heads never move across the {grid} grid");
+        }
+    }
+
+    #[test]
+    fn known_and_unseen_differ() {
+        let tiny_known = DatasetConfig::tiny();
+        let tiny_unseen = DatasetConfig {
+            env: Environment::Unseen,
+            ..DatasetConfig::tiny()
+        };
+        let known = PoseDataset::generate(&tiny_known);
+        let unseen = PoseDataset::generate(&tiny_unseen);
+        let mean = |d: &PoseDataset| -> f32 {
+            let mut s = 0.0;
+            for i in 0..d.len() {
+                s += d.frame(i).image.iter().sum::<f32>() / d.frame(i).image.len() as f32;
+            }
+            s / d.len() as f32
+        };
+        // Unseen is darker by construction.
+        assert!(mean(&unseen) < mean(&known));
+    }
+}

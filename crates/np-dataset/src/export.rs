@@ -1,0 +1,90 @@
+//! Frame export for inspection: PGM images and terminal previews.
+
+use crate::dataset::Frame;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a frame as a binary PGM (P5) image, viewable by any image tool.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_pgm(frame: &Frame, width: usize, height: usize, path: &Path) -> std::io::Result<()> {
+    assert_eq!(frame.image.len(), width * height, "frame size mismatch");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(file, "P5\n{width} {height}\n255\n")?;
+    let bytes: Vec<u8> = frame
+        .image
+        .iter()
+        .map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8)
+        .collect();
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Renders a frame as ASCII art (one character per pixel block) for quick
+/// terminal inspection.
+///
+/// `cols` is the output width in characters; the aspect ratio is kept
+/// using half-height sampling (terminal cells are ~2:1).
+pub fn to_ascii(frame: &Frame, width: usize, height: usize, cols: usize) -> String {
+    assert_eq!(frame.image.len(), width * height, "frame size mismatch");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let cols = cols.min(width).max(1);
+    let step_x = width as f32 / cols as f32;
+    let rows = ((height as f32 / step_x) / 2.0).round().max(1.0) as usize;
+    let step_y = height as f32 / rows as f32;
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = (c as f32 * step_x) as usize;
+            let y = (r as f32 * step_y) as usize;
+            let p = frame.image[y.min(height - 1) * width + x.min(width - 1)];
+            let idx = ((p.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, PoseDataset};
+
+    fn sample_frame() -> (Frame, usize, usize) {
+        let data = PoseDataset::generate(&DatasetConfig::tiny());
+        let cfg = data.config();
+        (data.frame(0).clone(), cfg.width, cfg.height)
+    }
+
+    #[test]
+    fn pgm_roundtrip_header_and_size() {
+        let (frame, w, h) = sample_frame();
+        let path = std::env::temp_dir().join(format!("np-export-{}.pgm", std::process::id()));
+        write_pgm(&frame, w, h, &path).expect("write pgm");
+        let bytes = std::fs::read(&path).expect("read back");
+        let header = format!("P5\n{w} {h}\n255\n");
+        assert!(bytes.starts_with(header.as_bytes()));
+        assert_eq!(bytes.len(), header.len() + w * h);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ascii_preview_shape() {
+        let (frame, w, h) = sample_frame();
+        let art = to_ascii(&frame, w, h, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.len() == 40));
+        // Non-trivial content: more than one distinct character.
+        let mut chars: Vec<char> = art.chars().filter(|c| *c != '\n').collect();
+        chars.sort_unstable();
+        chars.dedup();
+        assert!(chars.len() > 1, "flat preview");
+    }
+}

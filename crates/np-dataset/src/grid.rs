@@ -1,0 +1,115 @@
+//! Grid partitions of the image plane for the auxiliary task.
+
+use serde::{Deserialize, Serialize};
+
+/// A `cols x rows` partition of the image, as used by the paper's auxiliary
+/// head-localization classifier (2×2, 3×3 and 8×6 grids are evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl GridSpec {
+    /// The paper's three evaluated grids.
+    pub const GRID_2X2: GridSpec = GridSpec { cols: 2, rows: 2 };
+    /// 3×3 grid.
+    pub const GRID_3X3: GridSpec = GridSpec { cols: 3, rows: 3 };
+    /// 8×6 grid (8 columns, 6 rows — matching the 160×96 aspect).
+    pub const GRID_8X6: GridSpec = GridSpec { cols: 8, rows: 6 };
+
+    /// Total number of cells (= auxiliary classifier classes).
+    pub fn n_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Cell index of a pixel position in an `width x height` image.
+    /// Out-of-frame positions are clamped to the border cells (the head
+    /// may be partially outside the frame).
+    pub fn cell_of(&self, u: f32, v: f32, width: usize, height: usize) -> usize {
+        let col = ((u / width as f32) * self.cols as f32)
+            .floor()
+            .clamp(0.0, (self.cols - 1) as f32) as usize;
+        let row = ((v / height as f32) * self.rows as f32)
+            .floor()
+            .clamp(0.0, (self.rows - 1) as f32) as usize;
+        row * self.cols + col
+    }
+
+    /// `(col, row)` coordinates of a cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= n_cells()`.
+    pub fn coords_of(&self, cell: usize) -> (usize, usize) {
+        assert!(cell < self.n_cells(), "cell {cell} out of range");
+        (cell % self.cols, cell / self.cols)
+    }
+
+    /// True when the cell touches the image border.
+    pub fn is_border(&self, cell: usize) -> bool {
+        let (c, r) = self.coords_of(cell);
+        c == 0 || r == 0 || c == self.cols - 1 || r == self.rows - 1
+    }
+
+    /// True when the cell is a corner.
+    pub fn is_corner(&self, cell: usize) -> bool {
+        let (c, r) = self.coords_of(cell);
+        (c == 0 || c == self.cols - 1) && (r == 0 || r == self.rows - 1)
+    }
+}
+
+impl std::fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.cols, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_indexing_8x6() {
+        let g = GridSpec::GRID_8X6;
+        assert_eq!(g.n_cells(), 48);
+        // 160x96 image: 20x16 px cells.
+        assert_eq!(g.cell_of(0.0, 0.0, 160, 96), 0);
+        assert_eq!(g.cell_of(159.0, 95.0, 160, 96), 47);
+        assert_eq!(g.cell_of(80.0, 48.0, 160, 96), 3 * 8 + 4);
+    }
+
+    #[test]
+    fn out_of_frame_clamps() {
+        let g = GridSpec::GRID_2X2;
+        assert_eq!(g.cell_of(-10.0, -10.0, 100, 100), 0);
+        assert_eq!(g.cell_of(500.0, 500.0, 100, 100), 3);
+    }
+
+    #[test]
+    fn border_and_corner_classification() {
+        let g = GridSpec::GRID_3X3;
+        assert!(g.is_corner(0));
+        assert!(g.is_corner(8));
+        assert!(!g.is_corner(1));
+        assert!(g.is_border(1));
+        assert!(!g.is_border(4)); // centre cell
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = GridSpec::GRID_8X6;
+        for cell in 0..g.n_cells() {
+            let (c, r) = g.coords_of(cell);
+            assert_eq!(r * 8 + c, cell);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_panics() {
+        GridSpec::GRID_2X2.coords_of(4);
+    }
+}

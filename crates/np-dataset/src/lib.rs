@@ -1,0 +1,44 @@
+//! # np-dataset
+//!
+//! Synthetic nano-drone human-pose datasets standing in for the two real
+//! flight datasets of Cereda et al. (ICRA'23) used by the paper, which are
+//! not redistributable here.
+//!
+//! The generator preserves the three properties the paper's adaptive
+//! policies depend on:
+//!
+//! 1. **Temporal correlation** — frames come from smooth Ornstein–Uhlenbeck
+//!    drone/subject trajectories ([`trajectory`]), so consecutive poses are
+//!    close and the OP policy's output-difference score is meaningful.
+//! 2. **Border difficulty** — subjects near the image border are partially
+//!    clipped and motion-blurred ([`render`]), so regression is genuinely
+//!    harder there, reproducing the error-map structure of the paper's
+//!    Fig. 3 that Aux-HLC exploits.
+//! 3. **Capacity-sensitive difficulty** — background clutter, sensor noise and
+//!    blur require model capacity to see through, opening the accuracy gap
+//!    between small and big models that makes adaptation worthwhile.
+//!
+//! Two environments are provided, mirroring the paper's **Known** and
+//! **Unseen** datasets: they differ in background texture, lighting,
+//! subject appearance, noise level and random seed.
+//!
+//! ```
+//! use np_dataset::{DatasetConfig, Environment, PoseDataset};
+//!
+//! let config = DatasetConfig { n_sequences: 10, frames_per_seq: 16, ..DatasetConfig::known() };
+//! let data = PoseDataset::generate(&config);
+//! assert_eq!(data.len(), 160);
+//! let (train, val, test) = (data.train_indices(), data.val_indices(), data.test_indices());
+//! assert!(!train.is_empty() && !val.is_empty() && !test.is_empty());
+//! ```
+
+pub mod dataset;
+pub mod export;
+pub mod grid;
+pub mod pose;
+pub mod render;
+pub mod trajectory;
+
+pub use dataset::{DatasetConfig, Environment, Frame, PoseDataset};
+pub use grid::GridSpec;
+pub use pose::{Pose, PoseScaler};

@@ -1,0 +1,171 @@
+//! Relative human pose representation and min-max scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative pose of the human subject in the drone body frame: the exact
+/// quantity the paper's CNNs regress.
+///
+/// * `x` — forward distance in metres,
+/// * `y` — lateral offset in metres (positive left),
+/// * `z` — vertical offset of the head relative to the camera in metres,
+/// * `phi` — subject heading relative to the gravity z-axis, in radians.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Forward distance (m).
+    pub x: f32,
+    /// Lateral offset (m).
+    pub y: f32,
+    /// Vertical offset (m).
+    pub z: f32,
+    /// Heading (rad), wrapped to `[-pi, pi]`.
+    pub phi: f32,
+}
+
+impl Pose {
+    /// Creates a pose, wrapping `phi` into `[-pi, pi]`.
+    pub fn new(x: f32, y: f32, z: f32, phi: f32) -> Self {
+        Pose {
+            x,
+            y,
+            z,
+            phi: wrap_angle(phi),
+        }
+    }
+
+    /// The pose as an `[x, y, z, phi]` array.
+    pub fn to_array(self) -> [f32; 4] {
+        [self.x, self.y, self.z, self.phi]
+    }
+
+    /// Builds a pose from an `[x, y, z, phi]` array.
+    pub fn from_array(a: [f32; 4]) -> Self {
+        Pose::new(a[0], a[1], a[2], a[3])
+    }
+
+    /// Per-component absolute error against a ground-truth pose, with the
+    /// angular component wrapped (an error of `2pi - eps` counts as `eps`).
+    pub fn abs_error(&self, truth: &Pose) -> [f32; 4] {
+        [
+            (self.x - truth.x).abs(),
+            (self.y - truth.y).abs(),
+            (self.z - truth.z).abs(),
+            wrap_angle(self.phi - truth.phi).abs(),
+        ]
+    }
+
+    /// Sum of the four absolute errors — the paper's "total MAE" metric for
+    /// one sample.
+    pub fn total_error(&self, truth: &Pose) -> f32 {
+        self.abs_error(truth).iter().sum()
+    }
+}
+
+/// Wraps an angle into `[-pi, pi]`.
+pub fn wrap_angle(a: f32) -> f32 {
+    let mut a = a % (2.0 * std::f32::consts::PI);
+    if a > std::f32::consts::PI {
+        a -= 2.0 * std::f32::consts::PI;
+    } else if a < -std::f32::consts::PI {
+        a += 2.0 * std::f32::consts::PI;
+    }
+    a
+}
+
+/// Min-max scaler between physical pose units and the dimensionless
+/// `[0, 1]` range the networks are trained on (and the OP policy's score is
+/// computed in).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseScaler {
+    /// Per-variable `(min, max)` physical bounds.
+    pub bounds: [(f32, f32); 4],
+}
+
+impl Default for PoseScaler {
+    fn default() -> Self {
+        PoseScaler {
+            bounds: [
+                (0.4, 3.6),                                          // x
+                (-1.6, 1.6),                                         // y
+                (-0.7, 0.7),                                         // z
+                (-std::f32::consts::PI, std::f32::consts::PI),       // phi
+            ],
+        }
+    }
+}
+
+impl PoseScaler {
+    /// Scales a physical pose to `[0, 1]^4` (clamped).
+    pub fn scale(&self, pose: &Pose) -> [f32; 4] {
+        let p = pose.to_array();
+        let mut out = [0.0; 4];
+        for i in 0..4 {
+            let (lo, hi) = self.bounds[i];
+            out[i] = ((p[i] - lo) / (hi - lo)).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// Maps a scaled `[0, 1]^4` vector back to a physical pose.
+    pub fn unscale(&self, scaled: [f32; 4]) -> Pose {
+        let mut p = [0.0; 4];
+        for i in 0..4 {
+            let (lo, hi) = self.bounds[i];
+            p[i] = lo + scaled[i].clamp(0.0, 1.0) * (hi - lo);
+        }
+        Pose::from_array(p)
+    }
+
+    /// Sum of the scaled components — the `O_sum` quantity of the paper's
+    /// OP policy (Eq. 1).
+    pub fn output_sum(&self, scaled: [f32; 4]) -> f32 {
+        scaled.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_angle_range() {
+        assert!((wrap_angle(3.0 * std::f32::consts::PI) - std::f32::consts::PI).abs() < 1e-5);
+        assert!((wrap_angle(-3.0 * std::f32::consts::PI) + std::f32::consts::PI).abs() < 1e-5);
+        assert_eq!(wrap_angle(0.5), 0.5);
+    }
+
+    #[test]
+    fn scale_roundtrip() {
+        let s = PoseScaler::default();
+        let p = Pose::new(2.0, -0.5, 0.3, 1.2);
+        let back = s.unscale(s.scale(&p));
+        assert!((back.x - p.x).abs() < 1e-5);
+        assert!((back.y - p.y).abs() < 1e-5);
+        assert!((back.z - p.z).abs() < 1e-5);
+        assert!((back.phi - p.phi).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scale_clamps_out_of_range() {
+        let s = PoseScaler::default();
+        let p = Pose::new(100.0, -100.0, 0.0, 0.0);
+        let scaled = s.scale(&p);
+        assert_eq!(scaled[0], 1.0);
+        assert_eq!(scaled[1], 0.0);
+    }
+
+    #[test]
+    fn angular_error_wraps() {
+        let a = Pose::new(1.0, 0.0, 0.0, std::f32::consts::PI - 0.05);
+        let b = Pose::new(1.0, 0.0, 0.0, -std::f32::consts::PI + 0.05);
+        let err = a.abs_error(&b);
+        assert!(err[3] < 0.11, "wrapped angular error, got {}", err[3]);
+    }
+
+    #[test]
+    fn total_error_is_component_sum() {
+        let a = Pose::new(1.0, 0.5, 0.1, 0.0);
+        let b = Pose::new(1.2, 0.3, 0.0, 0.1);
+        let total = a.total_error(&b);
+        assert!((total - (0.2 + 0.2 + 0.1 + 0.1)).abs() < 1e-5);
+    }
+}

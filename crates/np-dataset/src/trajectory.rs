@@ -1,0 +1,180 @@
+//! Smooth relative-motion trajectories.
+//!
+//! The subject's pose relative to the drone evolves as an
+//! Ornstein–Uhlenbeck process in *bearing space* — `(y/x, z/x)` — plus
+//! distance and heading. Bearing-space dynamics keep the subject mostly in
+//! the camera frustum (as a "follow-me" controller would), while still
+//! producing border excursions and speed variation, the two difficulty
+//! drivers the adaptive policies react to.
+
+use crate::pose::{wrap_angle, Pose};
+use np_nn::init::SmallRng;
+
+/// Tunable trajectory dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Frame interval in seconds (paper's pipeline runs tens of Hz).
+    pub dt: f32,
+    /// Mean-reversion rate of the OU processes.
+    pub theta: f32,
+    /// Noise magnitude of the OU processes.
+    pub sigma: f32,
+    /// Maximum horizontal bearing `|y/x|` (keeps the subject near-frame).
+    pub max_bearing_y: f32,
+    /// Maximum vertical bearing `|z/x|`.
+    pub max_bearing_z: f32,
+    /// Distance range in metres.
+    pub distance_range: (f32, f32),
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            dt: 0.1,
+            theta: 0.6,
+            sigma: 0.9,
+            max_bearing_y: 0.48,
+            max_bearing_z: 0.30,
+            distance_range: (0.6, 3.4),
+        }
+    }
+}
+
+/// One simulated trajectory step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySample {
+    /// Relative pose at this frame.
+    pub pose: Pose,
+    /// Apparent speed: magnitude of the bearing/distance/heading velocity,
+    /// used by the renderer to set motion-blur strength.
+    pub speed: f32,
+}
+
+/// Stateful trajectory generator.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    config: TrajectoryConfig,
+    // State: bearings, distance, heading and their velocities.
+    by: f32,
+    bz: f32,
+    dist: f32,
+    phi: f32,
+    v_by: f32,
+    v_bz: f32,
+    v_dist: f32,
+    v_phi: f32,
+}
+
+impl Trajectory {
+    /// Starts a trajectory at a random in-frame pose.
+    pub fn new(config: TrajectoryConfig, rng: &mut SmallRng) -> Self {
+        let (dlo, dhi) = config.distance_range;
+        Trajectory {
+            config,
+            by: rng.uniform(-config.max_bearing_y * 0.8, config.max_bearing_y * 0.8),
+            bz: rng.uniform(-config.max_bearing_z * 0.8, config.max_bearing_z * 0.8),
+            dist: rng.uniform(dlo + 0.2, dhi - 0.2),
+            phi: rng.uniform(-3.0, 3.0),
+            v_by: 0.0,
+            v_bz: 0.0,
+            v_dist: 0.0,
+            v_phi: 0.0,
+        }
+    }
+
+    /// Advances one frame and returns the new sample.
+    pub fn step(&mut self, rng: &mut SmallRng) -> TrajectorySample {
+        let c = self.config;
+        let dt = c.dt;
+        // OU velocity updates: dv = -theta*v*dt + sigma*sqrt(dt)*N(0,1)
+        let kick = c.sigma * dt.sqrt();
+        self.v_by += -c.theta * self.v_by * dt + kick * 0.25 * rng.normal();
+        self.v_bz += -c.theta * self.v_bz * dt + kick * 0.15 * rng.normal();
+        self.v_dist += -c.theta * self.v_dist * dt + kick * 0.5 * rng.normal();
+        self.v_phi += -c.theta * self.v_phi * dt + kick * 1.2 * rng.normal();
+
+        self.by += self.v_by * dt;
+        self.bz += self.v_bz * dt;
+        self.dist += self.v_dist * dt;
+        self.phi = wrap_angle(self.phi + self.v_phi * dt);
+
+        // Soft reflection at the bearing/distance limits.
+        if self.by.abs() > c.max_bearing_y {
+            self.by = self.by.clamp(-c.max_bearing_y, c.max_bearing_y);
+            self.v_by *= -0.5;
+        }
+        if self.bz.abs() > c.max_bearing_z {
+            self.bz = self.bz.clamp(-c.max_bearing_z, c.max_bearing_z);
+            self.v_bz *= -0.5;
+        }
+        let (dlo, dhi) = c.distance_range;
+        if self.dist < dlo || self.dist > dhi {
+            self.dist = self.dist.clamp(dlo, dhi);
+            self.v_dist *= -0.5;
+        }
+
+        let speed = (self.v_by.powi(2) + self.v_bz.powi(2) + (self.v_dist * 0.3).powi(2))
+            .sqrt()
+            + 0.12 * self.v_phi.abs();
+
+        TrajectorySample {
+            pose: Pose::new(self.dist, self.by * self.dist, self.bz * self.dist, self.phi),
+            speed,
+        }
+    }
+
+    /// Generates a full sequence of `n` frames.
+    pub fn run(mut self, n: usize, rng: &mut SmallRng) -> Vec<TrajectorySample> {
+        (0..n).map(|_| self.step(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poses_stay_in_configured_envelope() {
+        let mut rng = SmallRng::seed(1);
+        let config = TrajectoryConfig::default();
+        let samples = Trajectory::new(config, &mut rng).run(500, &mut rng);
+        for s in &samples {
+            assert!(s.pose.x >= config.distance_range.0 && s.pose.x <= config.distance_range.1);
+            assert!((s.pose.y / s.pose.x).abs() <= config.max_bearing_y + 1e-4);
+            assert!((s.pose.z / s.pose.x).abs() <= config.max_bearing_z + 1e-4);
+            assert!(s.pose.phi.abs() <= std::f32::consts::PI + 1e-4);
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_are_correlated() {
+        let mut rng = SmallRng::seed(2);
+        let samples = Trajectory::new(TrajectoryConfig::default(), &mut rng).run(200, &mut rng);
+        // Frame-to-frame pose deltas must be small relative to the total
+        // pose range — the property the OP policy relies on.
+        for w in samples.windows(2) {
+            let d = w[1].pose.total_error(&w[0].pose);
+            assert!(d < 0.8, "discontinuous trajectory: delta {d}");
+        }
+    }
+
+    #[test]
+    fn trajectory_explores_the_space() {
+        let mut rng = SmallRng::seed(3);
+        let samples = Trajectory::new(TrajectoryConfig::default(), &mut rng).run(2000, &mut rng);
+        let xs: Vec<f32> = samples.iter().map(|s| s.pose.x).collect();
+        let spread = xs.iter().cloned().fold(f32::MIN, f32::max)
+            - xs.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread > 1.0, "distance barely moved: {spread}");
+    }
+
+    #[test]
+    fn speed_is_nonnegative_and_varies() {
+        let mut rng = SmallRng::seed(4);
+        let samples = Trajectory::new(TrajectoryConfig::default(), &mut rng).run(500, &mut rng);
+        assert!(samples.iter().all(|s| s.speed >= 0.0));
+        let max = samples.iter().map(|s| s.speed).fold(0.0f32, f32::max);
+        let min = samples.iter().map(|s| s.speed).fold(f32::MAX, f32::min);
+        assert!(max > 2.0 * (min + 0.01), "speed has no dynamic range");
+    }
+}

@@ -1,0 +1,47 @@
+//! # np-dory
+//!
+//! A DORY-style deployment planner for the GAP8 model in [`np_gap8`].
+//!
+//! Given a static network description ([`np_nn::NetworkDesc`]) the planner
+//! performs, per layer, what the DORY compiler does before code
+//! generation:
+//!
+//! 1. **Tiling** ([`tiling`]) — choose an output tile (channels × rows)
+//!    whose double-buffered working set (input tile + weight tile + output
+//!    tile, twice) fits the 64 kB L1 scratchpad.
+//! 2. **Scheduling** ([`schedule`]) — price the tile loop: compute cycles
+//!    from the kernel model, DMA traffic over the L2↔L1 link, and the DMA
+//!    stall cycles that double buffering cannot hide.
+//! 3. **Memory planning** ([`plan`]) — place int8 weights and the
+//!    ping-pong activation buffers in L2, verifying the network (or an
+//!    ensemble of networks) fits the 512 kB budget, reproducing the memory
+//!    column of the paper's Table II.
+//!
+//! The result is a [`DeploymentPlan`] with total cycles, latency, energy
+//! and memory — the quantities every experiment in `np-bench` consumes.
+//!
+//! ```
+//! use np_nn::{Sequential, layers::{Conv2d, Relu, Flatten, Linear}};
+//! use np_nn::init::{Initializer, SmallRng};
+//! use np_dory::deploy;
+//! use np_gap8::Gap8Config;
+//!
+//! let mut rng = SmallRng::seed(0);
+//! let net = Sequential::with_name("tiny", vec![
+//!     Box::new(Conv2d::new(1, 8, 3, 2, 1, Initializer::KaimingUniform, &mut rng)) as _,
+//!     Box::new(Relu::new()) as _,
+//!     Box::new(Flatten::new()) as _,
+//!     Box::new(Linear::new(8 * 24 * 40, 4, Initializer::KaimingUniform, &mut rng)) as _,
+//! ]);
+//! let plan = deploy(&net.describe((1, 48, 80)), &Gap8Config::default())?;
+//! assert!(plan.latency_ms() > 0.0);
+//! assert!(plan.l2_bytes() < 512 * 1024);
+//! # Ok::<(), np_dory::DeployError>(())
+//! ```
+
+pub mod plan;
+pub mod schedule;
+pub mod tiling;
+
+pub use plan::{deploy, ensemble_l2_bytes, DeployError, DeploymentPlan, LayerPlan};
+pub use tiling::{Tile, TilingChoice};

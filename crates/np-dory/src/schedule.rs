@@ -1,0 +1,141 @@
+//! Per-layer schedule pricing: compute vs DMA under double buffering.
+
+use crate::tiling::{matters, total_dma_bytes, TilingChoice};
+use np_gap8::dma::DmaLink;
+use np_gap8::perf::{compute_cycles, CycleBreakdown, KernelClass};
+use np_gap8::Gap8Config;
+use np_nn::{LayerDesc, LayerKind};
+
+/// Maps a layer description to its kernel class on the cluster.
+pub fn kernel_class(layer: &LayerDesc) -> KernelClass {
+    match layer.kind {
+        LayerKind::Conv2d => {
+            if layer.kernel == 1 {
+                KernelClass::Pointwise
+            } else {
+                KernelClass::Conv
+            }
+        }
+        LayerKind::DepthwiseConv2d => KernelClass::DepthwiseConv,
+        LayerKind::Linear => KernelClass::Linear,
+        LayerKind::MaxPool | LayerKind::AvgPool => KernelClass::Pool,
+        LayerKind::BatchNorm | LayerKind::Activation | LayerKind::Reshape => {
+            KernelClass::Elementwise
+        }
+    }
+}
+
+/// Prices one layer: compute cycles from the kernel model, per-tile DMA
+/// over L2↔L1, and the stall cycles double buffering cannot hide.
+///
+/// With ping-pong buffers, tile `i+1`'s transfer overlaps tile `i`'s
+/// compute; the visible cost per steady-state tile is
+/// `max(compute_tile, dma_tile)`, plus a prologue (first input transfer)
+/// and epilogue (last output transfer).
+pub fn schedule_layer(
+    layer: &LayerDesc,
+    choice: TilingChoice,
+    cfg: &Gap8Config,
+) -> CycleBreakdown {
+    if !matters(layer.kind) {
+        // Folded/free ops: zero cost at deployment granularity. (BatchNorm
+        // is folded into convs before deployment; standalone activations
+        // are fused into the producing kernel.)
+        return CycleBreakdown::default();
+    }
+
+    let class = kernel_class(layer);
+    let macs = layer.macs();
+    let compute = compute_cycles(cfg, class, macs, layer.out_channels);
+
+    let dma_bytes = total_dma_bytes(layer, choice);
+    let dma_total = DmaLink::L2ToL1.transfer_cycles(dma_bytes / choice.n_tiles.max(1))
+        * choice.n_tiles.max(1) as u64;
+
+    let n = choice.n_tiles.max(1) as u64;
+    let compute_per_tile = compute / n;
+    let dma_per_tile = dma_total / n;
+    // Steady state: the longer of the two pipelines; stall is the excess.
+    let steady_stall = dma_per_tile.saturating_sub(compute_per_tile) * n.saturating_sub(1);
+    // Prologue + epilogue: one un-overlapped tile transfer.
+    let stall = steady_stall + dma_per_tile;
+
+    CycleBreakdown {
+        compute,
+        dma_stall: stall,
+        setup: cfg.layer_setup_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::{solve_tiling, TilingObjective};
+
+    fn layer(kind: LayerKind, cin: usize, cout: usize, hw: (usize, usize), k: usize) -> LayerDesc {
+        LayerDesc {
+            kind,
+            name: "t".into(),
+            in_channels: cin,
+            out_channels: cout,
+            in_hw: hw,
+            out_hw: hw,
+            kernel: k,
+            stride: 1,
+            padding: k / 2,
+        }
+    }
+
+    #[test]
+    fn compute_bound_conv_has_small_stall_fraction() {
+        let cfg = Gap8Config::default();
+        let l = layer(LayerKind::Conv2d, 32, 64, (24, 40), 3);
+        let choice = solve_tiling(&l, &cfg, TilingObjective::MaxTile).unwrap();
+        let cost = schedule_layer(&l, choice, &cfg);
+        assert!(
+            (cost.dma_stall as f64) < 0.35 * cost.compute as f64,
+            "stall {} vs compute {}",
+            cost.dma_stall,
+            cost.compute
+        );
+    }
+
+    #[test]
+    fn depthwise_is_stall_heavy() {
+        let cfg = Gap8Config::default();
+        let conv = layer(LayerKind::Conv2d, 32, 32, (24, 40), 3);
+        let dw = layer(LayerKind::DepthwiseConv2d, 32, 32, (24, 40), 3);
+        let c_conv = schedule_layer(
+            &conv,
+            solve_tiling(&conv, &cfg, TilingObjective::MaxTile).unwrap(),
+            &cfg,
+        );
+        let c_dw = schedule_layer(
+            &dw,
+            solve_tiling(&dw, &cfg, TilingObjective::MaxTile).unwrap(),
+            &cfg,
+        );
+        // Per MAC, depthwise is far more expensive.
+        let conv_per_mac = c_conv.total() as f64 / conv.macs() as f64;
+        let dw_per_mac = c_dw.total() as f64 / dw.macs() as f64;
+        assert!(dw_per_mac > 2.0 * conv_per_mac);
+    }
+
+    #[test]
+    fn free_kinds_cost_nothing() {
+        let cfg = Gap8Config::default();
+        let l = layer(LayerKind::Activation, 32, 32, (24, 40), 1);
+        let choice = solve_tiling(&l, &cfg, TilingObjective::MaxTile).unwrap();
+        assert_eq!(schedule_layer(&l, choice, &cfg).total(), 0);
+    }
+
+    #[test]
+    fn kernel_class_mapping() {
+        let pw = layer(LayerKind::Conv2d, 16, 32, (8, 8), 1);
+        assert_eq!(kernel_class(&pw), KernelClass::Pointwise);
+        let conv = layer(LayerKind::Conv2d, 16, 32, (8, 8), 3);
+        assert_eq!(kernel_class(&conv), KernelClass::Conv);
+        let lin = layer(LayerKind::Linear, 100, 4, (1, 1), 1);
+        assert_eq!(kernel_class(&lin), KernelClass::Linear);
+    }
+}

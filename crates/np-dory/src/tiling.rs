@@ -1,0 +1,288 @@
+//! L1 tiling solver.
+
+use np_gap8::Gap8Config;
+use np_nn::{LayerDesc, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// An output tile: a block of output channels × output rows (full width).
+///
+/// DORY tiles the width too when needed; for the paper's 160-pixel-wide
+/// networks, channel × row tiling always suffices, and full-width rows keep
+/// DMA transfers contiguous (1-D), which is what the hardware prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Output channels per tile.
+    pub channels: usize,
+    /// Output rows per tile.
+    pub rows: usize,
+}
+
+/// The solver's decision for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TilingChoice {
+    /// Chosen tile.
+    pub tile: Tile,
+    /// Number of tile iterations to cover the layer.
+    pub n_tiles: usize,
+    /// Bytes of L1 used by one double-buffered working set.
+    pub l1_bytes: usize,
+    /// True when the whole layer fits L1 in a single tile.
+    pub single_tile: bool,
+}
+
+/// Objective for the tiling search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TilingObjective {
+    /// Maximize the tile working set (fewer, larger tiles) — DORY's
+    /// default, minimizing per-tile overhead.
+    #[default]
+    MaxTile,
+    /// Minimize total DMA traffic (prefers full-channel tiles that avoid
+    /// re-fetching input rows).
+    MinDma,
+}
+
+/// Bytes of one tile's working set (int8 activations/weights, i32 biases).
+fn tile_bytes(layer: &LayerDesc, tile: Tile) -> usize {
+    let (_, out_w) = layer.out_hw;
+    let in_w = layer.in_hw.1;
+    // Input rows needed to produce `tile.rows` output rows.
+    let in_rows = match layer.kind {
+        LayerKind::Conv2d | LayerKind::DepthwiseConv2d | LayerKind::MaxPool | LayerKind::AvgPool => {
+            (tile.rows - 1) * layer.stride + layer.kernel
+        }
+        _ => tile.rows,
+    };
+    let in_channels = match layer.kind {
+        // Depthwise and pooling consume only the tile's own channels.
+        LayerKind::DepthwiseConv2d | LayerKind::MaxPool | LayerKind::AvgPool => tile.channels,
+        _ => layer.in_channels,
+    };
+    let input = in_channels * in_rows.min(layer.in_hw.0) * in_w;
+    let weights = match layer.kind {
+        LayerKind::Conv2d => {
+            tile.channels * layer.in_channels * layer.kernel * layer.kernel + 4 * tile.channels
+        }
+        LayerKind::DepthwiseConv2d => tile.channels * layer.kernel * layer.kernel + 4 * tile.channels,
+        LayerKind::Linear => tile.channels * layer.in_channels + 4 * tile.channels,
+        _ => 0,
+    };
+    let output = tile.channels * tile.rows * out_w;
+    input + weights + output
+}
+
+/// MACs executed by one tile.
+fn tile_macs(layer: &LayerDesc, tile: Tile) -> u64 {
+    let (_, out_w) = layer.out_hw;
+    let spatial = (tile.rows * out_w) as u64;
+    match layer.kind {
+        LayerKind::Conv2d => {
+            spatial
+                * tile.channels as u64
+                * layer.in_channels as u64
+                * (layer.kernel * layer.kernel) as u64
+        }
+        LayerKind::DepthwiseConv2d => {
+            spatial * tile.channels as u64 * (layer.kernel * layer.kernel) as u64
+        }
+        LayerKind::Linear => (tile.channels * layer.in_channels) as u64,
+        _ => spatial * tile.channels as u64,
+    }
+}
+
+/// Solves the tiling for one layer under the L1 budget.
+///
+/// The working set is doubled (ping-pong buffers) so the DMA for tile
+/// `i+1` can overlap the compute of tile `i`.
+///
+/// Returns `None` if even a 1-channel × 1-row tile does not fit — which
+/// cannot happen for any network in this workspace, but the caller treats
+/// it as a deployment error rather than a panic.
+pub fn solve_tiling(
+    layer: &LayerDesc,
+    cfg: &Gap8Config,
+    objective: TilingObjective,
+) -> Option<TilingChoice> {
+    let (out_h, _) = layer.out_hw;
+    let c_out = layer.out_channels;
+    if !matters(layer.kind) {
+        // Free ops occupy no L1.
+        return Some(TilingChoice {
+            tile: Tile { channels: c_out, rows: out_h },
+            n_tiles: 1,
+            l1_bytes: 0,
+            single_tile: true,
+        });
+    }
+
+    let budget = cfg.l1_bytes;
+    let mut best: Option<(TilingChoice, u64)> = None;
+    // Channel candidates: divisor-ish sweep keeps the search tiny.
+    let mut c_candidates: Vec<usize> = vec![c_out];
+    let mut c = c_out;
+    while c > 1 {
+        c = c.div_ceil(2);
+        c_candidates.push(c);
+    }
+    for &ct in &c_candidates {
+        // Largest row count that fits with this channel count.
+        let mut rows = out_h;
+        while rows >= 1 {
+            let tile = Tile { channels: ct, rows };
+            let bytes = 2 * tile_bytes(layer, tile);
+            if bytes <= budget {
+                let n_tiles = c_out.div_ceil(ct) * out_h.div_ceil(rows);
+                let choice = TilingChoice {
+                    tile,
+                    n_tiles,
+                    l1_bytes: bytes,
+                    single_tile: n_tiles == 1,
+                };
+                let score = match objective {
+                    TilingObjective::MaxTile => tile_macs(layer, tile),
+                    TilingObjective::MinDma => {
+                        u64::MAX - total_dma_bytes(layer, choice) as u64
+                    }
+                };
+                if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                    best = Some((choice, score));
+                }
+                break; // larger rows won't fit; smaller rows score worse
+            }
+            rows /= 2;
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Total bytes moved over L2↔L1 for the whole layer under a choice.
+pub fn total_dma_bytes(layer: &LayerDesc, choice: TilingChoice) -> usize {
+    if !matters(layer.kind) {
+        return 0;
+    }
+    let per_tile = tile_bytes(layer, choice.tile);
+    // Input halo rows are re-fetched per row-tile; counting the full tile
+    // working set per iteration is the conservative DORY accounting.
+    per_tile * choice.n_tiles
+}
+
+/// True for kinds that execute on the cluster and occupy L1.
+pub fn matters(kind: LayerKind) -> bool {
+    !matches!(kind, LayerKind::Reshape | LayerKind::Activation | LayerKind::BatchNorm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer(cin: usize, cout: usize, hw: (usize, usize), k: usize, s: usize) -> LayerDesc {
+        LayerDesc {
+            kind: LayerKind::Conv2d,
+            name: "conv".into(),
+            in_channels: cin,
+            out_channels: cout,
+            in_hw: hw,
+            out_hw: (hw.0 / s, hw.1 / s),
+            kernel: k,
+            stride: s,
+            padding: k / 2,
+        }
+    }
+
+    #[test]
+    fn small_layer_single_tile() {
+        let cfg = Gap8Config::default();
+        let layer = conv_layer(8, 16, (12, 20), 3, 1);
+        let choice = solve_tiling(&layer, &cfg, TilingObjective::MaxTile).unwrap();
+        assert!(choice.single_tile, "{choice:?}");
+        assert!(choice.l1_bytes <= cfg.l1_bytes);
+    }
+
+    #[test]
+    fn large_layer_is_tiled() {
+        let cfg = Gap8Config::default();
+        // Frontnet first layer at full resolution: 1->32, 96x160 input.
+        let layer = LayerDesc {
+            kind: LayerKind::Conv2d,
+            name: "conv1".into(),
+            in_channels: 1,
+            out_channels: 32,
+            in_hw: (96, 160),
+            out_hw: (48, 80),
+            kernel: 5,
+            stride: 2,
+            padding: 2,
+        };
+        let choice = solve_tiling(&layer, &cfg, TilingObjective::MaxTile).unwrap();
+        assert!(!choice.single_tile);
+        assert!(choice.n_tiles > 1);
+        assert!(choice.l1_bytes <= cfg.l1_bytes);
+    }
+
+    #[test]
+    fn tile_bytes_monotone_in_rows() {
+        let layer = conv_layer(16, 16, (32, 32), 3, 1);
+        let small = tile_bytes(&layer, Tile { channels: 16, rows: 4 });
+        let big = tile_bytes(&layer, Tile { channels: 16, rows: 16 });
+        assert!(big > small);
+    }
+
+    #[test]
+    fn min_dma_objective_never_increases_traffic() {
+        let cfg = Gap8Config::default();
+        let layer = LayerDesc {
+            kind: LayerKind::Conv2d,
+            name: "mid".into(),
+            in_channels: 32,
+            out_channels: 64,
+            in_hw: (24, 40),
+            out_hw: (24, 40),
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let max_tile = solve_tiling(&layer, &cfg, TilingObjective::MaxTile).unwrap();
+        let min_dma = solve_tiling(&layer, &cfg, TilingObjective::MinDma).unwrap();
+        assert!(total_dma_bytes(&layer, min_dma) <= total_dma_bytes(&layer, max_tile));
+    }
+
+    #[test]
+    fn reshape_is_free() {
+        let cfg = Gap8Config::default();
+        let layer = LayerDesc {
+            kind: LayerKind::Reshape,
+            name: "flatten".into(),
+            in_channels: 64,
+            out_channels: 64 * 15,
+            in_hw: (3, 5),
+            out_hw: (1, 1),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let choice = solve_tiling(&layer, &cfg, TilingObjective::MaxTile).unwrap();
+        assert_eq!(choice.l1_bytes, 0);
+        assert_eq!(total_dma_bytes(&layer, choice), 0);
+    }
+
+    #[test]
+    fn linear_layer_tiles_by_output_rows_of_weights() {
+        let cfg = Gap8Config::default();
+        // A big FC layer: 1920 -> 128 needs weight tiling.
+        let layer = LayerDesc {
+            kind: LayerKind::Linear,
+            name: "fc".into(),
+            in_channels: 1920,
+            out_channels: 128,
+            in_hw: (1, 1),
+            out_hw: (1, 1),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let choice = solve_tiling(&layer, &cfg, TilingObjective::MaxTile).unwrap();
+        assert!(choice.l1_bytes <= cfg.l1_bytes);
+        // 1920*128 weights ≈ 245 kB: must be split.
+        assert!(choice.n_tiles > 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Top-level SoC configuration.
+
+use crate::perf::KernelClass;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the modeled GAP8 SoC.
+///
+/// Defaults reproduce the deployment of the paper: cluster and FC at
+/// 170 MHz, 8 cluster cores, AI-deck memory sizes, and kernel throughputs
+/// calibrated so the three static networks land near the latencies of the
+/// paper's Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gap8Config {
+    /// Cluster clock in Hz (paper runs inference at 170 MHz).
+    pub cluster_freq_hz: f64,
+    /// Fabric-controller clock in Hz.
+    pub fc_freq_hz: f64,
+    /// Number of cluster cores (8 on GAP8).
+    pub cluster_cores: usize,
+    /// Shared cluster L1 scratchpad in bytes (64 kB).
+    pub l1_bytes: usize,
+    /// On-chip L2 in bytes (512 kB).
+    pub l2_bytes: usize,
+    /// Off-chip DRAM in bytes (8 MB on the AI-deck).
+    pub dram_bytes: usize,
+    /// Off-chip flash in bytes (64 MB on the AI-deck).
+    pub flash_bytes: usize,
+    /// Sustained MAC/cycle/core for a standard (kxk, k>1) convolution.
+    pub conv_mac_per_cycle_core: f64,
+    /// Sustained MAC/cycle/core for a pointwise (1x1) convolution.
+    pub pointwise_mac_per_cycle_core: f64,
+    /// Sustained MAC/cycle/core for a depthwise convolution.
+    pub depthwise_mac_per_cycle_core: f64,
+    /// Sustained MAC/cycle/core for a fully-connected layer (memory-bound:
+    /// each weight is used once).
+    pub linear_mac_per_cycle_core: f64,
+    /// Output elements/cycle (whole cluster) for pooling kernels.
+    pub pool_elems_per_cycle: f64,
+    /// Fixed cluster-offload cost per layer (FC→CL handshake, cluster
+    /// wakeup, kernel argument marshalling), in cycles.
+    pub layer_setup_cycles: u64,
+    /// Parallelization efficiency knee: a layer with `c` output channels
+    /// utilizes the cluster with factor `c / (c + knee)`.
+    pub channel_util_knee: f64,
+}
+
+impl Default for Gap8Config {
+    fn default() -> Self {
+        Gap8Config {
+            cluster_freq_hz: 170.0e6,
+            fc_freq_hz: 170.0e6,
+            cluster_cores: 8,
+            l1_bytes: 64 * 1024,
+            l2_bytes: 512 * 1024,
+            dram_bytes: 8 * 1024 * 1024,
+            flash_bytes: 64 * 1024 * 1024,
+            conv_mac_per_cycle_core: 0.85,
+            pointwise_mac_per_cycle_core: 0.70,
+            depthwise_mac_per_cycle_core: 0.34,
+            linear_mac_per_cycle_core: 0.45,
+            pool_elems_per_cycle: 2.0,
+            layer_setup_cycles: 6_000,
+            channel_util_knee: 6.0,
+        }
+    }
+}
+
+impl Gap8Config {
+    /// Whole-cluster sustained MAC/cycle for a kernel class at perfect
+    /// channel utilization.
+    pub fn mac_per_cycle(&self, class: KernelClass) -> f64 {
+        let per_core = match class {
+            KernelClass::Conv => self.conv_mac_per_cycle_core,
+            KernelClass::Pointwise => self.pointwise_mac_per_cycle_core,
+            KernelClass::DepthwiseConv => self.depthwise_mac_per_cycle_core,
+            KernelClass::Linear => self.linear_mac_per_cycle_core,
+            KernelClass::Pool | KernelClass::Elementwise => {
+                return self.pool_elems_per_cycle;
+            }
+        };
+        per_core * self.cluster_cores as f64
+    }
+
+    /// Channel-count utilization factor in `(0, 1]`: small layers cannot
+    /// keep 8 cores busy.
+    pub fn channel_utilization(&self, out_channels: usize) -> f64 {
+        let c = out_channels as f64;
+        c / (c + self.channel_util_knee)
+    }
+
+    /// Converts cluster cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cluster_freq_hz
+    }
+
+    /// Converts cluster cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        self.cycles_to_seconds(cycles) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let cfg = Gap8Config::default();
+        assert_eq!(cfg.cluster_cores, 8);
+        assert_eq!(cfg.l1_bytes, 65536);
+        assert_eq!(cfg.l2_bytes, 524288);
+        assert_eq!(cfg.cluster_freq_hz, 170.0e6);
+    }
+
+    #[test]
+    fn kernel_class_ordering() {
+        let cfg = Gap8Config::default();
+        // Standard conv is the most efficient; depthwise the least among
+        // MAC kernels — the mechanism that makes MobileNet slow per MAC.
+        assert!(cfg.mac_per_cycle(KernelClass::Conv) > cfg.mac_per_cycle(KernelClass::Pointwise));
+        assert!(
+            cfg.mac_per_cycle(KernelClass::Pointwise)
+                > cfg.mac_per_cycle(KernelClass::DepthwiseConv)
+        );
+    }
+
+    #[test]
+    fn utilization_saturates() {
+        let cfg = Gap8Config::default();
+        assert!(cfg.channel_utilization(4) < cfg.channel_utilization(32));
+        assert!(cfg.channel_utilization(128) > 0.9);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let cfg = Gap8Config::default();
+        assert!((cfg.cycles_to_ms(170_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! DMA transfer cost model.
+//!
+//! Two engines move data on the AI-deck:
+//!
+//! * the **μDMA** in the FC domain moves DRAM/flash ↔ L2 autonomously,
+//! * the **cluster DMA** moves L2 ↔ L1 and is what layer tiling overlaps
+//!   with compute (double buffering).
+
+use crate::config::Gap8Config;
+use crate::mem::MemoryKind;
+use serde::{Deserialize, Serialize};
+
+/// A directed transfer link between two memory levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmaLink {
+    /// DRAM → L2 (μDMA over the HyperBus).
+    DramToL2,
+    /// L2 → DRAM.
+    L2ToDram,
+    /// Flash → L2 (boot-time weight load).
+    FlashToL2,
+    /// L2 → L1 (cluster DMA).
+    L2ToL1,
+    /// L1 → L2.
+    L1ToL2,
+}
+
+impl DmaLink {
+    /// Resolves the link between two levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported pairs (e.g. DRAM ↔ L1, which hardware cannot
+    /// do directly).
+    pub fn between(src: MemoryKind, dst: MemoryKind) -> DmaLink {
+        match (src, dst) {
+            (MemoryKind::Dram, MemoryKind::L2) => DmaLink::DramToL2,
+            (MemoryKind::L2, MemoryKind::Dram) => DmaLink::L2ToDram,
+            (MemoryKind::Flash, MemoryKind::L2) => DmaLink::FlashToL2,
+            (MemoryKind::L2, MemoryKind::L1) => DmaLink::L2ToL1,
+            (MemoryKind::L1, MemoryKind::L2) => DmaLink::L1ToL2,
+            (s, d) => panic!("no DMA path {s} -> {d}"),
+        }
+    }
+
+    /// Sustained bandwidth in bytes per cluster cycle.
+    pub fn bytes_per_cycle(self) -> f64 {
+        match self {
+            // HyperBus: ~0.9 byte/cycle effective at 170 MHz.
+            DmaLink::DramToL2 | DmaLink::L2ToDram => 0.9,
+            DmaLink::FlashToL2 => 0.5,
+            // On-chip 64-bit interconnect.
+            DmaLink::L2ToL1 | DmaLink::L1ToL2 => 7.0,
+        }
+    }
+
+    /// Fixed programming/arbitration cost per transfer, in cycles.
+    pub fn startup_cycles(self) -> u64 {
+        match self {
+            DmaLink::DramToL2 | DmaLink::L2ToDram => 300,
+            DmaLink::FlashToL2 => 1_000,
+            DmaLink::L2ToL1 | DmaLink::L1ToL2 => 60,
+        }
+    }
+
+    /// Cycles to move `bytes` over this link.
+    pub fn transfer_cycles(self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.startup_cycles() + (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Wall-clock seconds to move `bytes` under `cfg`.
+    pub fn transfer_seconds(self, bytes: usize, cfg: &Gap8Config) -> f64 {
+        cfg.cycles_to_seconds(self.transfer_cycles(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(DmaLink::L2ToL1.transfer_cycles(0), 0);
+    }
+
+    #[test]
+    fn onchip_is_faster_than_offchip() {
+        let bytes = 4096;
+        assert!(
+            DmaLink::L2ToL1.transfer_cycles(bytes) < DmaLink::DramToL2.transfer_cycles(bytes)
+        );
+    }
+
+    #[test]
+    fn startup_dominates_small_transfers() {
+        let small = DmaLink::DramToL2.transfer_cycles(16);
+        assert!(small >= DmaLink::DramToL2.startup_cycles());
+        // Doubling a tiny transfer barely changes the cost.
+        let double = DmaLink::DramToL2.transfer_cycles(32);
+        assert!((double - small) < small / 2);
+    }
+
+    #[test]
+    fn between_resolves_links() {
+        assert_eq!(
+            DmaLink::between(MemoryKind::L2, MemoryKind::L1),
+            DmaLink::L2ToL1
+        );
+        assert_eq!(
+            DmaLink::between(MemoryKind::Dram, MemoryKind::L2),
+            DmaLink::DramToL2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no DMA path")]
+    fn impossible_path_panics() {
+        DmaLink::between(MemoryKind::Dram, MemoryKind::L1);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 7 bytes/cycle: 7000 bytes ≈ 1000 cycles + startup.
+        let c = DmaLink::L2ToL1.transfer_cycles(7000);
+        assert!((c as i64 - 1060).abs() <= 2, "got {c}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Dynamic voltage and frequency scaling (DVFS).
+//!
+//! GAP8 operates from 1.0 V / ~90 MHz up to 1.2 V / 250 MHz; the paper
+//! deploys at 170 MHz. This module models the standard CMOS trade-off —
+//! dynamic power ∝ f·V², and the minimum stable voltage grows roughly
+//! linearly with frequency — so experiments can ask "what if the
+//! perception task ran at a different operating point?".
+
+use crate::config::Gap8Config;
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// A DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Cluster/FC frequency in Hz.
+    pub freq_hz: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Lowest-power point (1.0 V, 90 MHz).
+    pub const LOW: OperatingPoint = OperatingPoint {
+        freq_hz: 90.0e6,
+        voltage: 1.0,
+    };
+
+    /// The paper's deployment point (170 MHz).
+    pub const PAPER: OperatingPoint = OperatingPoint {
+        freq_hz: 170.0e6,
+        voltage: 1.1,
+    };
+
+    /// Maximum-performance point (1.2 V, 250 MHz).
+    pub const MAX: OperatingPoint = OperatingPoint {
+        freq_hz: 250.0e6,
+        voltage: 1.2,
+    };
+
+    /// The minimum stable operating point for a target frequency, linearly
+    /// interpolating voltage between the LOW and MAX corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is outside the `[90, 250]` MHz envelope.
+    pub fn for_frequency(freq_hz: f64) -> OperatingPoint {
+        assert!(
+            (90.0e6..=250.0e6).contains(&freq_hz),
+            "frequency {freq_hz} outside the GAP8 envelope"
+        );
+        let t = (freq_hz - 90.0e6) / (250.0e6 - 90.0e6);
+        OperatingPoint {
+            freq_hz,
+            voltage: 1.0 + 0.2 * t,
+        }
+    }
+
+    /// Scales a SoC configuration to this operating point (cycle counts
+    /// are frequency-independent; only time changes).
+    pub fn apply_to(self, cfg: &Gap8Config) -> Gap8Config {
+        Gap8Config {
+            cluster_freq_hz: self.freq_hz,
+            fc_freq_hz: self.freq_hz,
+            ..cfg.clone()
+        }
+    }
+
+    /// Scales a power model: dynamic components go with `f·V²` relative to
+    /// the paper's calibration point, the static base with `V²`.
+    pub fn scale_power(self, base: &PowerModel) -> PowerModel {
+        let p = OperatingPoint::PAPER;
+        let v_sq = (self.voltage / p.voltage).powi(2);
+        let f_ratio = self.freq_hz / p.freq_hz;
+        PowerModel {
+            base_w: base.base_w * v_sq,
+            compute_w: base.compute_w * f_ratio * v_sq,
+            dma_w: base.dma_w * f_ratio * v_sq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::CycleBreakdown;
+
+    #[test]
+    fn voltage_interpolation_endpoints() {
+        let low = OperatingPoint::for_frequency(90.0e6);
+        let max = OperatingPoint::for_frequency(250.0e6);
+        assert!((low.voltage - 1.0).abs() < 1e-9);
+        assert!((max.voltage - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the GAP8 envelope")]
+    fn out_of_envelope_rejected() {
+        OperatingPoint::for_frequency(500.0e6);
+    }
+
+    #[test]
+    fn frequency_latency_and_energy_regimes() {
+        let cfg = Gap8Config::default();
+        let cycles = CycleBreakdown {
+            compute: 3_000_000,
+            dma_stall: 500_000,
+            setup: 50_000,
+        };
+        let low = OperatingPoint::LOW;
+        let max = OperatingPoint::MAX;
+        let cfg_low = low.apply_to(&cfg);
+        let cfg_max = max.apply_to(&cfg);
+        let t_low = cfg_low.cycles_to_seconds(cycles.total());
+        let t_max = cfg_max.cycles_to_seconds(cycles.total());
+        assert!(t_max < t_low, "max point must be faster");
+
+        // With GAP8's realistic static (base) power, racing to idle wins:
+        // the always-on base integrates over a shorter run at high f.
+        let power = PowerModel::default();
+        let e_low = low.scale_power(&power).energy_j(&cycles, &cfg_low);
+        let e_max = max.scale_power(&power).energy_j(&cycles, &cfg_max);
+        assert!(e_max < e_low, "race-to-idle should win with static power");
+
+        // With purely dynamic power, the low-voltage point wins: dynamic
+        // energy per cycle goes with V^2.
+        let dynamic_only = PowerModel {
+            base_w: 0.0,
+            ..PowerModel::default()
+        };
+        let e_low_dyn = low.scale_power(&dynamic_only).energy_j(&cycles, &cfg_low);
+        let e_max_dyn = max.scale_power(&dynamic_only).energy_j(&cycles, &cfg_max);
+        assert!(
+            e_low_dyn < e_max_dyn,
+            "low voltage must win without static power"
+        );
+    }
+
+    #[test]
+    fn paper_point_is_identity_for_power() {
+        let power = PowerModel::default();
+        let scaled = OperatingPoint::PAPER.scale_power(&power);
+        assert!((scaled.compute_w - power.compute_w).abs() < 1e-12);
+        assert!((scaled.base_w - power.base_w).abs() < 1e-12);
+    }
+}

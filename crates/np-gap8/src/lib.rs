@@ -1,0 +1,45 @@
+//! # np-gap8
+//!
+//! A performance, energy and memory model of the GAP8 ultra-low-power SoC
+//! (GreenWaves Technologies) as mounted on the Crazyflie 2.1 AI-deck — the
+//! execution substrate of the paper.
+//!
+//! The real chip could not be used in this reproduction, so this crate
+//! models the mechanisms that determine the paper's reported numbers:
+//!
+//! * a single-core **fabric controller** (FC) and an 8-core **cluster**
+//!   (CL) with per-kernel-class sustained MAC/cycle throughputs
+//!   ([`perf::KernelClass`]),
+//! * the **memory hierarchy** — 64 kB shared L1, 512 kB L2, 8 MB DRAM and
+//!   64 MB flash ([`mem::MemoryKind`]) — with per-link DMA bandwidth and
+//!   startup costs ([`dma`]),
+//! * a two-component **power model** (idle + activity) calibrated against
+//!   the static-network rows of the paper's Table II ([`power`]),
+//! * the **UART link** to the STM32 host that carries each pose estimate
+//!   ([`uart`]).
+//!
+//! Cycle counts are produced by `np-dory`, which tiles each network layer
+//! onto this model; `np-gap8` supplies the cost primitives.
+//!
+//! ```
+//! use np_gap8::{Gap8Config, perf::KernelClass};
+//!
+//! let cfg = Gap8Config::default();
+//! assert_eq!(cfg.cluster_cores, 8);
+//! // A 3x3 convolution sustains several MACs per cycle on the cluster...
+//! let conv = cfg.mac_per_cycle(KernelClass::Conv);
+//! // ...while depthwise convolution is memory-bound and much slower.
+//! let dw = cfg.mac_per_cycle(KernelClass::DepthwiseConv);
+//! assert!(conv > 2.0 * dw);
+//! ```
+
+pub mod config;
+pub mod dma;
+pub mod dvfs;
+pub mod mem;
+pub mod perf;
+pub mod power;
+pub mod uart;
+
+pub use config::Gap8Config;
+pub use perf::{CycleBreakdown, KernelClass};

@@ -1,0 +1,177 @@
+//! Memory hierarchy model and a bump allocator for deployment planning.
+
+use crate::config::Gap8Config;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four storage levels of the AI-deck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// 64 kB cluster-shared scratchpad.
+    L1,
+    /// 512 kB on-chip SRAM in the FC domain.
+    L2,
+    /// 8 MB off-chip HyperRAM.
+    Dram,
+    /// 64 MB off-chip HyperFlash.
+    Flash,
+}
+
+impl MemoryKind {
+    /// Capacity of this level under `cfg`.
+    pub fn capacity(self, cfg: &Gap8Config) -> usize {
+        match self {
+            MemoryKind::L1 => cfg.l1_bytes,
+            MemoryKind::L2 => cfg.l2_bytes,
+            MemoryKind::Dram => cfg.dram_bytes,
+            MemoryKind::Flash => cfg.flash_bytes,
+        }
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryKind::L1 => "L1",
+            MemoryKind::L2 => "L2",
+            MemoryKind::Dram => "DRAM",
+            MemoryKind::Flash => "FLASH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when an allocation exceeds a level's capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// The level that overflowed.
+    pub kind: MemoryKind,
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes free at the time of the request.
+    pub available: usize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} overflow: requested {} bytes with {} free",
+            self.kind, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A named allocation inside a [`MemoryPlan`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Human-readable purpose (e.g. `"F1/conv1/weights"`).
+    pub label: String,
+    /// Size in bytes.
+    pub bytes: usize,
+    /// Byte offset within the level.
+    pub offset: usize,
+}
+
+/// Bump allocator over one memory level, used by the deployment planner to
+/// prove that a network (or an ensemble of networks) fits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPlan {
+    kind: MemoryKind,
+    capacity: usize,
+    allocations: Vec<Allocation>,
+    used: usize,
+}
+
+impl MemoryPlan {
+    /// Creates an empty plan for one level.
+    pub fn new(kind: MemoryKind, cfg: &Gap8Config) -> Self {
+        MemoryPlan {
+            kind,
+            capacity: kind.capacity(cfg),
+            allocations: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// The level this plan allocates in.
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes remaining.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Reserves `bytes` for `label`, word-aligned (4 bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the level would overflow.
+    pub fn alloc(&mut self, label: impl Into<String>, bytes: usize) -> Result<&Allocation, AllocError> {
+        let aligned = bytes.div_ceil(4) * 4;
+        if aligned > self.available() {
+            return Err(AllocError {
+                kind: self.kind,
+                requested: aligned,
+                available: self.available(),
+            });
+        }
+        let offset = self.used;
+        self.used += aligned;
+        self.allocations.push(Allocation {
+            label: label.into(),
+            bytes: aligned,
+            offset,
+        });
+        Ok(self.allocations.last().expect("just pushed"))
+    }
+
+    /// All allocations in insertion order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities() {
+        let cfg = Gap8Config::default();
+        assert_eq!(MemoryKind::L1.capacity(&cfg), 64 * 1024);
+        assert_eq!(MemoryKind::L2.capacity(&cfg), 512 * 1024);
+        assert!(MemoryKind::Dram.capacity(&cfg) > MemoryKind::L2.capacity(&cfg));
+    }
+
+    #[test]
+    fn alloc_and_overflow() {
+        let cfg = Gap8Config::default();
+        let mut plan = MemoryPlan::new(MemoryKind::L1, &cfg);
+        plan.alloc("weights", 30_000).unwrap();
+        plan.alloc("acts", 30_000).unwrap();
+        assert_eq!(plan.used(), 60_000);
+        let err = plan.alloc("too-big", 10_000).unwrap_err();
+        assert_eq!(err.kind, MemoryKind::L1);
+        assert!(err.available < 10_000);
+    }
+
+    #[test]
+    fn alignment_is_word() {
+        let cfg = Gap8Config::default();
+        let mut plan = MemoryPlan::new(MemoryKind::L2, &cfg);
+        plan.alloc("a", 3).unwrap();
+        let b = plan.alloc("b", 5).unwrap();
+        assert_eq!(b.offset % 4, 0);
+        assert_eq!(plan.used(), 4 + 8);
+    }
+}

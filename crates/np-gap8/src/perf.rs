@@ -1,0 +1,119 @@
+//! Per-kernel cluster cycle model.
+
+use crate::config::Gap8Config;
+use serde::{Deserialize, Serialize};
+
+/// Kernel classes with distinct sustained throughputs on the cluster.
+///
+/// The split mirrors PULP-NN: standard convolutions reuse each loaded
+/// activation across many output channels (compute-bound), pointwise
+/// convolutions have less reuse, depthwise convolutions have almost none
+/// (memory-bound — the mechanism behind MobileNet's poor cycles/MAC on
+/// GAP8), and fully-connected layers stream each weight exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// k×k convolution, k > 1.
+    Conv,
+    /// 1×1 convolution.
+    Pointwise,
+    /// Depthwise convolution.
+    DepthwiseConv,
+    /// Fully-connected layer.
+    Linear,
+    /// Max/avg pooling.
+    Pool,
+    /// Elementwise ops (activation applied standalone).
+    Elementwise,
+}
+
+/// Cycle cost of one layer, split by cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles the cluster spends computing.
+    pub compute: u64,
+    /// DMA cycles not hidden behind compute (stalls).
+    pub dma_stall: u64,
+    /// Fixed per-layer setup (FC→CL offload, kernel dispatch).
+    pub setup: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.compute + self.dma_stall + self.setup
+    }
+
+    /// Sums two breakdowns component-wise.
+    pub fn add(&self, other: &CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            compute: self.compute + other.compute,
+            dma_stall: self.dma_stall + other.dma_stall,
+            setup: self.setup + other.setup,
+        }
+    }
+}
+
+/// Compute-only cycles for `macs` MAC operations of the given class with
+/// `out_channels` output channels (determines cluster utilization).
+///
+/// Pooling/elementwise "macs" are interpreted as output-element counts.
+pub fn compute_cycles(
+    cfg: &Gap8Config,
+    class: KernelClass,
+    macs: u64,
+    out_channels: usize,
+) -> u64 {
+    match class {
+        KernelClass::Pool | KernelClass::Elementwise => {
+            (macs as f64 / cfg.pool_elems_per_cycle).ceil() as u64
+        }
+        _ => {
+            let throughput = cfg.mac_per_cycle(class) * cfg.channel_utilization(out_channels);
+            (macs as f64 / throughput.max(1e-9)).ceil() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_faster_than_depthwise_per_mac() {
+        let cfg = Gap8Config::default();
+        let conv = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32);
+        let dw = compute_cycles(&cfg, KernelClass::DepthwiseConv, 1_000_000, 32);
+        assert!(dw > 2 * conv, "dw {dw} vs conv {conv}");
+    }
+
+    #[test]
+    fn small_channel_counts_underutilize() {
+        let cfg = Gap8Config::default();
+        let narrow = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 4);
+        let wide = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 64);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CycleBreakdown {
+            compute: 100,
+            dma_stall: 20,
+            setup: 5,
+        };
+        assert_eq!(b.total(), 125);
+        let sum = b.add(&b);
+        assert_eq!(sum.total(), 250);
+        assert_eq!(sum.compute, 200);
+    }
+
+    #[test]
+    fn frontnet_scale_latency_sanity() {
+        // 4.5 MMAC of standard conv at default throughputs lands in the
+        // single-digit-millisecond range at 170 MHz, like the paper's F1.
+        let cfg = Gap8Config::default();
+        let cycles = compute_cycles(&cfg, KernelClass::Conv, 4_510_000, 32);
+        let ms = cfg.cycles_to_ms(cycles);
+        assert!(ms > 2.0 && ms < 9.0, "unrealistic latency {ms} ms");
+    }
+}

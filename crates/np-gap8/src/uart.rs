@@ -1,0 +1,72 @@
+//! UART link between GAP8 and the STM32 flight controller.
+//!
+//! Each pose estimate (four f32 values) crosses this link; the model lets
+//! the closed-loop simulation in `np-control` account for the (small but
+//! nonzero) transport delay.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point UART with 8N1 framing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UartLink {
+    /// Baud rate in bits per second.
+    pub baud: u64,
+}
+
+impl Default for UartLink {
+    fn default() -> Self {
+        // The AI-deck ↔ STM32 link runs at 115200 baud.
+        UartLink { baud: 115_200 }
+    }
+}
+
+impl UartLink {
+    /// Creates a link at the given baud rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baud` is zero.
+    pub fn new(baud: u64) -> Self {
+        assert!(baud > 0, "baud rate must be positive");
+        UartLink { baud }
+    }
+
+    /// Seconds to transmit `bytes` (10 bits on the wire per byte: start +
+    /// 8 data + stop).
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        (bytes as f64 * 10.0) / self.baud as f64
+    }
+
+    /// Seconds to transmit one pose estimate: 4 little-endian f32 plus a
+    /// 2-byte header/CRC.
+    pub fn pose_transfer_seconds(&self) -> f64 {
+        self.transfer_seconds(4 * 4 + 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pose_transfer_is_sub_two_ms() {
+        let link = UartLink::default();
+        let t = link.pose_transfer_seconds();
+        // 18 bytes * 10 bits / 115200 ≈ 1.56 ms.
+        assert!((t - 0.0015625).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn faster_baud_is_faster() {
+        assert!(
+            UartLink::new(921_600).transfer_seconds(100)
+                < UartLink::new(115_200).transfer_seconds(100)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_baud_rejected() {
+        UartLink::new(0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Static network descriptions: the bridge from trained models to the
+//! deployment planner.
+//!
+//! Every [`crate::Layer`] can report a [`LayerDesc`] given its input shape.
+//! A [`NetworkDesc`] is the shape-propagated list of those descriptions and
+//! knows how to count MACs, parameters and activation sizes — the quantities
+//! `np-dory` tiles and `np-gap8` prices.
+
+use serde::{Deserialize, Serialize};
+
+/// The operator class of a layer, as the deployment planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution (`C_out x C_in x K x K`).
+    Conv2d,
+    /// Depthwise convolution (`C x 1 x K x K`).
+    DepthwiseConv2d,
+    /// Fully-connected layer.
+    Linear,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling (including global).
+    AvgPool,
+    /// Batch normalization (folded at deployment time).
+    BatchNorm,
+    /// Elementwise activation (free at deployment granularity).
+    Activation,
+    /// Shape-only reinterpretation.
+    Reshape,
+}
+
+/// Static description of one layer instance with resolved shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Operator class.
+    pub kind: LayerKind,
+    /// Human-readable layer name (e.g. `conv2d(32->64, k3 s2 p1)`).
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input spatial size `(height, width)`; `(1, 1)` for FC layers.
+    pub in_hw: (usize, usize),
+    /// Output spatial size `(height, width)`.
+    pub out_hw: (usize, usize),
+    /// Square kernel extent (1 for pointwise/FC).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+}
+
+impl LayerDesc {
+    /// Multiply-accumulate operations for one inference of this layer.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.out_hw;
+        let spatial = (oh * ow) as u64;
+        match self.kind {
+            LayerKind::Conv2d => {
+                spatial
+                    * self.out_channels as u64
+                    * self.in_channels as u64
+                    * (self.kernel * self.kernel) as u64
+            }
+            LayerKind::DepthwiseConv2d => {
+                spatial * self.out_channels as u64 * (self.kernel * self.kernel) as u64
+            }
+            LayerKind::Linear => self.out_channels as u64 * self.in_channels as u64,
+            // Pooling and BN cost ~1 op per output element; count them so the
+            // cycle model can price their (small) overhead.
+            LayerKind::MaxPool | LayerKind::AvgPool => {
+                spatial * self.out_channels as u64 * (self.kernel * self.kernel) as u64
+            }
+            LayerKind::BatchNorm | LayerKind::Activation => {
+                spatial * self.out_channels as u64
+            }
+            LayerKind::Reshape => 0,
+        }
+    }
+
+    /// Learnable parameter count (weights + biases; BN has scale + shift).
+    pub fn params(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv2d => {
+                (self.out_channels * self.in_channels * self.kernel * self.kernel
+                    + self.out_channels) as u64
+            }
+            LayerKind::DepthwiseConv2d => {
+                (self.out_channels * self.kernel * self.kernel + self.out_channels) as u64
+            }
+            LayerKind::Linear => (self.out_channels * self.in_channels + self.out_channels) as u64,
+            LayerKind::BatchNorm => (2 * self.out_channels) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Input activation element count.
+    pub fn input_elems(&self) -> u64 {
+        (self.in_channels * self.in_hw.0 * self.in_hw.1) as u64
+    }
+
+    /// Output activation element count.
+    pub fn output_elems(&self) -> u64 {
+        (self.out_channels * self.out_hw.0 * self.out_hw.1) as u64
+    }
+
+    /// True for kinds that carry deployable weights.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::Conv2d | LayerKind::DepthwiseConv2d | LayerKind::Linear
+        )
+    }
+}
+
+/// Shape-propagated description of a whole network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkDesc {
+    /// Network name (e.g. `"F1"`, `"M1.0"`, `"aux-8x6"`).
+    pub name: String,
+    /// Input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Per-layer descriptions in execution order.
+    pub layers: Vec<LayerDesc>,
+}
+
+impl NetworkDesc {
+    /// Total multiply-accumulates per inference, compute layers only
+    /// (conv / depthwise / linear) — the convention the paper's Table I uses.
+    pub fn macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter(|l| l.has_weights())
+            .map(LayerDesc::macs)
+            .sum()
+    }
+
+    /// Total MACs including pooling / BN / activation bookkeeping ops.
+    pub fn macs_with_overhead(&self) -> u64 {
+        self.layers.iter().map(LayerDesc::macs).sum()
+    }
+
+    /// Total learnable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(LayerDesc::params).sum()
+    }
+
+    /// Largest single activation tensor (elements) anywhere in the network,
+    /// including the input — this bounds the runtime activation buffer.
+    pub fn peak_activation_elems(&self) -> u64 {
+        let input = (self.input.0 * self.input.1 * self.input.2) as u64;
+        self.layers
+            .iter()
+            .map(LayerDesc::output_elems)
+            .chain(std::iter::once(input))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest sum of consecutive input+output activations — what a
+    /// non-in-place executor must hold live at once.
+    pub fn peak_live_activation_elems(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_elems() + l.output_elems())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(cin: usize, cout: usize, hw: (usize, usize), k: usize, s: usize) -> LayerDesc {
+        let out = ((hw.0 + 2 * (k / 2) - k) / s + 1, (hw.1 + 2 * (k / 2) - k) / s + 1);
+        LayerDesc {
+            kind: LayerKind::Conv2d,
+            name: format!("conv({cin}->{cout})"),
+            in_channels: cin,
+            out_channels: cout,
+            in_hw: hw,
+            out_hw: out,
+            kernel: k,
+            stride: s,
+            padding: k / 2,
+        }
+    }
+
+    #[test]
+    fn conv_macs_formula() {
+        let l = conv(3, 8, (10, 10), 3, 1);
+        // 10*10 outputs * 8 filters * 3 channels * 9 taps
+        assert_eq!(l.macs(), 100 * 8 * 3 * 9);
+        assert_eq!(l.params(), (8 * 3 * 9 + 8) as u64);
+    }
+
+    #[test]
+    fn depthwise_macs_are_channel_linear() {
+        let l = LayerDesc {
+            kind: LayerKind::DepthwiseConv2d,
+            name: "dw".into(),
+            in_channels: 16,
+            out_channels: 16,
+            in_hw: (8, 8),
+            out_hw: (8, 8),
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(l.macs(), 64 * 16 * 9);
+        assert_eq!(l.params(), (16 * 9 + 16) as u64);
+    }
+
+    #[test]
+    fn network_peaks() {
+        let net = NetworkDesc {
+            name: "toy".into(),
+            input: (1, 16, 16),
+            layers: vec![conv(1, 8, (16, 16), 3, 1), conv(8, 4, (16, 16), 3, 2)],
+        };
+        // conv1 output 8*16*16 = 2048 is the peak single tensor.
+        assert_eq!(net.peak_activation_elems(), 2048);
+        // live peak is conv2's input (2048) + output (4*8*8 = 256)... but
+        // conv1 has input 256 + output 2048 = 2304 which equals conv2's too.
+        assert_eq!(net.peak_live_activation_elems(), 2048 + 256);
+        assert!(net.macs() > 0);
+        assert_eq!(net.macs(), net.layers[0].macs() + net.layers[1].macs());
+    }
+}

@@ -1,0 +1,152 @@
+//! Weight initialization and the workspace's seedable RNG wrapper.
+
+use np_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG used throughout training and data generation.
+///
+/// A thin wrapper over [`rand::rngs::StdRng`] so that downstream crates never
+/// depend on `rand` trait imports to draw values.
+#[derive(Debug, Clone)]
+pub struct SmallRng(StdRng);
+
+impl SmallRng {
+    /// Seeds the generator for reproducible experiments.
+    pub fn seed(seed: u64) -> Self {
+        SmallRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        if lo == hi {
+            return lo;
+        }
+        self.0.random_range(lo..hi)
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.0.random_range(1e-7f32..1.0);
+        let u2: f32 = self.0.random_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.0.random_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.0.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.0.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Splits off an independent generator (seeded from this one).
+    pub fn fork(&mut self) -> SmallRng {
+        SmallRng(StdRng::seed_from_u64(self.0.random()))
+    }
+}
+
+/// Initialization scheme for learnable tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Kaiming (He) uniform: `U(-b, b)` with `b = sqrt(6 / fan_in)` —
+    /// the right default for ReLU networks.
+    KaimingUniform,
+    /// Xavier/Glorot uniform: `b = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Initializer {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` are the effective fan values of the layer, which
+    /// for convolutions include the receptive-field size.
+    pub fn init(self, dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut SmallRng) -> Tensor {
+        match self {
+            Initializer::Zeros => Tensor::zeros(dims),
+            Initializer::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+                random_uniform(dims, bound, rng)
+            }
+            Initializer::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                random_uniform(dims, bound, rng)
+            }
+        }
+    }
+}
+
+fn random_uniform(dims: &[usize], bound: f32, rng: &mut SmallRng) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| rng.uniform(-bound, bound)).collect();
+    Tensor::from_vec(dims, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed(42);
+        let mut b = SmallRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn kaiming_bounds_respected() {
+        let mut rng = SmallRng::seed(1);
+        let t = Initializer::KaimingUniform.init(&[16, 3, 3, 3], 27, 16, &mut rng);
+        let bound = (6.0f32 / 27.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+        // Not all the same value.
+        assert!(t.max() > t.min());
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        let mut rng = SmallRng::seed(1);
+        let t = Initializer::Zeros.init(&[8], 8, 8, &mut rng);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SmallRng::seed(9);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

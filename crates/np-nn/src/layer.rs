@@ -1,0 +1,103 @@
+//! The [`Layer`] trait and learnable [`Param`] storage.
+
+use crate::describe::LayerDesc;
+use np_tensor::Tensor;
+
+/// A learnable tensor and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+}
+
+/// One differentiable network layer.
+///
+/// The contract is strictly sequential: `backward` may only be called after
+/// `forward` (the layer caches whatever it needs), and gradients accumulate
+/// into [`Param::grad`] until [`Layer::zero_grad`] is called.
+///
+/// Layers are `Send` so the data-parallel trainer can move clones across
+/// threads, and expose `clone_box` because `Box<dyn Layer>` cannot derive
+/// `Clone`.
+pub trait Layer: Send {
+    /// Short human-readable layer name.
+    fn name(&self) -> String;
+
+    /// Runs the layer. `train` selects training behaviour (batch statistics
+    /// in batch norm); inference callers pass `false`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad_out` (gradient w.r.t. this layer's output),
+    /// accumulates parameter gradients, and returns the gradient w.r.t. the
+    /// layer's input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's learnable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Read access to the layer's learnable parameters (possibly empty).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Static description given the input shape `(channels, height, width)`;
+    /// also returns the output shape for shape propagation.
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize));
+
+    /// Clones the layer behind a fresh box (parameters included).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Downcasting hook so tooling (quantization, pruning) can reach the
+    /// concrete layer type behind `Box<dyn Layer>`.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcasting hook.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Clears cached activations to shrink a model before storing it.
+    fn clear_cache(&mut self) {}
+
+    /// Resets all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0, 2.0]));
+        p.grad = Tensor::from_slice(&[3.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+        assert_eq!(p.value.as_slice(), &[1.0, 2.0]);
+    }
+}

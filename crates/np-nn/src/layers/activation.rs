@@ -1,0 +1,95 @@
+//! Activation layers.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Clone, Default)]
+pub struct Relu {
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(np_tensor::ops::relu_mask(input));
+        }
+        np_tensor::ops::relu(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("relu backward called before forward(train=true)");
+        grad_out.mul(mask)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let desc = LayerDesc {
+            kind: LayerKind::Activation,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (h, w),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        (desc, input)
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let gx = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+}

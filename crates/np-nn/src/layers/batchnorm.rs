@@ -1,0 +1,331 @@
+//! 2-D batch normalization.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalization over the channel dimension of NCHW tensors.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.1); inference mode uses the running estimates.
+/// At deployment time `np-quant` folds the affine transform into the
+/// preceding convolution, matching what DORY does on GAP8.
+#[derive(Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit scale and zero shift.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Per-channel scale.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// Per-channel shift.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// Running mean estimate (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance estimate (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Effective per-channel `(scale, shift)` for folding into a preceding
+    /// convolution: `y = scale * x + shift` using running statistics.
+    pub fn fold_params(&self) -> (Vec<f32>, Vec<f32>) {
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let scale: Vec<f32> = (0..self.channels)
+            .map(|c| g[c] / (self.running_var[c] + EPS).sqrt())
+            .collect();
+        let shift: Vec<f32> = (0..self.channels)
+            .map(|c| b[c] - scale[c] * self.running_mean[c])
+            .collect();
+        (scale, shift)
+    }
+
+    /// Copies running statistics from another batch-norm layer (the
+    /// data-parallel trainer's state sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts differ.
+    pub fn copy_running_stats_from(&mut self, other: &BatchNorm2d) {
+        assert_eq!(self.channels, other.channels, "channel mismatch");
+        self.running_mean.copy_from_slice(&other.running_mean);
+        self.running_var.copy_from_slice(&other.running_var);
+    }
+
+    /// Overwrites the affine parameters and running statistics (weight
+    /// loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the channel count.
+    pub fn set_state(&mut self, gamma: &[f32], beta: &[f32], mean: &[f32], var: &[f32]) {
+        assert!(
+            [gamma, beta, mean, var].iter().all(|s| s.len() == self.channels),
+            "batchnorm state length mismatch"
+        );
+        self.gamma = Param::new(Tensor::from_slice(gamma));
+        self.beta = Param::new(Tensor::from_slice(beta));
+        self.running_mean = mean.to_vec();
+        self.running_var = var.to_vec();
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> String {
+        format!("batchnorm2d({})", self.channels)
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the BN math
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.shape();
+        assert_eq!(d.len(), 4, "batchnorm expects NCHW input");
+        assert_eq!(d[1], self.channels, "batchnorm channel mismatch");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let x = input.as_slice();
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut sum = 0.0;
+                for bi in 0..n {
+                    let base = (bi * c + ci) * plane;
+                    sum += x[base..base + plane].iter().sum::<f32>();
+                }
+                mean[ci] = sum / count;
+            }
+            for ci in 0..c {
+                let mut sum = 0.0;
+                for bi in 0..n {
+                    let base = (bi * c + ci) * plane;
+                    for &v in &x[base..base + plane] {
+                        let dlt = v - mean[ci];
+                        sum += dlt * dlt;
+                    }
+                }
+                var[ci] = sum / count;
+            }
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let mut out = vec![0.0; x.len()];
+        let mut x_hat = vec![0.0; x.len()];
+        for bi in 0..n {
+            for ci in 0..c {
+                let base = (bi * c + ci) * plane;
+                for i in 0..plane {
+                    let xh = (x[base + i] - mean[ci]) * inv_std[ci];
+                    x_hat[base + i] = xh;
+                    out[base + i] = g[ci] * xh + b[ci];
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(d, x_hat),
+                inv_std,
+                dims: [n, c, h, w],
+            });
+        }
+        Tensor::from_vec(d, out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("batchnorm backward called before forward(train=true)");
+        let [n, c, h, w] = cache.dims;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let gy = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let g = self.gamma.value.as_slice();
+
+        // dgamma, dbeta, and the per-channel sums the dx formula needs.
+        let mut sum_gy = vec![0.0f32; c];
+        let mut sum_gy_xh = vec![0.0f32; c];
+        for bi in 0..n {
+            for ci in 0..c {
+                let base = (bi * c + ci) * plane;
+                for i in 0..plane {
+                    sum_gy[ci] += gy[base + i];
+                    sum_gy_xh[ci] += gy[base + i] * xh[base + i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += sum_gy_xh[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_gy[ci];
+        }
+
+        // dx = (gamma * inv_std / m) * (m*gy - sum_gy - x_hat * sum_gy_xh)
+        let mut gx = vec![0.0; gy.len()];
+        for bi in 0..n {
+            for ci in 0..c {
+                let base = (bi * c + ci) * plane;
+                let k = g[ci] * cache.inv_std[ci] / m;
+                for i in 0..plane {
+                    gx[base + i] =
+                        k * (m * gy[base + i] - sum_gy[ci] - xh[base + i] * sum_gy_xh[ci]);
+                }
+            }
+        }
+        Tensor::from_vec(&[n, c, h, w], gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let desc = LayerDesc {
+            kind: LayerKind::BatchNorm,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (h, w),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        (desc, input)
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_forward_normalizes() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(&[2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_stats_converge() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![10.0, 10.0, 14.0, 14.0]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 12.0).abs() < 0.1);
+        assert!((bn.running_var()[0] - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.set_state(&[2.0], &[1.0], &[5.0], &[4.0]);
+        let x = Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]);
+        let y = bn.forward(&x, false);
+        // (7-5)/2 * 2 + 1 = 3
+        assert!((y.as_slice()[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fold_params_match_eval() {
+        let mut bn = BatchNorm2d::new(2);
+        bn.set_state(&[1.5, 0.5], &[0.2, -0.2], &[1.0, -1.0], &[0.25, 4.0]);
+        let (scale, shift) = bn.fold_params();
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![2.0, 3.0]);
+        let y = bn.forward(&x, false);
+        for c in 0..2 {
+            let manual = scale[c] * x.as_slice()[c] + shift[c];
+            assert!((y.as_slice()[c] - manual).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_zero_mean_gradient() {
+        // For gamma=1, beta=0, the dx of a constant grad_out is ~0
+        // (normalization removes the mean shift).
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = bn.forward(&x, true);
+        let gx = bn.backward(&Tensor::full(&[1, 1, 2, 2], 1.0));
+        for &v in gx.as_slice() {
+            assert!(v.abs() < 1e-4, "expected ~0, got {v}");
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Standard and depthwise convolution layers with backward passes.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::init::{Initializer, SmallRng};
+use crate::layer::{Layer, Param};
+use np_tensor::im2col::{col2im, im2col, Im2colSpec};
+use np_tensor::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
+use np_tensor::shape::conv_out_dim;
+use np_tensor::Tensor;
+
+/// Learnable 2-D convolution (square kernel, symmetric stride/padding).
+#[derive(Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Clone)]
+struct ConvCache {
+    /// Per-batch-item im2col matrices.
+    lowered: Vec<Vec<f32>>,
+    in_hw: (usize, usize),
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with `init`-initialized weights and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        init: Initializer,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = init.init(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// The weight tensor `[C_out, C_in, K, K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor `[C_out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Replaces weight and bias (used by quantization-aware tooling and
+    /// weight loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_weights(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape");
+        assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape");
+        self.weight = Param::new(weight);
+        self.bias = Param::new(bias);
+    }
+
+    fn spec_for(&self, h: usize, w: usize) -> Im2colSpec {
+        Im2colSpec {
+            channels: self.in_channels,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}->{}, k{} s{} p{})",
+            self.in_channels, self.out_channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.shape();
+        assert_eq!(d.len(), 4, "conv2d expects NCHW input");
+        assert_eq!(d[1], self.in_channels, "conv2d channel mismatch");
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let spec = self.spec_for(h, w);
+        let (oh, ow) = (spec.out_height(), spec.out_width());
+        let cols = oh * ow;
+        let rows = spec.rows();
+        let per_in = self.in_channels * h * w;
+        let per_out = self.out_channels * cols;
+
+        let mut out = vec![0.0; n * per_out];
+        let mut lowered_cache = Vec::with_capacity(if train { n } else { 0 });
+        for bi in 0..n {
+            let lowered = im2col(&input.as_slice()[bi * per_in..(bi + 1) * per_in], spec);
+            let dst = &mut out[bi * per_out..(bi + 1) * per_out];
+            for (ci, &bv) in self.bias.value.as_slice().iter().enumerate() {
+                dst[ci * cols..(ci + 1) * cols].fill(bv);
+            }
+            matmul_acc(
+                self.weight.value.as_slice(),
+                &lowered,
+                dst,
+                self.out_channels,
+                rows,
+                cols,
+            );
+            if train {
+                lowered_cache.push(lowered);
+            }
+        }
+        self.cache = train.then_some(ConvCache {
+            lowered: lowered_cache,
+            in_hw: (h, w),
+            batch: n,
+        });
+        Tensor::from_vec(&[n, self.out_channels, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("conv2d backward called before forward(train=true)");
+        let (h, w) = cache.in_hw;
+        let n = cache.batch;
+        let spec = self.spec_for(h, w);
+        let cols = spec.out_height() * spec.out_width();
+        let rows = spec.rows();
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_channels, spec.out_height(), spec.out_width()],
+            "grad_out shape mismatch"
+        );
+
+        let per_out = self.out_channels * cols;
+        let per_in = self.in_channels * h * w;
+        let mut grad_in = vec![0.0; n * per_in];
+        let go = grad_out.as_slice();
+
+        for bi in 0..n {
+            let gy = &go[bi * per_out..(bi + 1) * per_out];
+            // dW[Cout][rows] += gy[Cout][cols] * lowered^T[cols][rows]
+            matmul_a_bt(
+                gy,
+                &cache.lowered[bi],
+                self.weight.grad.as_mut_slice(),
+                self.out_channels,
+                cols,
+                rows,
+            );
+            // db += row sums of gy
+            for (ci, gb) in self.bias.grad.as_mut_slice().iter_mut().enumerate() {
+                *gb += gy[ci * cols..(ci + 1) * cols].iter().sum::<f32>();
+            }
+            // dlowered[rows][cols] = W^T[rows][Cout] * gy[Cout][cols]
+            let mut dlowered = vec![0.0; rows * cols];
+            matmul_at_b(
+                self.weight.value.as_slice(),
+                gy,
+                &mut dlowered,
+                rows,
+                self.out_channels,
+                cols,
+            );
+            let dx = col2im(&dlowered, spec);
+            grad_in[bi * per_in..(bi + 1) * per_in].copy_from_slice(&dx);
+        }
+        Tensor::from_vec(&[n, self.in_channels, h, w], grad_in)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        assert_eq!(c, self.in_channels, "describe channel mismatch");
+        let oh = conv_out_dim(h, self.kernel, self.stride, self.padding);
+        let ow = conv_out_dim(w, self.kernel, self.stride, self.padding);
+        let desc = LayerDesc {
+            kind: LayerKind::Conv2d,
+            name: self.name(),
+            in_channels: c,
+            out_channels: self.out_channels,
+            in_hw: (h, w),
+            out_hw: (oh, ow),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        (desc, (self.out_channels, oh, ow))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Learnable depthwise 2-D convolution (`groups == channels`).
+#[derive(Clone)]
+pub struct DepthwiseConv2d {
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<(Tensor, (usize, usize))>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with `init`-initialized weights.
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        init: Initializer,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let fan = kernel * kernel;
+        let weight = init.init(&[channels, 1, kernel, kernel], fan, fan, rng);
+        DepthwiseConv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// The weight tensor `[C, 1, K, K]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor `[C]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Replaces weight and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_weights(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape");
+        assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape");
+        self.weight = Param::new(weight);
+        self.bias = Param::new(bias);
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> String {
+        format!(
+            "dwconv2d({}, k{} s{} p{})",
+            self.channels, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = np_tensor::conv::depthwise_conv2d(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            np_tensor::conv::Conv2dSpec {
+                stride: self.stride,
+                padding: self.padding,
+            },
+        );
+        if train {
+            let d = input.shape();
+            self.cache = Some((input.clone(), (d[2], d[3])));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (input, (h, w)) = self
+            .cache
+            .as_ref()
+            .expect("dwconv backward called before forward(train=true)");
+        let d = grad_out.shape();
+        let (n, c, oh, ow) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(c, self.channels, "grad channel mismatch");
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let (h, w) = (*h, *w);
+
+        let mut grad_in = vec![0.0; n * c * h * w];
+        let go = grad_out.as_slice();
+        let xi = input.as_slice();
+        let wt = self.weight.value.as_slice();
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+
+        for bi in 0..n {
+            for ci in 0..c {
+                let x_plane = &xi[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                let g_plane = &go[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
+                let kern = &wt[ci * k * k..(ci + 1) * k * k];
+                let gkern = &mut gw[ci * k * k..(ci + 1) * k * k];
+                let gi_plane = &mut grad_in[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = g_plane[oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[ci] += g;
+                        for ky in 0..k {
+                            let iy = oy as isize * self.stride as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize * self.stride as isize + kx as isize - pad;
+                                if ix >= 0 && ix < w as isize {
+                                    let iidx = iy as usize * w + ix as usize;
+                                    gkern[ky * k + kx] += g * x_plane[iidx];
+                                    gi_plane[iidx] += g * kern[ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n, c, h, w], grad_in)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        assert_eq!(c, self.channels, "describe channel mismatch");
+        let oh = conv_out_dim(h, self.kernel, self.stride, self.padding);
+        let ow = conv_out_dim(w, self.kernel, self.stride, self.padding);
+        let desc = LayerDesc {
+            kind: LayerKind::DepthwiseConv2d,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (oh, ow),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        (desc, (c, oh, ow))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_forward_shape_and_describe_agree() {
+        let mut rng = SmallRng::seed(0);
+        let mut conv = Conv2d::new(3, 8, 3, 2, 1, Initializer::KaimingUniform, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 9, 7]);
+        let y = conv.forward(&x, false);
+        let (desc, out_shape) = conv.describe((3, 9, 7));
+        assert_eq!(y.shape(), &[2, out_shape.0, out_shape.1, out_shape.2]);
+        assert_eq!(desc.out_hw, (5, 4));
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut rng = SmallRng::seed(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, Initializer::KaimingUniform, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv.backward(&Tensor::zeros(&[1, 1, 4, 4]))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bias_gradient_is_output_sum() {
+        let mut rng = SmallRng::seed(1);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng);
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let _ = conv.forward(&x, true);
+        let gy = Tensor::full(&[1, 2, 4, 4], 1.0);
+        let _ = conv.backward(&gy);
+        // Each bias sees 16 ones.
+        assert_eq!(conv.bias.grad.as_slice(), &[16.0, 16.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Inverted dropout.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::init::SmallRng;
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1-p)`; at inference it is
+/// the identity.
+///
+/// The layer owns its RNG (seeded at construction) so training runs are
+/// reproducible; note that data-parallel worker clones share the seed and
+/// therefore the mask *sequence*, which is deterministic by design.
+#[derive(Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: SmallRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout {
+            p,
+            rng: SmallRng::seed(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> String {
+        format!("dropout(p={:.2})", self.p)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.numel())
+            .map(|_| if self.rng.chance(keep as f64) { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(input.shape(), mask_data);
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("dropout backward called before forward(train=true)");
+        grad_out.mul(mask)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let desc = LayerDesc {
+            kind: LayerKind::Activation,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (h, w),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        (desc, input)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_keeps_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::full(&[1, 1, 40, 50], 1.0);
+        let y = d.forward(&x, true);
+        // Mean stays ~1 thanks to inverted scaling.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {}", y.mean());
+        // Roughly 30% of activations are zero.
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.numel() as f32;
+        assert!((frac - 0.3).abs() < 0.06, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn backward_routes_through_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(&[1, 1, 4, 4], 2.0);
+        let y = d.forward(&x, true);
+        let gx = d.backward(&Tensor::full(&[1, 1, 4, 4], 1.0));
+        for (yo, go) in y.as_slice().iter().zip(gx.as_slice().iter()) {
+            // Zeroed forward => zeroed gradient; kept => scaled by 2.
+            if *yo == 0.0 {
+                assert_eq!(*go, 0.0);
+            } else {
+                assert_eq!(*go, 2.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn invalid_probability_rejected() {
+        Dropout::new(1.0, 0);
+    }
+}

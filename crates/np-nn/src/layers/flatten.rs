@@ -1,0 +1,100 @@
+//! Shape adapter between convolutional and fully-connected stages.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+/// Flattens `[N, C, H, W]` to `[N, C*H*W]`; the backward pass restores the
+/// original shape.
+#[derive(Clone, Default)]
+pub struct Flatten {
+    cache: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cache: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let d = input.shape();
+        assert!(!d.is_empty(), "flatten of scalar");
+        if train {
+            self.cache = Some(d.to_vec());
+        }
+        let batch = d[0];
+        input.reshape(&[batch, input.numel() / batch])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .cache
+            .as_ref()
+            .expect("flatten backward called before forward(train=true)");
+        grad_out.reshape(dims)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let desc = LayerDesc {
+            kind: LayerKind::Reshape,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c * h * w,
+            in_hw: (h, w),
+            out_hw: (1, 1),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        (desc, (c * h * w, 1, 1))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 4]);
+        let gx = fl.backward(&y);
+        assert_eq!(gx.shape(), &[2, 1, 2, 2]);
+        assert_eq!(gx.as_slice(), x.as_slice());
+    }
+}

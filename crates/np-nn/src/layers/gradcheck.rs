@@ -1,0 +1,179 @@
+#![allow(clippy::needless_range_loop)]
+//! Finite-difference gradient checks for every layer's backward pass.
+//!
+//! For a scalar objective `L = sum(forward(x) * probe)`, the analytic
+//! gradient from `backward(probe)` must match the central difference
+//! `(L(x + eps) - L(x - eps)) / (2 eps)` for every input element and every
+//! parameter element.
+
+use crate::init::{Initializer, SmallRng};
+use crate::layer::Layer;
+use np_tensor::Tensor;
+
+const EPS: f32 = 1e-3;
+const TOL: f32 = 2e-2;
+
+fn probe_for(shape: &[usize], rng: &mut SmallRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect())
+}
+
+fn objective(layer: &mut dyn Layer, x: &Tensor, probe: &Tensor) -> f32 {
+    let y = layer.forward(x, true);
+    y.mul(probe).sum()
+}
+
+/// Checks input and parameter gradients of `layer` at input `x`.
+fn check_layer(layer: &mut dyn Layer, x: &Tensor, rng: &mut SmallRng) {
+    // Shape the probe after one dry-run forward.
+    let y0 = layer.forward(x, true);
+    let probe = probe_for(y0.shape(), rng);
+
+    // Analytic gradients.
+    layer.zero_grad();
+    let _ = layer.forward(x, true);
+    let gx = layer.backward(&probe);
+    let param_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+
+    // Numeric input gradient.
+    let mut x_mut = x.clone();
+    for i in 0..x.numel() {
+        let orig = x_mut.as_slice()[i];
+        x_mut.as_mut_slice()[i] = orig + EPS;
+        let plus = objective(layer, &x_mut, &probe);
+        x_mut.as_mut_slice()[i] = orig - EPS;
+        let minus = objective(layer, &x_mut, &probe);
+        x_mut.as_mut_slice()[i] = orig;
+        let numeric = (plus - minus) / (2.0 * EPS);
+        let analytic = gx.as_slice()[i];
+        assert!(
+            (numeric - analytic).abs() < TOL * (1.0 + numeric.abs().max(analytic.abs())),
+            "input grad mismatch at {i}: numeric {numeric} vs analytic {analytic} ({})",
+            layer.name()
+        );
+    }
+
+    // Numeric parameter gradients.
+    let param_count = param_grads.len();
+    for pi in 0..param_count {
+        let n = param_grads[pi].numel();
+        for i in 0..n {
+            let orig = layer.params()[pi].value.as_slice()[i];
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig + EPS;
+            let plus = objective(layer, x, &probe);
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig - EPS;
+            let minus = objective(layer, x, &probe);
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig;
+            let numeric = (plus - minus) / (2.0 * EPS);
+            let analytic = param_grads[pi].as_slice()[i];
+            assert!(
+                (numeric - analytic).abs() < TOL * (1.0 + numeric.abs().max(analytic.abs())),
+                "param {pi} grad mismatch at {i}: numeric {numeric} vs analytic {analytic} ({})",
+                layer.name()
+            );
+        }
+    }
+}
+
+fn smooth_input(dims: &[usize], rng: &mut SmallRng) -> Tensor {
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(dims, (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect())
+}
+
+#[test]
+fn conv2d_gradients() {
+    let mut rng = SmallRng::seed(21);
+    let mut layer = super::Conv2d::new(2, 3, 3, 1, 1, Initializer::KaimingUniform, &mut rng);
+    let x = smooth_input(&[2, 2, 4, 4], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn conv2d_strided_gradients() {
+    let mut rng = SmallRng::seed(22);
+    let mut layer = super::Conv2d::new(1, 2, 3, 2, 1, Initializer::KaimingUniform, &mut rng);
+    let x = smooth_input(&[1, 1, 5, 5], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn depthwise_gradients() {
+    let mut rng = SmallRng::seed(23);
+    let mut layer = super::DepthwiseConv2d::new(3, 3, 1, 1, Initializer::KaimingUniform, &mut rng);
+    let x = smooth_input(&[1, 3, 4, 4], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn depthwise_strided_gradients() {
+    let mut rng = SmallRng::seed(24);
+    let mut layer = super::DepthwiseConv2d::new(2, 3, 2, 1, Initializer::KaimingUniform, &mut rng);
+    let x = smooth_input(&[1, 2, 5, 5], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn linear_gradients() {
+    let mut rng = SmallRng::seed(25);
+    let mut layer = super::Linear::new(6, 4, Initializer::KaimingUniform, &mut rng);
+    let x = smooth_input(&[3, 6], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn avgpool_gradients() {
+    let mut rng = SmallRng::seed(27);
+    let mut layer = super::AvgPool2d::new(2, 2);
+    let x = smooth_input(&[1, 2, 4, 4], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn global_avgpool_gradients() {
+    let mut rng = SmallRng::seed(28);
+    let mut layer = super::GlobalAvgPool::new();
+    let x = smooth_input(&[2, 3, 3, 3], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn batchnorm_gradients() {
+    let mut rng = SmallRng::seed(29);
+    let mut layer = super::BatchNorm2d::new(2);
+    let x = smooth_input(&[3, 2, 3, 3], &mut rng);
+    check_layer(&mut layer, &x, &mut rng);
+}
+
+#[test]
+fn whole_network_gradient_spot_check() {
+    // End-to-end: train loss of a 3-layer net decreases under its own
+    // gradient — a cheap sanity proxy for composed backward correctness.
+    use crate::loss::mse_loss;
+    use crate::sequential::Sequential;
+
+    let mut rng = SmallRng::seed(30);
+    let mut net = Sequential::new(vec![
+        Box::new(super::Conv2d::new(1, 3, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+        Box::new(super::Relu::new()),
+        Box::new(super::MaxPool2d::new(2, 2)),
+        Box::new(super::Flatten::new()),
+        Box::new(super::Linear::new(3 * 2 * 2, 2, Initializer::KaimingUniform, &mut rng)),
+    ]);
+    let x = smooth_input(&[4, 1, 4, 4], &mut rng);
+    let t = smooth_input(&[4, 2], &mut rng);
+    let mut last = f32::INFINITY;
+    for _ in 0..30 {
+        let y = net.forward_train(&x);
+        let (loss, grad) = mse_loss(&y, &t);
+        net.zero_grad();
+        net.backward(&grad);
+        for p in net.params_mut() {
+            let g = p.grad.clone();
+            p.value.add_scaled_inplace(&g, -0.1);
+        }
+        last = loss;
+    }
+    let y = net.forward_train(&x);
+    let (final_loss, _) = mse_loss(&y, &t);
+    assert!(final_loss < 0.1, "did not fit: {final_loss} (last {last})");
+}

@@ -1,0 +1,214 @@
+//! Fully-connected layer.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::init::{Initializer, SmallRng};
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+/// Learnable affine layer `y = W x + b`.
+///
+/// Accepts any input whose trailing dimensions flatten to `in_features`
+/// (so it can directly follow a convolution without an explicit flatten).
+#[derive(Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with `init`-initialized weights and zero bias.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        init: Initializer,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let weight = init.init(&[out_features, in_features], in_features, out_features, rng);
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// The weight tensor `[D_out, D_in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor `[D_out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+
+    /// Replaces weight and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_weights(&mut self, weight: Tensor, bias: Tensor) {
+        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape");
+        assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape");
+        self.weight = Param::new(weight);
+        self.bias = Param::new(bias);
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.numel() / self.in_features;
+        assert_eq!(
+            batch * self.in_features,
+            input.numel(),
+            "linear input {} not divisible by in_features {}",
+            input.numel(),
+            self.in_features
+        );
+        let flat = input.reshape(&[batch, self.in_features]);
+        let out = np_tensor::ops::linear(&flat, &self.weight.value, Some(&self.bias.value));
+        if train {
+            self.cache = Some(flat);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache
+            .as_ref()
+            .expect("linear backward called before forward(train=true)");
+        let batch = x.shape()[0];
+        assert_eq!(grad_out.shape(), &[batch, self.out_features]);
+        let gy = grad_out.as_slice();
+        let xv = x.as_slice();
+        let (d_in, d_out) = (self.in_features, self.out_features);
+
+        // dW[j][i] += sum_b gy[b][j] * x[b][i]; db[j] += sum_b gy[b][j]
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+        for bi in 0..batch {
+            let gyr = &gy[bi * d_out..(bi + 1) * d_out];
+            let xr = &xv[bi * d_in..(bi + 1) * d_in];
+            for (j, &g) in gyr.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                gb[j] += g;
+                let wrow = &mut gw[j * d_in..(j + 1) * d_in];
+                for (wi, &xi) in wrow.iter_mut().zip(xr.iter()) {
+                    *wi += g * xi;
+                }
+            }
+        }
+
+        // dx[b][i] = sum_j gy[b][j] * W[j][i]
+        let wv = self.weight.value.as_slice();
+        let mut gx = vec![0.0; batch * d_in];
+        for bi in 0..batch {
+            let gyr = &gy[bi * d_out..(bi + 1) * d_out];
+            let gxr = &mut gx[bi * d_in..(bi + 1) * d_in];
+            for (j, &g) in gyr.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let wrow = &wv[j * d_in..(j + 1) * d_in];
+                for (gxi, &wi) in gxr.iter_mut().zip(wrow.iter()) {
+                    *gxi += g * wi;
+                }
+            }
+        }
+        Tensor::from_vec(&[batch, d_in], gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        assert_eq!(
+            c * h * w,
+            self.in_features,
+            "linear describe: input {c}x{h}x{w} != in_features {}",
+            self.in_features
+        );
+        let desc = LayerDesc {
+            kind: LayerKind::Linear,
+            name: self.name(),
+            in_channels: self.in_features,
+            out_channels: self.out_features,
+            in_hw: (1, 1),
+            out_hw: (1, 1),
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        (desc, (self.out_features, 1, 1))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SmallRng::seed(0);
+        let mut lin = Linear::new(2, 1, Initializer::Zeros, &mut rng);
+        lin.set_weights(
+            Tensor::from_vec(&[1, 2], vec![2.0, -1.0]),
+            Tensor::from_slice(&[0.5]),
+        );
+        let y = lin.forward(&Tensor::from_vec(&[1, 2], vec![3.0, 4.0]), false);
+        assert_eq!(y.as_slice(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn backward_gradients_known_values() {
+        let mut rng = SmallRng::seed(0);
+        let mut lin = Linear::new(2, 2, Initializer::Zeros, &mut rng);
+        lin.set_weights(
+            Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]),
+            Tensor::zeros(&[2]),
+        );
+        let x = Tensor::from_vec(&[1, 2], vec![5.0, 6.0]);
+        let _ = lin.forward(&x, true);
+        let gy = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let gx = lin.backward(&gy);
+        // dx = gy * W = [1*1 + 1*3, 1*2 + 1*4]
+        assert_eq!(gx.as_slice(), &[4.0, 6.0]);
+        // dW = gy^T x = [[5,6],[5,6]]
+        assert_eq!(lin.weight.grad.as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(lin.bias.grad.as_slice(), &[1.0, 1.0]);
+    }
+}

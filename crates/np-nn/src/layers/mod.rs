@@ -1,0 +1,20 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::Relu;
+pub use batchnorm::BatchNorm2d;
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+
+#[cfg(test)]
+mod gradcheck;

@@ -1,0 +1,332 @@
+//! Pooling layers.
+
+use crate::describe::{LayerDesc, LayerKind};
+use crate::layer::{Layer, Param};
+use np_tensor::pool::{avg_pool2d, global_avg_pool, max_pool2d, PoolSpec};
+use np_tensor::shape::conv_out_dim;
+use np_tensor::Tensor;
+
+/// Max pooling over square non-padded windows.
+#[derive(Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer; `stride == kernel` gives the usual
+    /// non-overlapping pooling.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("maxpool(k{} s{})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = max_pool2d(
+            input,
+            PoolSpec {
+                kernel: self.kernel,
+                stride: self.stride,
+            },
+        );
+        if train {
+            self.cache = Some((out.argmax, input.shape().to_vec()));
+        }
+        out.output
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, in_dims) = self
+            .cache
+            .as_ref()
+            .expect("maxpool backward called before forward(train=true)");
+        let mut gx = vec![0.0; in_dims.iter().product()];
+        for (&idx, &g) in argmax.iter().zip(grad_out.as_slice().iter()) {
+            gx[idx] += g;
+        }
+        Tensor::from_vec(in_dims, gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let oh = conv_out_dim(h, self.kernel, self.stride, 0);
+        let ow = conv_out_dim(w, self.kernel, self.stride, 0);
+        let desc = LayerDesc {
+            kind: LayerKind::MaxPool,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (oh, ow),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: 0,
+        };
+        (desc, (c, oh, ow))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Average pooling over square non-padded windows.
+#[derive(Clone)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("avgpool(k{} s{})", self.kernel, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(input.shape().to_vec());
+        }
+        avg_pool2d(
+            input,
+            PoolSpec {
+                kernel: self.kernel,
+                stride: self.stride,
+            },
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self
+            .cache
+            .as_ref()
+            .expect("avgpool backward called before forward(train=true)");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let god = grad_out.shape();
+        let (oh, ow) = (god[2], god[3]);
+        let inv = 1.0 / (self.kernel * self.kernel) as f32;
+        let gy = grad_out.as_slice();
+        let mut gx = vec![0.0; n * c * h * w];
+        for bi in 0..n {
+            for ci in 0..c {
+                let ibase = (bi * c + ci) * h * w;
+                let obase = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gy[obase + oy * ow + ox] * inv;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                gx[ibase + (oy * self.stride + ky) * w + ox * self.stride + kx] +=
+                                    g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(in_dims, gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let oh = conv_out_dim(h, self.kernel, self.stride, 0);
+        let ow = conv_out_dim(w, self.kernel, self.stride, 0);
+        let desc = LayerDesc {
+            kind: LayerKind::AvgPool,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (oh, ow),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: 0,
+        };
+        (desc, (c, oh, ow))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+/// Global average pooling (`[N, C, H, W] -> [N, C, 1, 1]`), as used before
+/// the MobileNet classifier head.
+#[derive(Clone, Default)]
+pub struct GlobalAvgPool {
+    cache: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> String {
+        "global_avgpool".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some(input.shape().to_vec());
+        }
+        global_avg_pool(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_dims = self
+            .cache
+            .as_ref()
+            .expect("global avgpool backward called before forward(train=true)");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let gy = grad_out.as_slice();
+        let mut gx = vec![0.0; n * c * h * w];
+        for i in 0..n * c {
+            let g = gy[i] * inv;
+            gx[i * h * w..(i + 1) * h * w].fill(g);
+        }
+        Tensor::from_vec(in_dims, gx)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn describe(&self, input: (usize, usize, usize)) -> (LayerDesc, (usize, usize, usize)) {
+        let (c, h, w) = input;
+        let desc = LayerDesc {
+            kind: LayerKind::AvgPool,
+            name: self.name(),
+            in_channels: c,
+            out_channels: c,
+            in_hw: (h, w),
+            out_hw: (1, 1),
+            kernel: h.max(w),
+            stride: 1,
+            padding: 0,
+        };
+        (desc, (c, 1, 1))
+    }
+
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]);
+        let _ = pool.forward(&x, true);
+        let gx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]));
+        assert_eq!(gx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_evenly() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let gx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![4.0]));
+        assert_eq!(gx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_pool_shapes() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::full(&[2, 3, 4, 5], 2.0);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3, 1, 1]);
+        assert!(y.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        let gx = pool.backward(&Tensor::full(&[2, 3, 1, 1], 20.0));
+        assert!(gx.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,183 @@
+//! Loss functions returning `(scalar_loss, grad_wrt_prediction)`.
+
+use np_tensor::ops::softmax;
+use np_tensor::Tensor;
+
+/// Mean squared error averaged over all elements.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.numel() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Mean absolute (L1) error averaged over all elements — the paper's MAE
+/// objective for the pose regressors.
+///
+/// The gradient uses the subgradient `sign(pred - target)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn l1_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "l1 shape mismatch");
+    let n = pred.numel() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|d| d.abs()).sum::<f32>() / n;
+    let grad = diff.map(|d| d.signum() / n);
+    (loss, grad)
+}
+
+/// Huber (smooth-L1) loss with transition point `delta`: quadratic near
+/// zero, linear in the tails. More stable than raw L1 early in training.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `delta <= 0`.
+pub fn huber_loss(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "huber shape mismatch");
+    assert!(delta > 0.0, "huber delta must be positive");
+    let n = pred.numel() as f32;
+    let diff = pred.sub(target);
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; diff.numel()];
+    for (g, &d) in grad.iter_mut().zip(diff.as_slice().iter()) {
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            *g = d / n;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            *g = delta * d.signum() / n;
+        }
+    }
+    (loss / n, Tensor::from_vec(pred.shape(), grad))
+}
+
+/// Softmax cross-entropy for integer class targets.
+///
+/// * `logits`: `[N, C]`
+/// * `targets`: class index per batch item, each `< C`
+///
+/// Returns the mean loss and the gradient w.r.t. the logits
+/// (`softmax - one_hot`, scaled by `1/N`).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or a target index is out of range.
+pub fn cross_entropy_loss(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let d = logits.shape();
+    assert_eq!(d.len(), 2, "cross entropy expects [N, C] logits");
+    let (n, c) = (d[0], d[1]);
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let lv = logits.as_slice();
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; n * c];
+    for bi in 0..n {
+        let t = targets[bi];
+        assert!(t < c, "target {t} out of range {c}");
+        let p = softmax(&lv[bi * c..(bi + 1) * c]);
+        loss -= (p[t].max(1e-12)).ln();
+        for (j, &pj) in p.iter().enumerate() {
+            grad[bi * c + j] = (pj - if j == t { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (loss / n as f32, Tensor::from_vec(&[n, c], grad))
+}
+
+/// Classification accuracy of `[N, C]` logits against integer targets.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let d = logits.shape();
+    assert_eq!(d.len(), 2, "accuracy expects [N, C] logits");
+    let (n, c) = (d[0], d[1]);
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let lv = logits.as_slice();
+    let mut correct = 0;
+    for bi in 0..n {
+        let row = &lv[bi * c..(bi + 1) * c];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == targets[bi] {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let (loss, grad) = mse_loss(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let p = Tensor::from_slice(&[2.0]);
+        let t = Tensor::from_slice(&[0.0]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert_eq!(loss, 4.0);
+        assert_eq!(grad.as_slice(), &[4.0]); // 2 * (2 - 0) / 1
+    }
+
+    #[test]
+    fn l1_matches_mae() {
+        let p = Tensor::from_slice(&[1.0, -1.0, 3.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0, 0.0]);
+        let (loss, grad) = l1_loss(&p, &t);
+        assert!((loss - 5.0 / 3.0).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0 / 3.0, -1.0 / 3.0, 1.0 / 3.0]);
+    }
+
+    #[test]
+    fn huber_quadratic_then_linear() {
+        let t = Tensor::from_slice(&[0.0]);
+        let (small, _) = huber_loss(&Tensor::from_slice(&[0.5]), &t, 1.0);
+        assert!((small - 0.125).abs() < 1e-6);
+        let (big, grad) = huber_loss(&Tensor::from_slice(&[3.0]), &t, 1.0);
+        assert!((big - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = cross_entropy_loss(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.0, -1.0]);
+        let (_, grad) = cross_entropy_loss(&logits, &[2, 0]);
+        // Each row of softmax-minus-onehot sums to zero.
+        let g = grad.as_slice();
+        assert!((g[0] + g[1] + g[2]).abs() < 1e-6);
+        assert!((g[3] + g[4] + g[5]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(&[2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+}

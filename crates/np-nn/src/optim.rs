@@ -1,0 +1,266 @@
+//! Gradient-descent optimizers.
+
+use crate::layer::Param;
+use np_tensor::Tensor;
+
+/// Hyper-parameters for [`Sgd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Classical momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+/// Stochastic gradient descent with momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer; velocity buffers are allocated lazily on the
+    /// first [`Self::step`].
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd {
+            config,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    /// Overwrites the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Applies one update to `params` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter list changed");
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            let pv = p.value.as_mut_slice();
+            let g = p.grad.as_slice();
+            let vv = v.as_mut_slice();
+            let c = self.config;
+            for i in 0..pv.len() {
+                let grad = g[i] + c.weight_decay * pv[i];
+                vv[i] = c.momentum * vv[i] + grad;
+                pv[i] -= c.lr * vv[i];
+            }
+        }
+    }
+}
+
+/// Hyper-parameters for [`Adam`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam optimizer with optional decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an optimizer; moment buffers are allocated lazily.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam {
+            config,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    /// Overwrites the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    /// Applies one update to `params` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed");
+        self.t += 1;
+        let c = self.config;
+        let bias1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - c.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let pv = p.value.as_mut_slice();
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            for i in 0..pv.len() {
+                mv[i] = c.beta1 * mv[i] + (1.0 - c.beta1) * g[i];
+                vv[i] = c.beta2 * vv[i] + (1.0 - c.beta2) * g[i] * g[i];
+                let m_hat = mv[i] / bias1;
+                let v_hat = vv[i] / bias2;
+                pv[i] -= c.lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * pv[i]);
+            }
+        }
+    }
+}
+
+/// Cosine-annealing learning-rate schedule from `lr_max` to `lr_min` over
+/// `total` steps.
+///
+/// ```
+/// use np_nn::optim::cosine_lr;
+/// assert_eq!(cosine_lr(0, 100, 1.0, 0.0), 1.0);
+/// assert!((cosine_lr(100, 100, 1.0, 0.0)).abs() < 1e-6);
+/// ```
+pub fn cosine_lr(step: u32, total: u32, lr_max: f32, lr_min: f32) -> f32 {
+    if total == 0 {
+        return lr_max;
+    }
+    let progress = (step.min(total) as f32) / total as f32;
+    lr_min + 0.5 * (lr_max - lr_min) * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_slice(&[x0]))
+    }
+
+    fn grad_of_quadratic(p: &mut Param) {
+        // f(x) = x^2, grad = 2x
+        let x = p.value.as_slice()[0];
+        p.grad = Tensor::from_slice(&[2.0 * x]);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        for _ in 0..50 {
+            grad_of_quadratic(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut p = quadratic_param(5.0);
+            let mut opt = Sgd::new(SgdConfig {
+                lr: 0.02,
+                momentum,
+                weight_decay: 0.0,
+            });
+            for _ in 0..20 {
+                grad_of_quadratic(&mut p);
+                opt.step(&mut [&mut p]);
+            }
+            p.value.as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = quadratic_param(3.0);
+        let mut opt = Adam::new(AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        });
+        for _ in 0..200 {
+            grad_of_quadratic(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = quadratic_param(1.0);
+        p.grad = Tensor::from_slice(&[0.0]);
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_schedule_monotone() {
+        let mut prev = f32::INFINITY;
+        for s in 0..=10 {
+            let lr = cosine_lr(s, 10, 1.0, 0.1);
+            assert!(lr <= prev + 1e-6);
+            prev = lr;
+        }
+        assert!((cosine_lr(5, 10, 1.0, 0.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,265 @@
+//! Straight-line model container.
+
+use crate::describe::NetworkDesc;
+use crate::layer::{Layer, Param};
+use np_tensor::Tensor;
+
+/// A feed-forward chain of layers — sufficient for every network in the
+/// paper (Frontnet variants, MobileNet v1 and the auxiliary classifier are
+/// all straight-line CNNs).
+#[derive(Clone)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    name: String,
+}
+
+impl Sequential {
+    /// Builds a model from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential {
+            layers,
+            name: "sequential".to_string(),
+        }
+    }
+
+    /// Builds a named model (the name flows into [`NetworkDesc`]).
+    pub fn with_name(name: impl Into<String>, layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential {
+            layers,
+            name: name.into(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The contained layers, in execution order.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the contained layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Inference forward pass (no caches, batch-norm uses running stats).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.run(input, false)
+    }
+
+    /// Training forward pass (caches activations for [`Self::backward`]).
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.run(input, true)
+    }
+
+    fn run(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Back-propagates the loss gradient through every layer, accumulating
+    /// parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::forward_train`] has not been called first.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All learnable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Read access to all learnable parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total learnable scalar count.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Drops all cached activations (reduces memory after training).
+    pub fn clear_caches(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+
+    /// Accumulates gradients from another model instance with identical
+    /// architecture — the reduction step of data-parallel training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter lists do not match.
+    pub fn accumulate_grads_from(&mut self, other: &Sequential) {
+        let theirs = other.params();
+        let mut mine = self.params_mut();
+        assert_eq!(mine.len(), theirs.len(), "model architecture mismatch");
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            m.grad.add_scaled_inplace(&t.grad, 1.0);
+        }
+    }
+
+    /// Copies normalization running statistics (batch-norm mean/variance)
+    /// from another identical-architecture model.
+    ///
+    /// Data-parallel training accumulates *gradients* from worker clones,
+    /// but running statistics are state, not gradients — without this sync
+    /// the master model would keep its initialization statistics and be
+    /// useless in eval mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer lists differ in length.
+    pub fn copy_norm_stats_from(&mut self, other: &Sequential) {
+        use crate::layers::BatchNorm2d;
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "model architecture mismatch"
+        );
+        for (mine, theirs) in self.layers.iter_mut().zip(other.layers.iter()) {
+            if let (Some(a), Some(b)) = (
+                mine.as_any_mut().downcast_mut::<BatchNorm2d>(),
+                theirs.as_any().downcast_ref::<BatchNorm2d>(),
+            ) {
+                a.copy_running_stats_from(b);
+            }
+        }
+    }
+
+    /// Copies parameter values from another identical-architecture model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter lists do not match.
+    pub fn copy_params_from(&mut self, other: &Sequential) {
+        let theirs = other.params();
+        let mut mine = self.params_mut();
+        assert_eq!(mine.len(), theirs.len(), "model architecture mismatch");
+        for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+            m.value = t.value.clone();
+        }
+    }
+
+    /// Shape-propagated static description for the deployment planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer rejects the propagated shape.
+    pub fn describe(&self, input: (usize, usize, usize)) -> NetworkDesc {
+        let mut shape = input;
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (desc, next) = layer.describe(shape);
+            layers.push(desc);
+            shape = next;
+        }
+        NetworkDesc {
+            name: self.name.clone(),
+            input,
+            layers,
+        }
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Sequential \"{}\" {{", self.name)?;
+        for layer in &self.layers {
+            writeln!(f, "  {}", layer.name())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{Initializer, SmallRng};
+    use crate::layers::{Conv2d, Flatten, Linear, Relu};
+
+    fn tiny(rng: &mut SmallRng) -> Sequential {
+        Sequential::with_name(
+            "tiny",
+            vec![
+                Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, rng)),
+                Box::new(Relu::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(2 * 4 * 4, 3, Initializer::KaimingUniform, rng)),
+            ],
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SmallRng::seed(0);
+        let mut net = tiny(&mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 4, 4]));
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn describe_propagates_shapes() {
+        let mut rng = SmallRng::seed(0);
+        let net = tiny(&mut rng);
+        let desc = net.describe((1, 4, 4));
+        assert_eq!(desc.layers.len(), 4);
+        assert_eq!(desc.layers[3].out_channels, 3);
+        assert_eq!(desc.params(), net.num_params() as u64);
+    }
+
+    #[test]
+    fn grad_accumulation_matches_manual_sum() {
+        let mut rng = SmallRng::seed(0);
+        let mut a = tiny(&mut rng);
+        let mut b = a.clone();
+        let x = Tensor::full(&[1, 1, 4, 4], 0.3);
+        let gy = Tensor::full(&[1, 3], 1.0);
+
+        let _ = a.forward_train(&x);
+        a.backward(&gy);
+        let _ = b.forward_train(&x);
+        b.backward(&gy);
+
+        let mut merged = a.clone();
+        merged.accumulate_grads_from(&b);
+        // merged grads should be exactly 2x a's grads.
+        for (m, o) in merged.params().iter().zip(a.params().iter()) {
+            let want = o.grad.scale(2.0);
+            assert!(m.grad.allclose(&want, 1e-5));
+        }
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_biases() {
+        let mut rng = SmallRng::seed(0);
+        let net = tiny(&mut rng);
+        // conv: 2*1*9 + 2; linear: 3*32 + 3
+        assert_eq!(net.num_params(), 18 + 2 + 96 + 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Flat weight (de)serialization.
+//!
+//! Models are saved as a simple versioned binary blob: a header, then for
+//! every parameter its shape and raw `f32` little-endian data. The format is
+//! architecture-blind — loading requires a freshly-constructed model of the
+//! same architecture, which the callers in `np-zoo` guarantee by rebuilding
+//! from the same config before loading.
+
+use crate::sequential::Sequential;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"NPWEIGH2";
+
+/// Error loading or saving model weights.
+#[derive(Debug)]
+pub enum WeightsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a weights blob or is a different version.
+    BadMagic,
+    /// The blob does not match the model architecture.
+    Mismatch(String),
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::Io(e) => write!(f, "i/o error: {e}"),
+            WeightsError::BadMagic => write!(f, "not a nanopose weights file"),
+            WeightsError::Mismatch(s) => write!(f, "architecture mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+impl From<std::io::Error> for WeightsError {
+    fn from(e: std::io::Error) -> Self {
+        WeightsError::Io(e)
+    }
+}
+
+/// Serializes all parameters of `model` to `writer`, followed by the
+/// running statistics of every batch-norm layer (which are state, not
+/// parameters, but equally required to reproduce eval-mode behaviour).
+///
+/// # Errors
+///
+/// Returns [`WeightsError::Io`] on write failure.
+pub fn save_weights<W: Write>(model: &Sequential, mut writer: W) -> Result<(), WeightsError> {
+    use crate::layers::BatchNorm2d;
+    writer.write_all(MAGIC)?;
+    let params = model.params();
+    writer.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let dims = p.value.shape();
+        writer.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            writer.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in p.value.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    // Batch-norm running statistics.
+    let bns: Vec<&BatchNorm2d> = model
+        .layers()
+        .iter()
+        .filter_map(|l| l.as_any().downcast_ref::<BatchNorm2d>())
+        .collect();
+    writer.write_all(&(bns.len() as u32).to_le_bytes())?;
+    for bn in bns {
+        writer.write_all(&(bn.running_mean().len() as u32).to_le_bytes())?;
+        for &v in bn.running_mean() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        for &v in bn.running_var() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameters saved by [`save_weights`] into `model`.
+///
+/// # Errors
+///
+/// Returns [`WeightsError::BadMagic`] for foreign files and
+/// [`WeightsError::Mismatch`] when shapes disagree with the model.
+pub fn load_weights<R: Read>(model: &mut Sequential, mut reader: R) -> Result<(), WeightsError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(WeightsError::BadMagic);
+    }
+    let count = read_u32(&mut reader)? as usize;
+    let mut params = model.params_mut();
+    if count != params.len() {
+        return Err(WeightsError::Mismatch(format!(
+            "file has {count} tensors, model has {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        let rank = read_u32(&mut reader)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut reader)? as usize);
+        }
+        if dims != p.value.shape() {
+            return Err(WeightsError::Mismatch(format!(
+                "tensor shape {:?} does not match model {:?}",
+                dims,
+                p.value.shape()
+            )));
+        }
+        let buf = p.value.as_mut_slice();
+        let mut bytes = [0u8; 4];
+        for v in buf.iter_mut() {
+            reader.read_exact(&mut bytes)?;
+            *v = f32::from_le_bytes(bytes);
+        }
+    }
+    drop(params);
+
+    // Batch-norm running statistics.
+    use crate::layers::BatchNorm2d;
+    let bn_count = read_u32(&mut reader)? as usize;
+    let mut bn_layers: Vec<&mut BatchNorm2d> = model
+        .layers_mut()
+        .iter_mut()
+        .filter_map(|l| l.as_any_mut().downcast_mut::<BatchNorm2d>())
+        .collect();
+    if bn_count != bn_layers.len() {
+        return Err(WeightsError::Mismatch(format!(
+            "file has {bn_count} batch-norm layers, model has {}",
+            bn_layers.len()
+        )));
+    }
+    for bn in bn_layers.iter_mut() {
+        let channels = read_u32(&mut reader)? as usize;
+        if channels != bn.running_mean().len() {
+            return Err(WeightsError::Mismatch(format!(
+                "batch-norm has {channels} channels in file, {} in model",
+                bn.running_mean().len()
+            )));
+        }
+        let mut read_vec = |n: usize| -> Result<Vec<f32>, WeightsError> {
+            let mut out = Vec::with_capacity(n);
+            let mut bytes = [0u8; 4];
+            for _ in 0..n {
+                reader.read_exact(&mut bytes)?;
+                out.push(f32::from_le_bytes(bytes));
+            }
+            Ok(out)
+        };
+        let mean = read_vec(channels)?;
+        let var = read_vec(channels)?;
+        let gamma = bn.gamma().as_slice().to_vec();
+        let beta = bn.beta().as_slice().to_vec();
+        bn.set_state(&gamma, &beta, &mean, &var);
+    }
+    Ok(())
+}
+
+/// Saves weights to a file path, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_weights_file(model: &Sequential, path: &Path) -> Result<(), WeightsError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    save_weights(model, std::io::BufWriter::new(file))
+}
+
+/// Loads weights from a file path.
+///
+/// # Errors
+///
+/// Propagates I/O failures and format mismatches.
+pub fn load_weights_file(model: &mut Sequential, path: &Path) -> Result<(), WeightsError> {
+    let file = std::fs::File::open(path)?;
+    load_weights(model, std::io::BufReader::new(file))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, std::io::Error> {
+    let mut bytes = [0u8; 4];
+    reader.read_exact(&mut bytes)?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{Initializer, SmallRng};
+    use crate::layers::{Conv2d, Linear};
+    use np_tensor::Tensor;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = SmallRng::seed(seed);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Linear::new(2 * 4 * 4, 3, Initializer::KaimingUniform, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let mut src = model(1);
+        let mut dst = model(2); // different init
+        let x = Tensor::full(&[1, 1, 4, 4], 0.5);
+        let want = src.forward(&x);
+        assert!(!dst.forward(&x).allclose(&want, 1e-6));
+
+        let mut blob = Vec::new();
+        save_weights(&src, &mut blob).unwrap();
+        load_weights(&mut dst, blob.as_slice()).unwrap();
+        assert!(dst.forward(&x).allclose(&want, 1e-6));
+    }
+
+    #[test]
+    fn batchnorm_stats_roundtrip() {
+        use crate::layers::BatchNorm2d;
+        let build = |seed: u64| {
+            let mut rng = SmallRng::seed(seed);
+            Sequential::new(vec![
+                Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng))
+                    as Box<dyn crate::Layer>,
+                Box::new(BatchNorm2d::new(2)),
+            ])
+        };
+        let mut src = build(1);
+        if let Some(bn) = src.layers_mut()[1].as_any_mut().downcast_mut::<BatchNorm2d>() {
+            bn.set_state(&[1.5, 0.5], &[0.1, -0.1], &[3.0, -2.0], &[0.5, 4.0]);
+        }
+        let mut blob = Vec::new();
+        save_weights(&src, &mut blob).unwrap();
+        let mut dst = build(2);
+        load_weights(&mut dst, blob.as_slice()).unwrap();
+        let bn = dst.layers()[1]
+            .as_any()
+            .downcast_ref::<BatchNorm2d>()
+            .expect("bn layer");
+        assert_eq!(bn.running_mean(), &[3.0, -2.0]);
+        assert_eq!(bn.running_var(), &[0.5, 4.0]);
+        // Eval outputs match exactly.
+        let x = Tensor::full(&[1, 1, 4, 4], 0.3);
+        assert!(dst.forward(&x).allclose(&src.forward(&x), 1e-6));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut m = model(1);
+        let err = load_weights(&mut m, &b"NOTAFILE........"[..]).unwrap_err();
+        assert!(matches!(err, WeightsError::BadMagic));
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let src = model(1);
+        let mut blob = Vec::new();
+        save_weights(&src, &mut blob).unwrap();
+
+        let mut rng = SmallRng::seed(3);
+        let mut other = Sequential::new(vec![Box::new(Linear::new(
+            4,
+            4,
+            Initializer::KaimingUniform,
+            &mut rng,
+        ))]);
+        let err = load_weights(&mut other, blob.as_slice()).unwrap_err();
+        assert!(matches!(err, WeightsError::Mismatch(_)));
+    }
+}

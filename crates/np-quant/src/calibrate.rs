@@ -1,0 +1,77 @@
+//! Activation-range calibration.
+
+use crate::qparams::{MinMaxObserver, QuantParams};
+use np_nn::Sequential;
+use np_tensor::Tensor;
+
+/// Per-tensor quantization parameters for a network: the input tensor plus
+/// every layer output, in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationResult {
+    /// Parameters of the network input.
+    pub input: QuantParams,
+    /// Parameters of each layer's output tensor.
+    pub outputs: Vec<QuantParams>,
+}
+
+/// Runs `calib` through `model` (eval mode) and records min/max ranges for
+/// the input and every intermediate activation.
+///
+/// # Panics
+///
+/// Panics if `calib` is empty or the model has no layers.
+pub fn calibrate(model: &mut Sequential, calib: &Tensor) -> CalibrationResult {
+    assert!(calib.numel() > 0, "empty calibration set");
+    assert!(!model.layers().is_empty(), "empty model");
+
+    let mut input_obs = MinMaxObserver::new();
+    input_obs.observe(calib.as_slice());
+
+    let n_layers = model.layers().len();
+    let mut observers = vec![MinMaxObserver::new(); n_layers];
+    let mut x = calib.clone();
+    for (layer, obs) in model.layers_mut().iter_mut().zip(observers.iter_mut()) {
+        x = layer.forward(&x, false);
+        obs.observe(x.as_slice());
+    }
+
+    CalibrationResult {
+        input: input_obs.quant_params(),
+        outputs: observers.iter().map(MinMaxObserver::quant_params).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_nn::init::{Initializer, SmallRng};
+    use np_nn::layers::{Conv2d, Relu};
+
+    #[test]
+    fn ranges_cover_activations() {
+        let mut rng = SmallRng::seed(8);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Relu::new()),
+        ]);
+        let calib = Tensor::from_vec(&[2, 1, 4, 4], (0..32).map(|i| i as f32 * 0.1 - 1.6).collect());
+        let result = calibrate(&mut net, &calib);
+        assert_eq!(result.outputs.len(), 2);
+
+        // Every value the network actually produces must be representable
+        // within ~half a quantization step.
+        let y = net.forward(&calib);
+        let p = result.outputs[1];
+        for &v in y.as_slice() {
+            let err = (p.dequantize(p.quantize(v)) - v).abs();
+            assert!(err <= p.scale, "unrepresentable activation {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty model")]
+    fn empty_model_panics() {
+        let mut net = Sequential::new(vec![]);
+        calibrate(&mut net, &Tensor::zeros(&[1, 1, 2, 2]));
+    }
+}

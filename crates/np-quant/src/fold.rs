@@ -1,0 +1,130 @@
+//! Batch-norm folding.
+
+use np_nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d};
+use np_nn::{Layer, Sequential};
+use np_tensor::Tensor;
+
+/// Returns a copy of `model` with every `Conv2d`/`DepthwiseConv2d` followed
+/// by a `BatchNorm2d` replaced by a single convolution with folded weights:
+/// `w' = w * scale_c`, `b' = b * scale_c + shift_c`, where `(scale, shift)`
+/// come from the BN running statistics.
+///
+/// Layers that are not part of a conv→BN pair are cloned unchanged. The
+/// returned model is inference-equivalent to `model` in eval mode.
+pub fn fold_batchnorm(model: &Sequential) -> Sequential {
+    let layers = model.layers();
+    let mut out: Vec<Box<dyn Layer>> = Vec::with_capacity(layers.len());
+    let mut i = 0;
+    while i < layers.len() {
+        let is_pair = i + 1 < layers.len()
+            && layers[i + 1].as_any().is::<BatchNorm2d>()
+            && (layers[i].as_any().is::<Conv2d>() || layers[i].as_any().is::<DepthwiseConv2d>());
+        if is_pair {
+            let bn = layers[i + 1]
+                .as_any()
+                .downcast_ref::<BatchNorm2d>()
+                .expect("checked above");
+            let (scale, shift) = bn.fold_params();
+            let mut folded = layers[i].clone_box();
+            if let Some(conv) = folded.as_any_mut().downcast_mut::<Conv2d>() {
+                let (w, b) = scale_conv_weights(conv.weight(), conv.bias(), &scale, &shift);
+                conv.set_weights(w, b);
+            } else if let Some(dw) = folded.as_any_mut().downcast_mut::<DepthwiseConv2d>() {
+                let (w, b) = scale_conv_weights(dw.weight(), dw.bias(), &scale, &shift);
+                dw.set_weights(w, b);
+            }
+            out.push(folded);
+            i += 2;
+        } else {
+            out.push(layers[i].clone_box());
+            i += 1;
+        }
+    }
+    Sequential::with_name(model.name().to_string(), out)
+}
+
+fn scale_conv_weights(
+    weight: &Tensor,
+    bias: &Tensor,
+    scale: &[f32],
+    shift: &[f32],
+) -> (Tensor, Tensor) {
+    let c_out = weight.shape()[0];
+    assert_eq!(scale.len(), c_out, "fold scale length mismatch");
+    let per = weight.numel() / c_out;
+    let mut w = weight.as_slice().to_vec();
+    for (ci, s) in scale.iter().enumerate() {
+        for v in &mut w[ci * per..(ci + 1) * per] {
+            *v *= s;
+        }
+    }
+    let b: Vec<f32> = bias
+        .as_slice()
+        .iter()
+        .zip(scale.iter().zip(shift.iter()))
+        .map(|(&bv, (&s, &sh))| bv * s + sh)
+        .collect();
+    (
+        Tensor::from_vec(weight.shape(), w),
+        Tensor::from_vec(bias.shape(), b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_nn::init::{Initializer, SmallRng};
+    use np_nn::layers::{Flatten, Linear, Relu};
+
+    #[test]
+    fn folded_model_matches_eval_mode() {
+        let mut rng = SmallRng::seed(4);
+        let mut bn = BatchNorm2d::new(3);
+        bn.set_state(
+            &[1.2, 0.8, 1.0],
+            &[0.1, -0.1, 0.0],
+            &[0.3, -0.2, 0.5],
+            &[0.9, 1.5, 0.4],
+        );
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 3, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(bn),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(3 * 16, 2, Initializer::KaimingUniform, &mut rng)),
+        ]);
+        let mut folded = fold_batchnorm(&net);
+        assert_eq!(folded.layers().len(), 4, "BN should disappear");
+
+        let x = Tensor::from_vec(&[2, 1, 4, 4], (0..32).map(|i| i as f32 * 0.05 - 0.8).collect());
+        let want = net.forward(&x);
+        let got = folded.forward(&x);
+        assert!(got.allclose(&want, 1e-4), "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn depthwise_bn_pair_folds() {
+        let mut rng = SmallRng::seed(5);
+        let mut bn = BatchNorm2d::new(2);
+        bn.set_state(&[2.0, 0.5], &[0.0, 1.0], &[0.1, 0.2], &[1.0, 0.25]);
+        let mut net = Sequential::new(vec![
+            Box::new(DepthwiseConv2d::new(2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(bn),
+        ]);
+        let mut folded = fold_batchnorm(&net);
+        assert_eq!(folded.layers().len(), 1);
+        let x = Tensor::from_vec(&[1, 2, 3, 3], (0..18).map(|i| (i as f32).sin()).collect());
+        assert!(folded.forward(&x).allclose(&net.forward(&x), 1e-4));
+    }
+
+    #[test]
+    fn unpaired_layers_survive() {
+        let mut rng = SmallRng::seed(6);
+        let net = Sequential::new(vec![
+            Box::new(Relu::new()),
+            Box::new(Linear::new(4, 4, Initializer::KaimingUniform, &mut rng)),
+        ]);
+        let folded = fold_batchnorm(&net);
+        assert_eq!(folded.layers().len(), 2);
+    }
+}

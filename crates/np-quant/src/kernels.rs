@@ -1,0 +1,376 @@
+//! Integer-only inference kernels: i8 operands, i32 accumulators,
+//! fixed-point requantization. These mirror the PULP-NN kernels DORY emits
+//! for the GAP8 cluster.
+
+use crate::requant::{requantize_to_i8, FixedMultiplier};
+
+/// Geometry of an integer convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding (pad value = input zero point).
+    pub padding: usize,
+}
+
+impl QConvGeometry {
+    /// Output spatial size for a given input size.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.padding - self.kernel) / self.stride + 1,
+            (w + 2 * self.padding - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+/// Integer standard convolution over one CHW image.
+///
+/// * `input`: `C_in * H * W` i8 values with zero point `in_zp`
+/// * `weight`: `C_out * C_in * K * K` symmetric i8 (zero point 0)
+/// * `bias`: per-output-channel i32 at accumulator scale
+/// * `mults`: per-output-channel requantization multipliers
+/// * `relu`: clamp output at the output zero point (fused ReLU)
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    assert_eq!(input.len(), geo.in_channels * h * w, "input size");
+    assert_eq!(
+        weight.len(),
+        geo.out_channels * geo.in_channels * geo.kernel * geo.kernel,
+        "weight size"
+    );
+    assert_eq!(bias.len(), geo.out_channels, "bias size");
+    assert_eq!(mults.len(), geo.out_channels, "multiplier count");
+
+    let (oh, ow) = geo.out_hw(h, w);
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let mut out = vec![0i8; geo.out_channels * oh * ow];
+
+    for co in 0..geo.out_channels {
+        let w_base = co * geo.in_channels * k * k;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[co];
+                for ci in 0..geo.in_channels {
+                    let plane = &input[ci * h * w..(ci + 1) * h * w];
+                    let kern = &weight[w_base + ci * k * k..w_base + (ci + 1) * k * k];
+                    for ky in 0..k {
+                        let iy = oy as isize * geo.stride as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // padding contributes (zp - zp) * w = 0
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize * geo.stride as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                let x = plane[iy as usize * w + ix as usize] as i32 - in_zp;
+                                acc += x * kern[ky * k + kx] as i32;
+                            }
+                        }
+                    }
+                }
+                let mut q = requantize_to_i8(acc, mults[co], out_zp);
+                if relu && (q as i32) < out_zp {
+                    q = out_zp.clamp(-128, 127) as i8;
+                }
+                out[co * oh * ow + oy * ow + ox] = q;
+            }
+        }
+    }
+    out
+}
+
+/// Integer depthwise convolution over one CHW image.
+///
+/// `weight` is `C * K * K`; all other conventions match [`qconv2d`].
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qdepthwise_conv2d(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    assert_eq!(input.len(), channels * h * w, "input size");
+    assert_eq!(weight.len(), channels * kernel * kernel, "weight size");
+    assert_eq!(bias.len(), channels, "bias size");
+    assert_eq!(mults.len(), channels, "multiplier count");
+
+    let oh = (h + 2 * padding - kernel) / stride + 1;
+    let ow = (w + 2 * padding - kernel) / stride + 1;
+    let pad = padding as isize;
+    let mut out = vec![0i8; channels * oh * ow];
+
+    for c in 0..channels {
+        let plane = &input[c * h * w..(c + 1) * h * w];
+        let kern = &weight[c * kernel * kernel..(c + 1) * kernel * kernel];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[c];
+                for ky in 0..kernel {
+                    let iy = oy as isize * stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kernel {
+                        let ix = ox as isize * stride as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            let x = plane[iy as usize * w + ix as usize] as i32 - in_zp;
+                            acc += x * kern[ky * kernel + kx] as i32;
+                        }
+                    }
+                }
+                let mut q = requantize_to_i8(acc, mults[c], out_zp);
+                if relu && (q as i32) < out_zp {
+                    q = out_zp.clamp(-128, 127) as i8;
+                }
+                out[c * oh * ow + oy * ow + ox] = q;
+            }
+        }
+    }
+    out
+}
+
+/// Integer fully-connected layer over one flattened input.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qlinear(
+    input: &[i8],
+    in_zp: i32,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_features: usize,
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    let in_features = input.len();
+    assert_eq!(weight.len(), out_features * in_features, "weight size");
+    assert_eq!(bias.len(), out_features, "bias size");
+    assert_eq!(mults.len(), out_features, "multiplier count");
+
+    let mut out = vec![0i8; out_features];
+    for (j, o) in out.iter_mut().enumerate() {
+        let wrow = &weight[j * in_features..(j + 1) * in_features];
+        let mut acc = bias[j];
+        for (&x, &wv) in input.iter().zip(wrow.iter()) {
+            acc += (x as i32 - in_zp) * wv as i32;
+        }
+        let mut q = requantize_to_i8(acc, mults[j], out_zp);
+        if relu && (q as i32) < out_zp {
+            q = out_zp.clamp(-128, 127) as i8;
+        }
+        *o = q;
+    }
+    out
+}
+
+/// Integer max pooling (zero-point invariant, so parameters pass through).
+///
+/// # Panics
+///
+/// Panics on size mismatch.
+pub fn qmax_pool2d(
+    input: &[i8],
+    channels: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+) -> Vec<i8> {
+    assert_eq!(input.len(), channels * h * w, "input size");
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let mut out = vec![i8::MIN; channels * oh * ow];
+    for c in 0..channels {
+        let plane = &input[c * h * w..(c + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i8::MIN;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        best = best.max(plane[(oy * stride + ky) * w + ox * stride + kx]);
+                    }
+                }
+                out[c * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Integer average pooling with round-to-nearest division.
+///
+/// Averaging is affine-invariant, so input quantization parameters carry
+/// through unchanged.
+///
+/// # Panics
+///
+/// Panics on size mismatch.
+pub fn qavg_pool2d(
+    input: &[i8],
+    channels: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+) -> Vec<i8> {
+    assert_eq!(input.len(), channels * h * w, "input size");
+    let oh = (h - kernel) / stride + 1;
+    let ow = (w - kernel) / stride + 1;
+    let div = (kernel * kernel) as i32;
+    let mut out = vec![0i8; channels * oh * ow];
+    for c in 0..channels {
+        let plane = &input[c * h * w..(c + 1) * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += plane[(oy * stride + ky) * w + ox * stride + kx] as i32;
+                    }
+                }
+                let rounded = if acc >= 0 {
+                    (acc + div / 2) / div
+                } else {
+                    (acc - div / 2) / div
+                };
+                out[c * oh * ow + oy * ow + ox] = rounded.clamp(-128, 127) as i8;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qparams::QuantParams;
+
+    /// Integer conv must track the float conv it approximates.
+    #[test]
+    fn qconv_tracks_float_reference() {
+        let geo = QConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (h, w) = (5, 4);
+        // Float data.
+        let xf: Vec<f32> = (0..2 * h * w).map(|i| ((i * 7 % 13) as f32 / 13.0) - 0.4).collect();
+        let wf: Vec<f32> = (0..3 * 2 * 9).map(|i| ((i * 5 % 11) as f32 / 11.0) - 0.5).collect();
+        let bf = [0.1f32, -0.2, 0.05];
+
+        // Quantize.
+        let in_p = QuantParams::from_range(-0.5, 0.6);
+        let w_absmax = wf.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let w_p = QuantParams::symmetric(w_absmax);
+        let out_p = QuantParams::from_range(-2.0, 2.0);
+        let xq = in_p.quantize_slice(&xf);
+        let wq = w_p.quantize_slice(&wf);
+        let bias: Vec<i32> = bf.iter().map(|&b| (b / (in_p.scale * w_p.scale)).round() as i32).collect();
+        let mult = FixedMultiplier::from_real(in_p.scale * w_p.scale / out_p.scale);
+        let mults = vec![mult; 3];
+
+        let got = qconv2d(&xq, h, w, in_p.zero_point, geo, &wq, &bias, &mults, out_p.zero_point, false);
+
+        // Float reference.
+        let xt = np_tensor::Tensor::from_vec(&[1, 2, h, w], xf);
+        let wt = np_tensor::Tensor::from_vec(&[3, 2, 3, 3], wf);
+        let bt = np_tensor::Tensor::from_slice(&bf);
+        let want = np_tensor::conv::conv2d(
+            &xt,
+            &wt,
+            Some(&bt),
+            np_tensor::conv::Conv2dSpec { stride: 1, padding: 1 },
+        );
+
+        for (q, &f) in got.iter().zip(want.as_slice().iter()) {
+            let deq = out_p.dequantize(*q);
+            assert!(
+                (deq - f).abs() < 4.0 * out_p.scale,
+                "quantized {deq} vs float {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_relu_clamps_at_zero_point() {
+        let geo = QConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        // Identity-ish conv with negative weight so outputs go below zero.
+        let input = vec![100i8, -100];
+        let weight = vec![-127i8];
+        let mult = FixedMultiplier::from_real(0.01);
+        let out = qconv2d(&input, 1, 2, 0, geo, &weight, &[0], &[mult], -10, true);
+        // First output is very negative -> clamped to zp (-10).
+        assert_eq!(out[0], -10);
+        assert!(out[1] > -10);
+    }
+
+    #[test]
+    fn qmax_pool_picks_max() {
+        let input = vec![1i8, 9, 3, 4];
+        assert_eq!(qmax_pool2d(&input, 1, 2, 2, 2, 2), vec![9]);
+    }
+
+    #[test]
+    fn qavg_pool_rounds() {
+        let input = vec![1i8, 2, 3, 5]; // avg 2.75 -> 3
+        assert_eq!(qavg_pool2d(&input, 1, 2, 2, 2, 2), vec![3]);
+        let neg = vec![-1i8, -2, -3, -5];
+        assert_eq!(qavg_pool2d(&neg, 1, 2, 2, 2, 2), vec![-3]);
+    }
+
+    #[test]
+    fn qlinear_known_values() {
+        // y = 2x with scales arranged to be exact.
+        let input = vec![10i8];
+        let weight = vec![64i8];
+        let mult = FixedMultiplier::from_real(2.0 / 64.0);
+        let out = qlinear(&input, 0, &weight, &[0], &[mult], 1, 0, false);
+        assert_eq!(out, vec![20]);
+    }
+}

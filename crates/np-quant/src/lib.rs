@@ -1,0 +1,49 @@
+//! # np-quant
+//!
+//! Int8 post-training quantization (PTQ) and integer-only inference for the
+//! `nanopose` model zoo, mirroring the PLiNIO → GAP8 deployment pipeline of
+//! the paper:
+//!
+//! 1. **Batch-norm folding** — BN affine transforms are folded into the
+//!    preceding convolution, exactly as DORY does before code generation.
+//! 2. **Calibration** — a calibration set is pushed through the folded f32
+//!    network while min/max observers record per-tensor activation ranges.
+//! 3. **Quantization** — weights become symmetric per-channel int8, biases
+//!    become int32 at scale `s_in * s_w`, activations become asymmetric
+//!    per-tensor int8.
+//! 4. **Integer-only execution** — [`QuantizedNetwork::forward`] runs every
+//!    layer with i8 operands, i32 accumulators and fixed-point
+//!    requantization (multiplier + right shift), the same arithmetic the
+//!    GAP8 cluster executes. No float touches the datapath between the
+//!    input quantize and the output dequantize.
+//!
+//! ```
+//! use np_nn::{Sequential, layers::{Conv2d, Relu, Flatten, Linear}};
+//! use np_nn::init::{Initializer, SmallRng};
+//! use np_quant::QuantizedNetwork;
+//! use np_tensor::Tensor;
+//!
+//! let mut rng = SmallRng::seed(1);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Conv2d::new(1, 4, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Flatten::new()),
+//!     Box::new(Linear::new(4 * 6 * 6, 2, Initializer::KaimingUniform, &mut rng)),
+//! ]);
+//! let calib = Tensor::full(&[4, 1, 6, 6], 0.3);
+//! let qnet = QuantizedNetwork::quantize(&mut net, &calib);
+//! let y_fp = net.forward(&calib);
+//! let y_q = qnet.forward(&calib);
+//! assert!(y_fp.sub(&y_q).as_slice().iter().all(|d| d.abs() < 0.3));
+//! ```
+
+pub mod calibrate;
+pub mod fold;
+pub mod kernels;
+pub mod qat;
+pub mod qnetwork;
+pub mod qparams;
+pub mod requant;
+
+pub use qnetwork::QuantizedNetwork;
+pub use qparams::{MinMaxObserver, QuantParams};

@@ -1,0 +1,256 @@
+//! Quantization-aware training (QAT).
+//!
+//! The paper quantizes its models with PLiNIO's QAT, not plain PTQ: during
+//! fine-tuning, weights pass through a *fake-quantization* round-trip in
+//! the forward pass while gradients flow straight through (STE — the
+//! straight-through estimator). The network learns weights that survive
+//! the int8 rounding, typically recovering most of the PTQ accuracy loss.
+//!
+//! [`fake_quantize_weights`] applies the round-trip in place before a
+//! forward pass; [`finetune_qat`] wraps the loop: snapshot shadow
+//! weights → fake-quantize → forward/backward → apply gradients to the
+//! *shadow* (full-precision) weights.
+
+use crate::qparams::QuantParams;
+use np_nn::layers::{Conv2d, DepthwiseConv2d, Linear};
+use np_nn::loss::l1_loss;
+use np_nn::optim::{Adam, AdamConfig};
+use np_nn::trainer::{TrainData, TrainTarget};
+use np_nn::Sequential;
+use np_tensor::Tensor;
+
+/// Applies symmetric per-channel int8 fake quantization to every conv /
+/// depthwise / linear weight of `model`, in place.
+///
+/// Biases are left in full precision (they are stored as i32 at
+/// accumulator scale on the device and lose nothing).
+pub fn fake_quantize_weights(model: &mut Sequential) {
+    for layer in model.layers_mut() {
+        let any = layer.as_any_mut();
+        if let Some(conv) = any.downcast_mut::<Conv2d>() {
+            let w = fake_quant_per_channel(conv.weight());
+            let b = conv.bias().clone();
+            conv.set_weights(w, b);
+        } else if let Some(dw) = any.downcast_mut::<DepthwiseConv2d>() {
+            let w = fake_quant_per_channel(dw.weight());
+            let b = dw.bias().clone();
+            dw.set_weights(w, b);
+        } else if let Some(lin) = any.downcast_mut::<Linear>() {
+            let w = fake_quant_per_channel(lin.weight());
+            let b = lin.bias().clone();
+            lin.set_weights(w, b);
+        }
+    }
+}
+
+/// Per-output-channel symmetric int8 round-trip of a weight tensor.
+fn fake_quant_per_channel(weight: &Tensor) -> Tensor {
+    let c_out = weight.shape()[0];
+    let per = weight.numel() / c_out;
+    let src = weight.as_slice();
+    let mut out = Vec::with_capacity(src.len());
+    for c in 0..c_out {
+        let chunk = &src[c * per..(c + 1) * per];
+        let absmax = chunk.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        let p = QuantParams::symmetric(absmax);
+        out.extend(chunk.iter().map(|&x| p.dequantize(p.quantize(x))));
+    }
+    Tensor::from_vec(weight.shape(), out)
+}
+
+/// QAT fine-tuning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QatConfig {
+    /// Fine-tuning epochs (QAT needs only a few).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate (typically ~10x below the pre-training rate).
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for QatConfig {
+    fn default() -> Self {
+        QatConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr: 2e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs straight-through-estimator QAT fine-tuning on a pre-trained
+/// regression model (L1 objective, matching the zoo's training).
+///
+/// Returns the fine-tuned full-precision ("shadow") model — quantize it
+/// with [`crate::QuantizedNetwork::quantize`] afterwards to get the
+/// deployable int8 network whose rounding the weights have adapted to.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or its targets are not regression targets.
+pub fn finetune_qat(model: &mut Sequential, data: &TrainData, config: QatConfig) -> f32 {
+    assert!(!data.is_empty(), "empty QAT data");
+    let TrainTarget::Regression(targets) = &data.targets else {
+        panic!("QAT fine-tuning expects regression targets");
+    };
+    let n = data.len();
+    let d_in = data.inputs.shape();
+    let per_in = d_in[1] * d_in[2] * d_in[3];
+    let d_t = targets.shape()[1];
+
+    let mut opt = Adam::new(AdamConfig {
+        lr: config.lr,
+        ..AdamConfig::default()
+    });
+    let mut rng = np_nn::init::SmallRng::seed(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut last_loss = f32::INFINITY;
+
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0;
+        for batch in order.chunks(config.batch_size) {
+            // Gather the batch.
+            let mut xb = Vec::with_capacity(batch.len() * per_in);
+            let mut tb = Vec::with_capacity(batch.len() * d_t);
+            for &i in batch {
+                xb.extend_from_slice(&data.inputs.as_slice()[i * per_in..(i + 1) * per_in]);
+                tb.extend_from_slice(&targets.as_slice()[i * d_t..(i + 1) * d_t]);
+            }
+            let xb = Tensor::from_vec(&[batch.len(), d_in[1], d_in[2], d_in[3]], xb);
+            let tb = Tensor::from_vec(&[batch.len(), d_t], tb);
+
+            // STE: snapshot shadow weights, fake-quantize, forward/backward
+            // on the quantized weights, then restore the shadow weights and
+            // apply the gradients to them.
+            let shadow: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
+            fake_quantize_weights(model);
+            model.zero_grad();
+            let pred = model.forward_train(&xb);
+            let (loss, grad) = l1_loss(&pred, &tb);
+            model.backward(&grad);
+            for (p, s) in model.params_mut().into_iter().zip(shadow) {
+                p.value = s;
+            }
+            opt.step(&mut model.params_mut());
+            epoch_loss += loss * batch.len() as f32;
+        }
+        last_loss = epoch_loss / n as f32;
+    }
+    // Leave the model with its shadow (full-precision) weights; the caller
+    // quantizes as the final step.
+    model.clear_caches();
+    last_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_nn::init::{Initializer, SmallRng};
+    use np_nn::layers::{Flatten, Relu};
+    use np_nn::optim::Sgd;
+    use np_nn::optim::SgdConfig;
+    use np_nn::trainer::{fit, LossKind, TrainConfig};
+
+    fn toy_data(n: usize, seed: u64) -> TrainData {
+        let mut rng = SmallRng::seed(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let img: Vec<f32> = (0..16).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            ys.push(img.iter().sum::<f32>() / 16.0);
+            xs.extend(img);
+        }
+        TrainData::new(
+            Tensor::from_vec(&[n, 1, 4, 4], xs),
+            TrainTarget::Regression(Tensor::from_vec(&[n, 1], ys)),
+        )
+    }
+
+    fn toy_model(seed: u64) -> Sequential {
+        let mut rng = SmallRng::seed(seed);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(64, 1, Initializer::KaimingUniform, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let mut m = toy_model(1);
+        fake_quantize_weights(&mut m);
+        let snapshot: Vec<Tensor> = m.params().iter().map(|p| p.value.clone()).collect();
+        fake_quantize_weights(&mut m);
+        for (p, s) in m.params().iter().zip(snapshot.iter()) {
+            assert!(p.value.allclose(s, 1e-6), "fake quant not idempotent");
+        }
+    }
+
+    #[test]
+    fn fake_quant_error_is_small() {
+        let m = toy_model(2);
+        let mut q = m.clone();
+        fake_quantize_weights(&mut q);
+        for (a, b) in m.params().iter().zip(q.params().iter()) {
+            let absmax = a.value.as_slice().iter().fold(0.0f32, |x, &y| x.max(y.abs()));
+            for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice().iter()) {
+                assert!((x - y).abs() <= absmax / 127.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn qat_improves_quantized_accuracy() {
+        let data = toy_data(256, 3);
+        let mut model = toy_model(4);
+        // Pre-train in full precision.
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        fit(
+            &mut model,
+            &mut opt,
+            &data,
+            TrainConfig {
+                epochs: 10,
+                batch_size: 32,
+                threads: 1,
+                loss: LossKind::L1,
+                cosine_schedule: false,
+                seed: 1,
+            },
+        );
+        // Loss of the PTQ (fake-quantized, no finetune) model.
+        let eval_quantized = |m: &Sequential| -> f32 {
+            let mut q = m.clone();
+            fake_quantize_weights(&mut q);
+            let pred = q.forward(&data.inputs);
+            let TrainTarget::Regression(t) = &data.targets else { unreachable!() };
+            l1_loss(&pred, t).0
+        };
+        let ptq_loss = eval_quantized(&model);
+
+        let mut qat_model = model.clone();
+        finetune_qat(&mut qat_model, &data, QatConfig::default());
+        let qat_loss = eval_quantized(&qat_model);
+        assert!(
+            qat_loss <= ptq_loss * 1.05,
+            "QAT made things worse: {qat_loss} vs PTQ {ptq_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "regression targets")]
+    fn classification_targets_rejected() {
+        let mut model = toy_model(5);
+        let data = TrainData::new(
+            Tensor::zeros(&[2, 1, 4, 4]),
+            TrainTarget::Classification(vec![0, 1]),
+        );
+        finetune_qat(&mut model, &data, QatConfig::default());
+    }
+}

@@ -1,0 +1,178 @@
+//! Quantization parameters and range observers.
+
+use serde::{Deserialize, Serialize};
+
+/// Affine int8 quantization parameters: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Positive real-valued step size.
+    pub scale: f32,
+    /// Zero point in the i8 domain.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Parameters covering the real interval `[min, max]` with asymmetric
+    /// int8 (the standard activation scheme).
+    ///
+    /// The interval is widened to include zero so that zero padding is
+    /// exactly representable — a hard requirement for integer convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is non-finite.
+    pub fn from_range(min: f32, max: f32) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "non-finite range");
+        assert!(min <= max, "empty range {min}..{max}");
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min).max(1e-8);
+        let scale = span / 255.0;
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters for the real interval `[-absmax, absmax]`
+    /// (the standard weight scheme; zero point fixed at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absmax` is negative or non-finite.
+    pub fn symmetric(absmax: f32) -> Self {
+        assert!(absmax.is_finite() && absmax >= 0.0, "bad absmax {absmax}");
+        QuantParams {
+            scale: absmax.max(1e-8) / 127.0,
+            zero_point: 0,
+        }
+    }
+
+    /// Quantizes one real value to i8 with round-to-nearest.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes one i8 value back to real.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        self.scale * (q as i32 - self.zero_point) as f32
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Dequantizes a slice.
+    pub fn dequantize_slice(&self, qs: &[i8]) -> Vec<f32> {
+        qs.iter().map(|&q| self.dequantize(q)).collect()
+    }
+}
+
+/// Running min/max observer used during calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    seen: bool,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        MinMaxObserver {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            seen: false,
+        }
+    }
+
+    /// Folds a batch of values into the running range.
+    pub fn observe(&mut self, values: &[f32]) {
+        for &v in values {
+            if v.is_finite() {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+                self.seen = true;
+            }
+        }
+    }
+
+    /// True once at least one finite value has been observed.
+    pub fn has_data(&self) -> bool {
+        self.seen
+    }
+
+    /// The observed `(min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed — calibrating with an empty set
+    /// is always a caller bug.
+    pub fn range(&self) -> (f32, f32) {
+        assert!(self.seen, "observer has no data");
+        (self.min, self.max)
+    }
+
+    /// Quantization parameters covering the observed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed.
+    pub fn quant_params(&self) -> QuantParams {
+        let (min, max) = self.range();
+        QuantParams::from_range(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        for i in 0..100 {
+            let x = -1.0 + 0.02 * i as f32;
+            let err = (p.dequantize(p.quantize(x)) - x).abs();
+            assert!(err <= p.scale * 0.5 + 1e-6, "err {err} at {x}");
+        }
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        for (lo, hi) in [(-1.0, 1.0), (0.1, 5.0), (-3.0, -0.5)] {
+            let p = QuantParams::from_range(lo, hi);
+            assert_eq!(p.dequantize(p.quantize(0.0)), 0.0, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn symmetric_has_zero_zp() {
+        let p = QuantParams::symmetric(2.0);
+        assert_eq!(p.zero_point, 0);
+        assert_eq!(p.quantize(2.0), 127);
+        assert_eq!(p.quantize(-2.0), -127);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let p = QuantParams::from_range(-1.0, 1.0);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn observer_tracks_range() {
+        let mut obs = MinMaxObserver::new();
+        assert!(!obs.has_data());
+        obs.observe(&[0.5, -0.2, 3.0]);
+        obs.observe(&[1.0, f32::NAN]);
+        assert_eq!(obs.range(), (-0.2, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_observer_panics() {
+        MinMaxObserver::new().range();
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixed-point requantization.
+//!
+//! A quantized layer computes an i32 accumulator at scale `s_in * s_w` and
+//! must emit i8 at scale `s_out`. The real multiplier `m = s_in*s_w/s_out`
+//! is < 1 in practice; GAP8 (like gemmlowp/TFLite) realizes it as a 32-bit
+//! fixed-point multiplier plus a rounding right shift — no floating point
+//! in the inference datapath.
+
+/// A real multiplier decomposed as `multiplier * 2^(-shift)` with
+/// `multiplier` a Q0.31 fixed-point value in `[2^30, 2^31)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMultiplier {
+    /// Q0.31 mantissa.
+    pub multiplier: i32,
+    /// Total right shift applied after the 64-bit product.
+    pub shift: i32,
+}
+
+impl FixedMultiplier {
+    /// Decomposes a positive real multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real <= 0` or `real` is not finite.
+    pub fn from_real(real: f32) -> Self {
+        assert!(real.is_finite() && real > 0.0, "bad multiplier {real}");
+        // real = mant * 2^exp with mant in [0.5, 1)
+        let mut exp = 0i32;
+        let mut mant = real as f64;
+        while mant >= 1.0 {
+            mant /= 2.0;
+            exp += 1;
+        }
+        while mant < 0.5 {
+            mant *= 2.0;
+            exp -= 1;
+        }
+        let mut multiplier = (mant * (1i64 << 31) as f64).round() as i64;
+        if multiplier == 1i64 << 31 {
+            multiplier /= 2;
+            exp += 1;
+        }
+        FixedMultiplier {
+            multiplier: multiplier as i32,
+            shift: 31 - exp,
+        }
+    }
+
+    /// Applies the multiplier to an i32 accumulator with round-half-away
+    /// rounding, returning an i32 (caller clamps to the output type).
+    pub fn apply(&self, acc: i32) -> i32 {
+        let prod = acc as i64 * self.multiplier as i64;
+        let shift = self.shift as u32;
+        if shift == 0 {
+            return prod.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        let round = 1i64 << (shift - 1);
+        let rounded = if prod >= 0 { prod + round } else { prod - round };
+        (rounded >> shift).clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+
+    /// The real value this fixed multiplier approximates.
+    pub fn to_real(self) -> f64 {
+        self.multiplier as f64 / (1i64 << self.shift.min(62)) as f64
+    }
+}
+
+/// Requantizes an accumulator to i8: multiply, add output zero point, clamp.
+pub fn requantize_to_i8(acc: i32, mult: FixedMultiplier, zero_point: i32) -> i8 {
+    (mult.apply(acc) + zero_point).clamp(-128, 127) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_is_accurate() {
+        for &real in &[0.5f32, 0.001, 0.9999, 0.0314, 1.5, 7.25] {
+            let fm = FixedMultiplier::from_real(real);
+            let approx = fm.to_real();
+            assert!(
+                ((approx - real as f64) / real as f64).abs() < 1e-6,
+                "{real} -> {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_matches_float_product() {
+        let fm = FixedMultiplier::from_real(0.0073);
+        for &acc in &[0i32, 1, -1, 1000, -1000, 123456, -987654, i32::MAX / 2] {
+            let got = fm.apply(acc);
+            let want = (acc as f64 * 0.0073).round();
+            assert!(
+                (got as f64 - want).abs() <= 1.0,
+                "acc {acc}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero() {
+        let fm = FixedMultiplier::from_real(0.5);
+        assert_eq!(fm.apply(3), 2); // 1.5 rounds away to 2
+        assert_eq!(fm.apply(-3), -2);
+        assert_eq!(fm.apply(1), 1); // 0.5 rounds away to 1
+    }
+
+    #[test]
+    fn requantize_clamps() {
+        let fm = FixedMultiplier::from_real(1.0);
+        assert_eq!(requantize_to_i8(1000, fm, 0), 127);
+        assert_eq!(requantize_to_i8(-1000, fm, 0), -128);
+        assert_eq!(requantize_to_i8(10, fm, 5), 15);
+    }
+
+    #[test]
+    fn multiplier_greater_than_one_supported() {
+        // Rare but legal when s_out < s_in * s_w.
+        let fm = FixedMultiplier::from_real(3.7);
+        assert!((fm.apply(100) as f64 - 370.0).abs() <= 1.0);
+    }
+}

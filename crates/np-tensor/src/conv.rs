@@ -1,0 +1,255 @@
+//! Convolution kernels: standard, depthwise, and slow reference versions.
+
+use crate::im2col::{im2col, Im2colSpec};
+use crate::matmul::matmul_acc;
+use crate::shape::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// Stride/padding configuration of a square convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+/// Standard 2-D convolution via `im2col` + GEMM.
+///
+/// * `input`: `[N, C_in, H, W]`
+/// * `weight`: `[C_out, C_in, K, K]`
+/// * `bias`: optional `[C_out]`
+///
+/// Returns `[N, C_out, H_out, W_out]`.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    let [n, c_in, h, w] = dims4(input, "conv2d input");
+    let [c_out, wc_in, k, k2] = dims4(weight, "conv2d weight");
+    assert_eq!(k, k2, "conv2d requires square kernels");
+    assert_eq!(c_in, wc_in, "channel mismatch: input {c_in}, weight {wc_in}");
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), c_out, "bias length mismatch");
+    }
+
+    let ispec = Im2colSpec {
+        channels: c_in,
+        height: h,
+        width: w,
+        kernel: k,
+        stride: spec.stride,
+        padding: spec.padding,
+    };
+    let (oh, ow) = (ispec.out_height(), ispec.out_width());
+    let cols = oh * ow;
+    let rows = ispec.rows();
+    let per_in = c_in * h * w;
+    let per_out = c_out * cols;
+
+    let mut out = vec![0.0; n * per_out];
+    for bi in 0..n {
+        let lowered = im2col(&input.as_slice()[bi * per_in..(bi + 1) * per_in], ispec);
+        let dst = &mut out[bi * per_out..(bi + 1) * per_out];
+        if let Some(b) = bias {
+            for (ci, &bv) in b.as_slice().iter().enumerate() {
+                dst[ci * cols..(ci + 1) * cols].fill(bv);
+            }
+        }
+        matmul_acc(weight.as_slice(), &lowered, dst, c_out, rows, cols);
+    }
+    Tensor::from_vec(&[n, c_out, oh, ow], out)
+}
+
+/// Depthwise 2-D convolution: each input channel is convolved with its own
+/// single-channel kernel (groups = channels, multiplier 1).
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[C, 1, K, K]`
+/// * `bias`: optional `[C]`
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let [n, c, h, w] = dims4(input, "depthwise input");
+    let [wc, one, k, k2] = dims4(weight, "depthwise weight");
+    assert_eq!(one, 1, "depthwise weight must be [C,1,K,K]");
+    assert_eq!(k, k2, "depthwise requires square kernels");
+    assert_eq!(c, wc, "channel mismatch: input {c}, weight {wc}");
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), c, "bias length mismatch");
+    }
+
+    let oh = conv_out_dim(h, k, spec.stride, spec.padding);
+    let ow = conv_out_dim(w, k, spec.stride, spec.padding);
+    let pad = spec.padding as isize;
+    let mut out = vec![0.0; n * c * oh * ow];
+
+    for bi in 0..n {
+        for ci in 0..c {
+            let plane = &input.as_slice()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+            let kern = &weight.as_slice()[ci * k * k..(ci + 1) * k * k];
+            let bias_v = bias.map_or(0.0, |b| b.as_slice()[ci]);
+            let dst = &mut out[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ky in 0..k {
+                        let iy = oy as isize * spec.stride as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize * spec.stride as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                acc += kern[ky * k + kx] * plane[iy as usize * w + ix as usize];
+                            }
+                        }
+                    }
+                    dst[oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, oh, ow], out)
+}
+
+/// Slow, obviously-correct standard convolution used to validate the GEMM
+/// path in tests.
+pub fn conv2d_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let [n, c_in, h, w] = dims4(input, "conv2d input");
+    let [c_out, _, k, _] = dims4(weight, "conv2d weight");
+    let oh = conv_out_dim(h, k, spec.stride, spec.padding);
+    let ow = conv_out_dim(w, k, spec.stride, spec.padding);
+    let pad = spec.padding as isize;
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    for bi in 0..n {
+        for co in 0..c_out {
+            let bias_v = bias.map_or(0.0, |b| b.as_slice()[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize * spec.stride as isize + ky as isize - pad;
+                                let ix = ox as isize * spec.stride as isize + kx as isize - pad;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    acc += input.at(&[bi, ci, iy as usize, ix as usize])
+                                        * weight.at(&[co, ci, ky, kx]);
+                                }
+                            }
+                        }
+                    }
+                    out.set(&[bi, co, oy, ox], acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn dims4(t: &Tensor, what: &str) -> [usize; 4] {
+    assert_eq!(t.rank(), 4, "{what} must be rank 4, got {:?}", t.shape());
+    let d = t.shape();
+    [d[0], d[1], d[2], d[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_add(9);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_path_matches_reference() {
+        let input = Tensor::from_vec(&[2, 3, 7, 6], pseudo(2 * 3 * 7 * 6, 1));
+        let weight = Tensor::from_vec(&[4, 3, 3, 3], pseudo(4 * 3 * 3 * 3, 2));
+        let bias = Tensor::from_vec(&[4], pseudo(4, 3));
+        for spec in [
+            Conv2dSpec { stride: 1, padding: 0 },
+            Conv2dSpec { stride: 1, padding: 1 },
+            Conv2dSpec { stride: 2, padding: 1 },
+        ] {
+            let fast = conv2d(&input, &weight, Some(&bias), spec);
+            let slow = conv2d_reference(&input, &weight, Some(&bias), spec);
+            assert!(fast.allclose(&slow, 1e-4), "mismatch at {spec:?}");
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_reference() {
+        // Depthwise == standard conv with block-diagonal weights.
+        let c = 3;
+        let input = Tensor::from_vec(&[1, c, 6, 5], pseudo(c * 30, 7));
+        let dw_weight = Tensor::from_vec(&[c, 1, 3, 3], pseudo(c * 9, 8));
+        let spec = Conv2dSpec { stride: 1, padding: 1 };
+
+        let mut full = Tensor::zeros(&[c, c, 3, 3]);
+        for ci in 0..c {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    full.set(&[ci, ci, ky, kx], dw_weight.at(&[ci, 0, ky, kx]));
+                }
+            }
+        }
+        let got = depthwise_conv2d(&input, &dw_weight, None, spec);
+        let want = conv2d_reference(&input, &full, None, spec);
+        assert!(got.allclose(&want, 1e-4));
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let input = Tensor::from_vec(&[1, 1, 4, 4], pseudo(16, 11));
+        let mut weight = Tensor::zeros(&[1, 1, 3, 3]);
+        weight.set(&[0, 0, 1, 1], 1.0);
+        let out = conv2d(&input, &weight, None, Conv2dSpec { stride: 1, padding: 1 });
+        assert!(out.allclose(&input, 1e-6));
+    }
+
+    #[test]
+    fn frontnet_first_layer_shape() {
+        // 160x96 input, 5x5 stride-2 pad-2: the actual Frontnet front layer.
+        let input = Tensor::zeros(&[1, 1, 96, 160]);
+        let weight = Tensor::zeros(&[32, 1, 5, 5]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec { stride: 2, padding: 2 });
+        assert_eq!(out.shape(), &[1, 32, 48, 80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let input = Tensor::zeros(&[1, 2, 4, 4]);
+        let weight = Tensor::zeros(&[1, 3, 3, 3]);
+        let _ = conv2d(&input, &weight, None, Conv2dSpec::default());
+    }
+}

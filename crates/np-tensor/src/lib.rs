@@ -1,0 +1,44 @@
+//! # np-tensor
+//!
+//! Dense NCHW tensors and reference DNN kernels for the `nanopose` workspace.
+//!
+//! This crate is the numeric substrate everything else builds on: the
+//! training framework in `np-nn`, the integer-only kernels in `np-quant`,
+//! and the synthetic dataset renderer in `np-dataset` all manipulate
+//! [`Tensor`] values.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has a slow, obviously-correct reference
+//!    used in tests to validate the fast paths.
+//! 2. **Predictability** — row-major NCHW layout, no implicit broadcasting
+//!    beyond what the ops document, panics on shape mismatch (shape bugs are
+//!    programmer errors, not recoverable conditions).
+//! 3. **Enough speed to train the proxy CNNs on a laptop CPU** — convolution
+//!    is lowered to `im2col` + a blocked matmul.
+//!
+//! ## Example
+//!
+//! ```
+//! use np_tensor::{Tensor, conv::{conv2d, Conv2dSpec}};
+//!
+//! let input = Tensor::zeros(&[1, 1, 8, 8]);
+//! let weight = Tensor::zeros(&[4, 1, 3, 3]);
+//! let spec = Conv2dSpec { stride: 1, padding: 1 };
+//! let out = conv2d(&input, &weight, None, spec);
+//! assert_eq!(out.shape(), &[1, 4, 8, 8]);
+//! ```
+
+pub mod conv;
+pub mod im2col;
+pub mod matmul;
+pub mod ops;
+pub mod pool;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

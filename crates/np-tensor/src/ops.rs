@@ -1,0 +1,142 @@
+//! Elementwise activations and small numeric helpers.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, elementwise.
+pub fn relu(t: &Tensor) -> Tensor {
+    t.map(|x| x.max(0.0))
+}
+
+/// Derivative mask of ReLU evaluated at the *pre-activation* values:
+/// 1 where the input was positive, 0 elsewhere.
+pub fn relu_mask(pre: &Tensor) -> Tensor {
+    pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Numerically-stable softmax over the last `n` elements of a flat slice.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Largest and second-largest values of a slice.
+///
+/// Returns `(max, second_max)`; for a single-element slice the second value
+/// is 0.0 by convention (score margin collapses to the max itself).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn top2(values: &[f32]) -> (f32, f32) {
+    assert!(!values.is_empty(), "top2 of empty slice");
+    let mut best = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for &v in values {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if second == f32::NEG_INFINITY {
+        second = 0.0;
+    }
+    (best, second)
+}
+
+/// Fully-connected layer: `y = W x + b` for a batch.
+///
+/// * `input`: `[N, D_in]` (or any rank whose trailing dims flatten to `D_in`)
+/// * `weight`: `[D_out, D_in]`
+/// * `bias`: optional `[D_out]`
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Tensor {
+    let d_out = weight.shape()[0];
+    let d_in = weight.shape()[1];
+    let batch = input.numel() / d_in;
+    assert_eq!(
+        batch * d_in,
+        input.numel(),
+        "input numel {} not divisible by D_in {}",
+        input.numel(),
+        d_in
+    );
+    let x = input.as_slice();
+    let w = weight.as_slice();
+    let mut out = vec![0.0; batch * d_out];
+    for bi in 0..batch {
+        let xrow = &x[bi * d_in..(bi + 1) * d_in];
+        let orow = &mut out[bi * d_out..(bi + 1) * d_out];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let wrow = &w[j * d_in..(j + 1) * d_in];
+            let mut acc = bias.map_or(0.0, |b| b.as_slice()[j]);
+            for (xi, wi) in xrow.iter().zip(wrow.iter()) {
+                acc += xi * wi;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(&[batch, d_out], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_slice(&[-2.0, 0.0, 3.0]);
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 3.0]);
+        assert_eq!(relu_mask(&t).as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top2_basic() {
+        assert_eq!(top2(&[0.1, 0.7, 0.2]), (0.7, 0.2));
+        assert_eq!(top2(&[0.9]), (0.9, 0.0));
+    }
+
+    #[test]
+    fn linear_known_values() {
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let b = Tensor::from_slice(&[0.5, -0.5]);
+        let y = linear(&x, &w, Some(&b));
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[1.5, 4.5]);
+    }
+
+    #[test]
+    fn linear_flattens_conv_output() {
+        // A [1, 2, 2, 2] activation feeds an 8-input FC layer.
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0; 8]);
+        let w = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        let y = linear(&x, &w, None);
+        assert_eq!(y.as_slice(), &[8.0]);
+    }
+}

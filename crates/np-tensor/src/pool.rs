@@ -1,0 +1,180 @@
+//! Max and average pooling, with argmax indices for the backward pass.
+
+use crate::conv::dims4;
+use crate::shape::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// Pooling window configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Square window extent.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Non-overlapping `k x k` pooling (stride == kernel).
+    pub fn square(kernel: usize) -> Self {
+        PoolSpec {
+            kernel,
+            stride: kernel,
+        }
+    }
+}
+
+/// Output of [`max_pool2d`]: the pooled tensor plus the flat input index of
+/// each selected maximum (needed to route gradients).
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled feature map `[N, C, H_out, W_out]`.
+    pub output: Tensor,
+    /// For every output element, the flat index into the input data of the
+    /// element that won the max.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling over non-padded windows.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> MaxPoolOutput {
+    let [n, c, h, w] = dims4(input, "max_pool2d input");
+    let oh = conv_out_dim(h, spec.kernel, spec.stride, 0);
+    let ow = conv_out_dim(w, spec.kernel, spec.stride, 0);
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+
+    for bi in 0..n {
+        for ci in 0..c {
+            let base = (bi * c + ci) * h * w;
+            let obase = (bi * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let idx = base + iy * w + ix;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[obase + oy * ow + ox] = best;
+                    argmax[obase + oy * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput {
+        output: Tensor::from_vec(&[n, c, oh, ow], out),
+        argmax,
+    }
+}
+
+/// Average pooling over non-padded windows.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Tensor {
+    let [n, c, h, w] = dims4(input, "avg_pool2d input");
+    let oh = conv_out_dim(h, spec.kernel, spec.stride, 0);
+    let ow = conv_out_dim(w, spec.kernel, spec.stride, 0);
+    let inv = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0; n * c * oh * ow];
+    let data = input.as_slice();
+
+    for bi in 0..n {
+        for ci in 0..c {
+            let base = (bi * c + ci) * h * w;
+            let obase = (bi * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            acc += data[base + (oy * spec.stride + ky) * w + ox * spec.stride + kx];
+                        }
+                    }
+                    out[obase + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[n, c, oh, ow], out)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C, 1, 1]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let [n, c, h, w] = dims4(input, "global_avg_pool input");
+    let inv = 1.0 / (h * w) as f32;
+    let data = input.as_slice();
+    let mut out = vec![0.0; n * c];
+    for (i, o) in out.iter_mut().enumerate() {
+        let base = i * h * w;
+        *o = data[base..base + h * w].iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(&[n, c, 1, 1], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_values_and_indices() {
+        let input = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let got = max_pool2d(&input, PoolSpec::square(2));
+        assert_eq!(got.output.shape(), &[1, 1, 2, 2]);
+        assert_eq!(got.output.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(got.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_values() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let got = avg_pool2d(&input, PoolSpec::square(2));
+        assert_eq!(got.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let input = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|x| x as f32).collect());
+        let got = max_pool2d(
+            &input,
+            PoolSpec {
+                kernel: 2,
+                stride: 1,
+            },
+        );
+        assert_eq!(got.output.shape(), &[1, 1, 2, 2]);
+        assert_eq!(got.output.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn global_pool_is_mean_per_channel() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let got = global_avg_pool(&input);
+        assert_eq!(got.shape(), &[1, 2, 1, 1]);
+        assert_eq!(got.as_slice(), &[2.5, 10.0]);
+    }
+}

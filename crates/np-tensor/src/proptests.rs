@@ -1,0 +1,102 @@
+//! Property-based tests over the tensor substrate.
+
+use crate::conv::{conv2d, conv2d_reference, Conv2dSpec};
+use crate::im2col::{col2im, im2col, Im2colSpec};
+use crate::ops::{softmax, top2};
+use crate::pool::{avg_pool2d, max_pool2d, PoolSpec};
+use crate::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_tensor(dims: [usize; 4]) -> impl Strategy<Value = Tensor> {
+    let n = dims.iter().product::<usize>();
+    proptest::collection::vec(-2.0f32..2.0, n)
+        .prop_map(move |v| Tensor::from_vec(&dims, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conv_gemm_equals_reference(
+        input in small_tensor([1, 2, 6, 5]),
+        weight in small_tensor([3, 2, 3, 3]),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let spec = Conv2dSpec { stride, padding };
+        let fast = conv2d(&input, &weight, None, spec);
+        let slow = conv2d_reference(&input, &weight, None, spec);
+        prop_assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        a in small_tensor([1, 1, 5, 5]),
+        b in small_tensor([1, 1, 5, 5]),
+        weight in small_tensor([2, 1, 3, 3]),
+    ) {
+        // conv(a + b) == conv(a) + conv(b) (no bias).
+        let spec = Conv2dSpec { stride: 1, padding: 1 };
+        let lhs = conv2d(&a.add(&b), &weight, None, spec);
+        let rhs = conv2d(&a, &weight, None, spec).add(&conv2d(&b, &weight, None, spec));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        x in proptest::collection::vec(-1.0f32..1.0, 2 * 6 * 5),
+        y_seed in 0u64..1000,
+    ) {
+        let spec = Im2colSpec { channels: 2, height: 6, width: 5, kernel: 3, stride: 2, padding: 1 };
+        let n_mat = spec.rows() * spec.cols();
+        let y: Vec<f32> = (0..n_mat).map(|i| ((i as u64 + y_seed) as f32 * 0.37).sin()).collect();
+        let ax = im2col(&x, spec);
+        let aty = col2im(&y, spec);
+        let lhs: f32 = ax.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(aty.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(input in small_tensor([1, 2, 4, 4])) {
+        let spec = PoolSpec::square(2);
+        let mx = max_pool2d(&input, spec).output;
+        let av = avg_pool2d(&input, spec);
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice().iter()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn max_pool_argmax_points_at_max(input in small_tensor([1, 1, 4, 6])) {
+        let got = max_pool2d(&input, PoolSpec::square(2));
+        for (o, &idx) in got.output.as_slice().iter().zip(got.argmax.iter()) {
+            prop_assert_eq!(*o, input.as_slice()[idx]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(logits in proptest::collection::vec(-10.0f32..10.0, 1..20)) {
+        let p = softmax(&logits);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn top2_invariants(values in proptest::collection::vec(0.0f32..1.0, 2..30)) {
+        let (a, b) = top2(&values);
+        prop_assert!(a >= b);
+        prop_assert!(values.iter().all(|&v| v <= a));
+    }
+
+    #[test]
+    fn stack_batch_item_roundtrip(
+        a in small_tensor([1, 2, 3, 3]),
+        b in small_tensor([1, 2, 3, 3]),
+    ) {
+        let s = Tensor::stack_batch(&[a.clone(), b.clone()]);
+        prop_assert_eq!(s.batch_item(0), a);
+        prop_assert_eq!(s.batch_item(1), b);
+    }
+}

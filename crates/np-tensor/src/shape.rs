@@ -1,0 +1,178 @@
+//! Shape arithmetic shared by tensors and the deployment planner.
+
+use std::fmt;
+
+/// A tensor shape: the extent of each dimension, outermost first.
+///
+/// Shapes are small (rank ≤ 4 in practice) so they are stored inline in a
+/// `Vec<usize>` and cloned freely.
+///
+/// ```
+/// use np_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from the given dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero: zero-sized tensors are never
+    /// meaningful in this workspace and always indicate a bug upstream.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be non-zero, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The dimensions as a slice, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape, in elements.
+    ///
+    /// ```
+    /// use np_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&x, &d)) in idx.iter().zip(self.0.iter()).enumerate().rev() {
+            assert!(x < d, "index {x} out of range {d} in dim {i}");
+            off += x * stride;
+            stride *= d;
+        }
+        off
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Output spatial extent of a convolution/pooling window.
+///
+/// Standard formula: `(input + 2*padding - kernel) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics if the window does not fit (`input + 2*padding < kernel`) or
+/// `stride == 0`.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * padding;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[4]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[2, 5]).strides(), vec![5, 1]);
+        assert_eq!(Shape::new(&[2, 3, 4, 5]).strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_checks_bounds() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        Shape::new(&[3, 0, 2]);
+    }
+
+    #[test]
+    fn conv_out_dims() {
+        // 160x96 Frontnet-style first layer: 5x5 stride 2 pad 2.
+        assert_eq!(conv_out_dim(160, 5, 2, 2), 80);
+        assert_eq!(conv_out_dim(96, 5, 2, 2), 48);
+        // Same-padding 3x3.
+        assert_eq!(conv_out_dim(40, 3, 1, 1), 40);
+        // Stride-2 3x3.
+        assert_eq!(conv_out_dim(40, 3, 2, 1), 20);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[1, 3, 96, 160]).to_string(), "[1x3x96x160]");
+    }
+}

@@ -1,0 +1,97 @@
+//! Auxiliary head-localization CNN.
+//!
+//! A strongly reduced Frontnet (paper Sec. III-B2): four conv+pool blocks
+//! that shrink the activation tensors aggressively, then a linear layer
+//! classifying which grid cell contains the subject's head. The paper
+//! starts from 8/16/32/64 filters (~1.1 MMAC) and prunes to ~656 kMAC;
+//! [`crate::channels::AUX_CHANNELS_PRUNED`] reproduces the pruned size.
+
+use np_dataset::GridSpec;
+use np_nn::init::{Initializer, SmallRng};
+use np_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use np_nn::{Layer, Sequential};
+use np_tensor::shape::conv_out_dim;
+
+/// Builds the auxiliary classifier for `grid` with the given 4 conv
+/// channel counts.
+///
+/// The first two convolutions are stride-2 and every block is followed by
+/// a 2×2 max pool while the spatial extent allows, shrinking 160×96 to a
+/// handful of pixels in four blocks. No batch norm: the network is small
+/// enough to train without it, which keeps channel pruning simple.
+pub fn build_aux(
+    channels: &[usize; 4],
+    grid: GridSpec,
+    input: (usize, usize, usize),
+    rng: &mut SmallRng,
+) -> Sequential {
+    let (cin, mut h, mut w) = input;
+    let init = Initializer::KaimingUniform;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut prev = cin;
+    // At the paper's 160-px width the first two convolutions are stride-2;
+    // at proxy resolution one stride-2 conv suffices to reach the same
+    // final spatial extent.
+    let n_strided = if input.2 >= 160 { 2 } else { 1 };
+
+    for (i, &c) in channels.iter().enumerate() {
+        let stride = if i < n_strided { 2 } else { 1 };
+        layers.push(Box::new(Conv2d::new(prev, c, 3, stride, 1, init, rng)));
+        layers.push(Box::new(Relu::new()));
+        h = conv_out_dim(h, 3, stride, 1);
+        w = conv_out_dim(w, 3, stride, 1);
+        if h >= 2 && w >= 2 {
+            layers.push(Box::new(MaxPool2d::new(2, 2)));
+            h = conv_out_dim(h, 2, 2, 0);
+            w = conv_out_dim(w, 2, 2, 0);
+        }
+        prev = c;
+    }
+
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(
+        prev * h * w,
+        grid.n_cells(),
+        Initializer::XavierUniform,
+        rng,
+    )));
+    Sequential::with_name(format!("aux-{grid}"), layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::{AUX_CHANNELS_PRUNED, AUX_CHANNELS_UNPRUNED};
+    use np_tensor::Tensor;
+
+    #[test]
+    fn output_matches_grid_cells() {
+        let mut rng = SmallRng::seed(0);
+        for grid in [GridSpec::GRID_2X2, GridSpec::GRID_3X3, GridSpec::GRID_8X6] {
+            let mut net = build_aux(&AUX_CHANNELS_PRUNED, grid, (1, 48, 80), &mut rng);
+            let y = net.forward(&Tensor::zeros(&[1, 1, 48, 80]));
+            assert_eq!(y.shape(), &[1, grid.n_cells()]);
+        }
+    }
+
+    #[test]
+    fn pruned_is_cheaper_than_unpruned() {
+        let mut rng = SmallRng::seed(0);
+        let unpruned = build_aux(&AUX_CHANNELS_UNPRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng)
+            .describe((1, 96, 160));
+        let pruned = build_aux(&AUX_CHANNELS_PRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng)
+            .describe((1, 96, 160));
+        assert!(pruned.macs() < unpruned.macs());
+        // Paper: pruned aux ≈ 656 kMAC.
+        let k = pruned.macs() as f64 / 1e3;
+        assert!((300.0..900.0).contains(&k), "aux macs {k}k");
+    }
+
+    #[test]
+    fn paper_resolution_works() {
+        let mut rng = SmallRng::seed(0);
+        let mut net = build_aux(&AUX_CHANNELS_PRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[1, 1, 96, 160]));
+        assert_eq!(y.shape(), &[1, 48]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Trained-weight caching.
+//!
+//! The experiment binaries train the proxy models on first run and reuse
+//! the weights afterwards, so regenerating a figure is fast once the zoo
+//! has been trained.
+
+use np_nn::serialize::{load_weights_file, save_weights_file};
+use np_nn::Sequential;
+use std::path::PathBuf;
+
+/// Directory for cached weights: `$NP_ARTIFACTS_DIR` or `./artifacts`.
+pub fn artifacts_dir() -> PathBuf {
+    std::env::var_os("NP_ARTIFACTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"))
+}
+
+/// Returns `build()` with cached weights when `<artifacts>/<key>.weights`
+/// exists and matches the architecture; otherwise trains via `train` and
+/// writes the cache.
+///
+/// `key` must encode everything that affects the weights (model id,
+/// dataset seed, recipe) — the callers in `np-bench` use
+/// `"<model>-<dataset>-<seed>"` keys.
+pub fn load_or_train(
+    key: &str,
+    build: impl FnOnce() -> Sequential,
+    train: impl FnOnce(&mut Sequential),
+) -> Sequential {
+    let path = artifacts_dir().join(format!("{key}.weights"));
+    let mut model = build();
+    if path.exists() {
+        match load_weights_file(&mut model, &path) {
+            Ok(()) => return model,
+            Err(e) => eprintln!("cache {key}: reload failed ({e}); retraining"),
+        }
+    }
+    train(&mut model);
+    if let Err(e) = save_weights_file(&model, &path) {
+        eprintln!("cache {key}: save failed ({e}); continuing without cache");
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_nn::init::{Initializer, SmallRng};
+    use np_nn::layers::Linear;
+    use np_tensor::Tensor;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = SmallRng::seed(seed);
+        Sequential::new(vec![Box::new(Linear::new(
+            4,
+            2,
+            Initializer::KaimingUniform,
+            &mut rng,
+        ))])
+    }
+
+    #[test]
+    fn second_load_skips_training() {
+        let dir = std::env::temp_dir().join(format!("np-cache-test-{}", std::process::id()));
+        // SAFETY: test-local env var; tests in this module run serially
+        // enough for our purposes because the key is unique per process.
+        std::env::set_var("NP_ARTIFACTS_DIR", &dir);
+
+        let key = "unit-test-model";
+        let mut trained = 0;
+        let m1 = load_or_train(key, || tiny_model(1), |m| {
+            trained += 1;
+            // "Training": set weights to a known value.
+            for p in m.params_mut() {
+                p.value.as_mut_slice().fill(0.25);
+            }
+        });
+        assert_eq!(trained, 1);
+
+        let m2 = load_or_train(key, || tiny_model(2), |_| {
+            trained += 1;
+        });
+        assert_eq!(trained, 1, "second call retrained");
+        let x = Tensor::from_vec(&[1, 4], vec![1.0; 4]);
+        let mut a = m1.clone();
+        let mut b = m2.clone();
+        assert!(a.forward(&x).allclose(&b.forward(&x), 1e-6));
+
+        std::env::remove_var("NP_ARTIFACTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Channel configurations and the [`ModelId`] registry.
+
+use crate::{aux, frontnet, mobilenet};
+use np_dataset::GridSpec;
+use np_nn::init::SmallRng;
+use np_nn::{NetworkDesc, Sequential};
+
+/// Frontnet F1 channels, fitted to Table I (4.51 M MAC, 14.8 k params).
+pub const F1_CHANNELS: [usize; 7] = [32, 12, 16, 8, 12, 12, 32];
+
+/// Frontnet F2 channels, fitted to Table I (7.09 M MAC, 44.5 k params).
+pub const F2_CHANNELS: [usize; 7] = [40, 16, 28, 20, 24, 48, 28];
+
+/// M1.0 stem channels.
+pub const M10_STEM: usize = 24;
+
+/// M1.0 per-block output channels, fitted to Table I (11.42 M MAC ≈
+/// 11.27 M here, 46.8 k params ≈ 46.4 k here).
+pub const M10_CHANNELS: [usize; 13] = [32, 40, 40, 60, 60, 60, 60, 60, 60, 60, 60, 40, 40];
+
+/// MobileNet v1 stride schedule (stride of each depthwise block).
+pub const M10_STRIDES: [usize; 13] = [1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1];
+
+/// Auxiliary CNN channels before pruning (paper: 8/16/32/64 filters).
+pub const AUX_CHANNELS_UNPRUNED: [usize; 4] = [8, 16, 32, 64];
+
+/// Auxiliary CNN channels after mask pruning (≈ 650 kMAC at 160×96,
+/// matching the paper's 656 kMAC figure).
+pub const AUX_CHANNELS_PRUNED: [usize; 4] = [8, 12, 16, 24];
+
+/// Paper-exact input resolution `(channels, height, width)`.
+pub const PAPER_INPUT: (usize, usize, usize) = (1, 96, 160);
+
+/// Proxy input resolution used for actual training.
+pub const PROXY_INPUT: (usize, usize, usize) = (1, 48, 80);
+
+/// The models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// Small Frontnet (ensemble D1's little model).
+    F1,
+    /// Mid Frontnet (ensemble D2's little model).
+    F2,
+    /// NAS-pruned MobileNet v1 (the big model of both ensembles).
+    M10,
+    /// Auxiliary head-localization classifier for a given grid.
+    Aux(GridSpec),
+}
+
+impl ModelId {
+    /// Display name matching the paper's notation.
+    pub fn name(&self) -> String {
+        match self {
+            ModelId::F1 => "F1".to_string(),
+            ModelId::F2 => "F2".to_string(),
+            ModelId::M10 => "M1.0".to_string(),
+            ModelId::Aux(g) => format!("aux-{g}"),
+        }
+    }
+
+    /// Builds the paper-exact architecture (160×96 input) and returns its
+    /// static description for deployment planning.
+    pub fn paper_desc(&self) -> NetworkDesc {
+        let mut rng = SmallRng::seed(0); // weights irrelevant for the desc
+        let net = self.build(PAPER_INPUT, &mut rng);
+        net.describe(PAPER_INPUT)
+    }
+
+    /// Builds the trainable proxy (80×48 input).
+    pub fn build_proxy(&self, rng: &mut SmallRng) -> Sequential {
+        self.build(PROXY_INPUT, rng)
+    }
+
+    /// Builds the architecture for an arbitrary input resolution.
+    pub fn build(&self, input: (usize, usize, usize), rng: &mut SmallRng) -> Sequential {
+        match self {
+            ModelId::F1 => frontnet::build_frontnet("F1", &F1_CHANNELS, input, rng),
+            ModelId::F2 => frontnet::build_frontnet("F2", &F2_CHANNELS, input, rng),
+            ModelId::M10 => {
+                mobilenet::build_mobilenet("M1.0", M10_STEM, &M10_CHANNELS, &M10_STRIDES, input, rng)
+            }
+            ModelId::Aux(grid) => aux::build_aux(&AUX_CHANNELS_PRUNED, *grid, input, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_matches_table1() {
+        let d = ModelId::F1.paper_desc();
+        let macs = d.macs() as f64 / 1e6;
+        let params = d.params() as f64 / 1e3;
+        assert!((macs - 4.51).abs() < 0.10, "F1 macs {macs}M (paper 4.51M)");
+        assert!((params - 14.8).abs() < 1.0, "F1 params {params}k (paper 14.8k)");
+    }
+
+    #[test]
+    fn f2_matches_table1() {
+        let d = ModelId::F2.paper_desc();
+        let macs = d.macs() as f64 / 1e6;
+        let params = d.params() as f64 / 1e3;
+        assert!((macs - 7.09).abs() < 0.15, "F2 macs {macs}M (paper 7.09M)");
+        assert!((params - 44.5).abs() < 2.0, "F2 params {params}k (paper 44.5k)");
+    }
+
+    #[test]
+    fn m10_matches_table1() {
+        let d = ModelId::M10.paper_desc();
+        let macs = d.macs() as f64 / 1e6;
+        let params = d.params() as f64 / 1e3;
+        assert!((macs - 11.42).abs() < 0.5, "M1.0 macs {macs}M (paper 11.42M)");
+        assert!((params - 46.8).abs() < 2.0, "M1.0 params {params}k (paper 46.8k)");
+    }
+
+    #[test]
+    fn capacity_ordering_holds() {
+        let f1 = ModelId::F1.paper_desc();
+        let f2 = ModelId::F2.paper_desc();
+        let m10 = ModelId::M10.paper_desc();
+        assert!(f1.macs() < f2.macs());
+        assert!(f2.macs() < m10.macs());
+        assert!(f1.params() < f2.params());
+    }
+
+    #[test]
+    fn aux_is_under_a_megamac() {
+        let d = ModelId::Aux(GridSpec::GRID_8X6).paper_desc();
+        let macs = d.macs() as f64 / 1e6;
+        assert!(macs < 1.0, "aux macs {macs}M (paper 0.656M)");
+        // And far cheaper than the smallest pose model.
+        assert!(d.macs() * 4 < ModelId::F1.paper_desc().macs());
+    }
+
+    #[test]
+    fn proxies_build_and_run() {
+        let mut rng = SmallRng::seed(1);
+        for id in [
+            ModelId::F1,
+            ModelId::F2,
+            ModelId::M10,
+            ModelId::Aux(GridSpec::GRID_2X2),
+            ModelId::Aux(GridSpec::GRID_8X6),
+        ] {
+            let mut net = id.build_proxy(&mut rng);
+            let x = np_tensor::Tensor::zeros(&[1, 1, 48, 80]);
+            let y = net.forward(&x);
+            let expect = match id {
+                ModelId::Aux(g) => g.n_cells(),
+                _ => 4,
+            };
+            assert_eq!(y.shape(), &[1, expect], "{}", id.name());
+        }
+    }
+}

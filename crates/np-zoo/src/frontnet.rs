@@ -1,0 +1,96 @@
+//! PULP-Frontnet architecture template.
+//!
+//! The template follows Palossi et al.: a 5×5 stride-2 stem with max
+//! pooling, three residual-free blocks of two 3×3 convolutions (the first
+//! of each block stride-2), batch norm + ReLU throughout, and a linear
+//! head regressing `(x, y, z, phi)`. The NAS of Cereda et al. varies only
+//! the per-layer channel counts, which is exactly what [`build_frontnet`]
+//! parameterizes.
+
+use np_nn::init::{Initializer, SmallRng};
+use np_nn::layers::{BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use np_nn::{Layer, Sequential};
+use np_tensor::shape::conv_out_dim;
+
+/// Builds a Frontnet variant with the given 7 conv channel counts.
+///
+/// `input` is `(channels, height, width)`; the head dimension adapts to
+/// the resolution automatically.
+///
+/// # Panics
+///
+/// Panics if the input is too small for the stride schedule.
+pub fn build_frontnet(
+    name: &str,
+    channels: &[usize; 7],
+    input: (usize, usize, usize),
+    rng: &mut SmallRng,
+) -> Sequential {
+    let (cin, mut h, mut w) = input;
+    let init = Initializer::KaimingUniform;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+
+    // Stem: conv 5x5 s2 p2 + BN + ReLU + maxpool 2x2.
+    layers.push(Box::new(Conv2d::new(cin, channels[0], 5, 2, 2, init, rng)));
+    layers.push(Box::new(BatchNorm2d::new(channels[0])));
+    layers.push(Box::new(Relu::new()));
+    h = conv_out_dim(h, 5, 2, 2);
+    w = conv_out_dim(w, 5, 2, 2);
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    h = conv_out_dim(h, 2, 2, 0);
+    w = conv_out_dim(w, 2, 2, 0);
+
+    // Three blocks of (conv s2, conv s1).
+    let mut prev = channels[0];
+    for block in 0..3 {
+        for half in 0..2 {
+            let c = channels[1 + block * 2 + half];
+            let stride = if half == 0 { 2 } else { 1 };
+            layers.push(Box::new(Conv2d::new(prev, c, 3, stride, 1, init, rng)));
+            layers.push(Box::new(BatchNorm2d::new(c)));
+            layers.push(Box::new(Relu::new()));
+            h = conv_out_dim(h, 3, stride, 1);
+            w = conv_out_dim(w, 3, stride, 1);
+            prev = c;
+        }
+    }
+
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(prev * h * w, 4, Initializer::XavierUniform, rng)));
+    Sequential::with_name(name, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_tensor::Tensor;
+
+    #[test]
+    fn paper_resolution_shapes() {
+        let mut rng = SmallRng::seed(0);
+        let mut net = build_frontnet("t", &[32, 12, 16, 8, 12, 12, 32], (1, 96, 160), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 96, 160]));
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn proxy_resolution_shapes() {
+        let mut rng = SmallRng::seed(0);
+        let mut net = build_frontnet("t", &[32, 12, 16, 8, 12, 12, 32], (1, 48, 80), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[1, 1, 48, 80]));
+        assert_eq!(y.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn has_seven_convs() {
+        let mut rng = SmallRng::seed(0);
+        let net = build_frontnet("t", &[8, 8, 8, 8, 8, 8, 8], (1, 96, 160), &mut rng);
+        let desc = net.describe((1, 96, 160));
+        let convs = desc
+            .layers
+            .iter()
+            .filter(|l| l.kind == np_nn::LayerKind::Conv2d)
+            .count();
+        assert_eq!(convs, 7);
+    }
+}

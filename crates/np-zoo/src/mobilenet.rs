@@ -1,0 +1,121 @@
+//! MobileNet v1 architecture template (depthwise-separable stacks).
+
+use np_nn::init::{Initializer, SmallRng};
+use np_nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
+use np_nn::{Layer, Sequential};
+use np_tensor::shape::conv_out_dim;
+
+/// Builds a MobileNet v1 variant.
+///
+/// * `stem`: channels of the 3×3 stride-2 stem convolution
+/// * `channels[i]`: output channels of block `i`'s pointwise convolution
+/// * `strides[i]`: stride of block `i`'s depthwise convolution
+///
+/// Head: flatten + linear to 4 pose outputs. (The classic MobileNet global
+/// average pool is deliberately replaced: pooling away the spatial axes
+/// destroys the positional information that `(x, y, z)` regression needs,
+/// and the Frontnet family likewise regresses from the flattened map.)
+///
+/// # Panics
+///
+/// Panics if `channels` and `strides` lengths differ or the input is too
+/// small for the stride schedule.
+pub fn build_mobilenet(
+    name: &str,
+    stem: usize,
+    channels: &[usize],
+    strides: &[usize],
+    input: (usize, usize, usize),
+    rng: &mut SmallRng,
+) -> Sequential {
+    assert_eq!(channels.len(), strides.len(), "block config length mismatch");
+    let (cin, mut h, mut w) = input;
+    let init = Initializer::KaimingUniform;
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+
+    layers.push(Box::new(Conv2d::new(cin, stem, 3, 2, 1, init, rng)));
+    layers.push(Box::new(BatchNorm2d::new(stem)));
+    layers.push(Box::new(Relu::new()));
+    h = conv_out_dim(h, 3, 2, 1);
+    w = conv_out_dim(w, 3, 2, 1);
+
+    let mut prev = stem;
+    for (&c, &s) in channels.iter().zip(strides.iter()) {
+        layers.push(Box::new(DepthwiseConv2d::new(prev, 3, s, 1, init, rng)));
+        layers.push(Box::new(BatchNorm2d::new(prev)));
+        layers.push(Box::new(Relu::new()));
+        h = conv_out_dim(h, 3, s, 1);
+        w = conv_out_dim(w, 3, s, 1);
+
+        layers.push(Box::new(Conv2d::new(prev, c, 1, 1, 0, init, rng)));
+        layers.push(Box::new(BatchNorm2d::new(c)));
+        layers.push(Box::new(Relu::new()));
+        prev = c;
+    }
+
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(prev * h * w, 4, Initializer::XavierUniform, rng)));
+    Sequential::with_name(name, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_tensor::Tensor;
+
+    #[test]
+    fn forward_shapes_paper_and_proxy() {
+        let mut rng = SmallRng::seed(0);
+        let channels = [16, 24, 24, 32];
+        let strides = [1, 2, 1, 2];
+        for input in [(1, 96, 160), (1, 48, 80)] {
+            let mut net = build_mobilenet("m", 8, &channels, &strides, input, &mut rng);
+            let y = net.forward(&Tensor::zeros(&[1, 1, input.1, input.2]));
+            assert_eq!(y.shape(), &[1, 4]);
+        }
+    }
+
+    #[test]
+    fn depthwise_and_pointwise_counts() {
+        let mut rng = SmallRng::seed(0);
+        let net = build_mobilenet("m", 8, &[16, 24], &[1, 2], (1, 48, 80), &mut rng);
+        let desc = net.describe((1, 48, 80));
+        let dw = desc
+            .layers
+            .iter()
+            .filter(|l| l.kind == np_nn::LayerKind::DepthwiseConv2d)
+            .count();
+        let pw = desc
+            .layers
+            .iter()
+            .filter(|l| l.kind == np_nn::LayerKind::Conv2d && l.kernel == 1)
+            .count();
+        assert_eq!(dw, 2);
+        assert_eq!(pw, 2);
+    }
+
+    #[test]
+    fn depthwise_macs_are_minor_but_present() {
+        // The hallmark of MobileNet on GAP8: most MACs are pointwise, but
+        // the depthwise layers dominate latency (checked in np-dory tests).
+        let mut rng = SmallRng::seed(0);
+        let net = build_mobilenet(
+            "m",
+            super::super::channels::M10_STEM,
+            &super::super::channels::M10_CHANNELS,
+            &super::super::channels::M10_STRIDES,
+            (1, 96, 160),
+            &mut rng,
+        );
+        let desc = net.describe((1, 96, 160));
+        let dw_macs: u64 = desc
+            .layers
+            .iter()
+            .filter(|l| l.kind == np_nn::LayerKind::DepthwiseConv2d)
+            .map(|l| l.macs())
+            .sum();
+        let total = desc.macs();
+        let frac = dw_macs as f64 / total as f64;
+        assert!(frac > 0.02 && frac < 0.25, "dw mac fraction {frac}");
+    }
+}

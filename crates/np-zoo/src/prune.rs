@@ -1,0 +1,247 @@
+//! Mask-based channel pruning for the auxiliary CNN.
+//!
+//! Reproduces the PLiNIO flow the paper uses on the auxiliary classifier:
+//! rank output channels of each convolution by their weight L1 norm, zero
+//! the unimportant ones (the *mask* step used during optimization), and
+//! finally *compact* the network — physically removing masked channels from
+//! each convolution and the matching inputs of the consumer layer — to get
+//! the deployable reduced model.
+//!
+//! The implementation is structure-aware for the aux template
+//! (conv → relu → \[pool\] chains ending in flatten → linear), which has no
+//! batch norm precisely to keep this surgery simple.
+
+use np_nn::init::SmallRng;
+use np_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use np_nn::{Layer, Sequential};
+use np_tensor::Tensor;
+
+/// Per-output-channel importance of a convolution: L1 norm of its filter.
+pub fn channel_importance(conv: &Conv2d) -> Vec<f32> {
+    let w = conv.weight();
+    let c_out = w.shape()[0];
+    let per = w.numel() / c_out;
+    (0..c_out)
+        .map(|c| w.as_slice()[c * per..(c + 1) * per].iter().map(|v| v.abs()).sum())
+        .collect()
+}
+
+/// Indices of the `keep` most important channels, in ascending order.
+pub fn top_channels(importance: &[f32], keep: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..importance.len()).collect();
+    idx.sort_by(|&a, &b| importance[b].partial_cmp(&importance[a]).expect("finite"));
+    let mut kept: Vec<usize> = idx.into_iter().take(keep).collect();
+    kept.sort_unstable();
+    kept
+}
+
+/// Zeroes all but the `keep` most important output channels of a conv —
+/// the mask step. Returns the kept indices.
+pub fn mask_conv(conv: &mut Conv2d, keep: usize) -> Vec<usize> {
+    let imp = channel_importance(conv);
+    let kept = top_channels(&imp, keep);
+    let c_out = conv.weight().shape()[0];
+    let per = conv.weight().numel() / c_out;
+    let mut w = conv.weight().as_slice().to_vec();
+    let mut b = conv.bias().as_slice().to_vec();
+    for c in 0..c_out {
+        if !kept.contains(&c) {
+            w[c * per..(c + 1) * per].fill(0.0);
+            b[c] = 0.0;
+        }
+    }
+    conv.set_weights(
+        Tensor::from_vec(conv.weight().shape(), w),
+        Tensor::from_vec(conv.bias().shape(), b),
+    );
+    kept
+}
+
+/// Physically prunes a trained aux network to `keep[i]` channels in its
+/// `i`-th convolution, returning a smaller network that computes the same
+/// function as the masked original.
+///
+/// # Panics
+///
+/// Panics if the network does not follow the aux template
+/// (conv/relu/maxpool/flatten/linear layers only), if it does not contain
+/// exactly `keep.len()` convolutions, or if any `keep[i]` exceeds the
+/// available channels.
+pub fn compact_aux(
+    net: &Sequential,
+    input: (usize, usize, usize),
+    keep: &[usize],
+) -> Sequential {
+    let desc = net.describe(input);
+    let mut rng = SmallRng::seed(0); // init is overwritten immediately
+    let mut out_layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut kept_in: Vec<usize> = (0..input.0).collect();
+    let mut conv_idx = 0;
+    // Spatial size of the tensor feeding the final linear layer, needed to
+    // expand channel selections into flattened feature selections.
+    let mut last_hw = (input.1, input.2);
+
+    for (li, layer) in net.layers().iter().enumerate() {
+        let any = layer.as_any();
+        if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            assert!(conv_idx < keep.len(), "more convs than keep entries");
+            let imp = channel_importance(conv);
+            assert!(
+                keep[conv_idx] <= imp.len(),
+                "keep {} exceeds {} channels",
+                keep[conv_idx],
+                imp.len()
+            );
+            let kept_out = top_channels(&imp, keep[conv_idx]);
+            let w = conv.weight();
+            let [_, _, k, _] = [w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]];
+            let d = &desc.layers[li];
+            let mut new_w = Vec::with_capacity(kept_out.len() * kept_in.len() * k * k);
+            for &co in &kept_out {
+                for &ci in &kept_in {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            new_w.push(w.at(&[co, ci, ky, kx]));
+                        }
+                    }
+                }
+            }
+            let new_b: Vec<f32> = kept_out.iter().map(|&c| conv.bias().as_slice()[c]).collect();
+            let mut new_conv = Conv2d::new(
+                kept_in.len(),
+                kept_out.len(),
+                k,
+                d.stride,
+                d.padding,
+                np_nn::init::Initializer::Zeros,
+                &mut rng,
+            );
+            new_conv.set_weights(
+                Tensor::from_vec(&[kept_out.len(), kept_in.len(), k, k], new_w),
+                Tensor::from_slice(&new_b),
+            );
+            out_layers.push(Box::new(new_conv));
+            kept_in = kept_out;
+            last_hw = d.out_hw;
+            conv_idx += 1;
+        } else if any.is::<Relu>() {
+            out_layers.push(Box::new(Relu::new()));
+        } else if any.is::<MaxPool2d>() {
+            out_layers.push(layer.clone_box());
+            last_hw = desc.layers[li].out_hw;
+        } else if any.is::<Flatten>() {
+            out_layers.push(Box::new(Flatten::new()));
+        } else if let Some(lin) = any.downcast_ref::<Linear>() {
+            // Select the flattened features of the kept channels.
+            let (h, w) = last_hw;
+            let plane = h * w;
+            let d_out = lin.weight().shape()[0];
+            let mut new_w = Vec::with_capacity(d_out * kept_in.len() * plane);
+            for j in 0..d_out {
+                for &c in &kept_in {
+                    for p in 0..plane {
+                        new_w.push(lin.weight().at(&[j, c * plane + p]));
+                    }
+                }
+            }
+            let mut new_lin = Linear::new(
+                kept_in.len() * plane,
+                d_out,
+                np_nn::init::Initializer::Zeros,
+                &mut rng,
+            );
+            new_lin.set_weights(
+                Tensor::from_vec(&[d_out, kept_in.len() * plane], new_w),
+                lin.bias().clone(),
+            );
+            out_layers.push(Box::new(new_lin));
+        } else {
+            panic!("compact_aux: unsupported layer `{}`", layer.name());
+        }
+    }
+    assert_eq!(conv_idx, keep.len(), "fewer convs than keep entries");
+    Sequential::with_name(format!("{}-pruned", net.name()), out_layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux::build_aux;
+    use crate::channels::AUX_CHANNELS_UNPRUNED;
+    use np_dataset::GridSpec;
+
+    #[test]
+    fn importance_ranks_by_l1() {
+        let mut rng = SmallRng::seed(2);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 1, np_nn::init::Initializer::Zeros, &mut rng);
+        let mut w = vec![0.0f32; 27];
+        w[0..9].fill(0.1); // channel 0: L1 = 0.9
+        w[9..18].fill(1.0); // channel 1: L1 = 9
+        w[18..27].fill(0.5); // channel 2: L1 = 4.5
+        conv.set_weights(Tensor::from_vec(&[3, 1, 3, 3], w), Tensor::zeros(&[3]));
+        let imp = channel_importance(&conv);
+        assert!(imp[1] > imp[2] && imp[2] > imp[0]);
+        assert_eq!(top_channels(&imp, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn masked_channels_output_zero() {
+        let mut rng = SmallRng::seed(3);
+        let mut conv = Conv2d::new(1, 4, 3, 1, 1, np_nn::init::Initializer::KaimingUniform, &mut rng);
+        let kept = mask_conv(&mut conv, 2);
+        assert_eq!(kept.len(), 2);
+        let x = Tensor::full(&[1, 1, 4, 4], 1.0);
+        let y = np_nn::Layer::forward(&mut conv, &x, false);
+        for c in 0..4 {
+            let plane_sum: f32 = (0..16).map(|i| y.as_slice()[c * 16 + i].abs()).sum();
+            if kept.contains(&c) {
+                assert!(plane_sum > 0.0);
+            } else {
+                assert_eq!(plane_sum, 0.0, "masked channel {c} non-zero");
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_network_matches_masked_function() {
+        let mut rng = SmallRng::seed(4);
+        let input = (1usize, 48usize, 80usize);
+        let mut net = build_aux(&AUX_CHANNELS_UNPRUNED, GridSpec::GRID_2X2, input, &mut rng);
+        // Mask down to the pruned sizes...
+        let keep = [6usize, 10, 14, 20];
+        for layer in net.layers_mut() {
+            let _ = layer; // masking happens through compact on the clone below
+        }
+        let mut masked = net.clone();
+        let mut ci = 0;
+        for layer in masked.layers_mut() {
+            if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+                mask_conv(conv, keep[ci]);
+                ci += 1;
+            }
+        }
+        // ...then compact the *original* (same importance ranking) and
+        // compare: the pruned net must equal the masked net exactly.
+        let mut compact = compact_aux(&net, input, &keep);
+        let x = Tensor::from_vec(
+            &[1, 1, 48, 80],
+            (0..48 * 80).map(|i| ((i % 97) as f32) / 97.0).collect(),
+        );
+        let y_masked = masked.forward(&x);
+        let y_compact = compact.forward(&x);
+        assert!(
+            y_compact.allclose(&y_masked, 1e-4),
+            "compacted output diverged"
+        );
+        // And it is genuinely smaller.
+        assert!(compact.num_params() < net.num_params() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep 99 exceeds")]
+    fn over_keep_panics() {
+        let mut rng = SmallRng::seed(5);
+        let net = build_aux(&AUX_CHANNELS_UNPRUNED, GridSpec::GRID_2X2, (1, 48, 80), &mut rng);
+        let _ = compact_aux(&net, (1, 48, 80), &[99, 16, 32, 64]);
+    }
+}

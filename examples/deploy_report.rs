@@ -1,0 +1,74 @@
+//! Deployment report: tile, schedule and price every zoo network on the
+//! GAP8 model — the planning DORY performs before code generation.
+//!
+//! ```sh
+//! cargo run --release --example deploy_report
+//! ```
+
+use np_dataset::GridSpec;
+use np_dory::deploy;
+use np_gap8::power::PowerModel;
+use np_gap8::Gap8Config;
+use np_zoo::ModelId;
+
+fn main() {
+    let gap8 = Gap8Config::default();
+    let power = PowerModel::default();
+
+    println!(
+        "GAP8 @ {:.0} MHz, {} cores, L1 {} kB, L2 {} kB",
+        gap8.cluster_freq_hz / 1e6,
+        gap8.cluster_cores,
+        gap8.l1_bytes / 1024,
+        gap8.l2_bytes / 1024
+    );
+    println!();
+
+    for id in [
+        ModelId::F1,
+        ModelId::F2,
+        ModelId::M10,
+        ModelId::Aux(GridSpec::GRID_8X6),
+    ] {
+        let desc = id.paper_desc();
+        let plan = match deploy(&desc, &gap8) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: deployment failed: {e}", id.name());
+                continue;
+            }
+        };
+        println!(
+            "== {} — {:.2} MMAC, {:.1}k params ==",
+            id.name(),
+            desc.macs() as f64 / 1e6,
+            desc.params() as f64 / 1e3
+        );
+        println!(
+            "   latency {:.2} ms | energy {:.2} mJ | L2 {:.0} kB (weights {:.0} + activations {:.0})",
+            plan.latency_ms(),
+            plan.energy_mj(&power),
+            plan.l2_bytes() as f64 / 1024.0,
+            plan.weight_bytes as f64 / 1024.0,
+            plan.activation_bytes as f64 / 1024.0
+        );
+        println!(
+            "   cycles: {} compute + {} dma-stall + {} setup",
+            plan.cycles.compute, plan.cycles.dma_stall, plan.cycles.setup
+        );
+        println!("   layer plans:");
+        for layer in &plan.layers {
+            println!(
+                "     {:<28} tile {:>3}ch x {:>3}rows  x{:<3} tiles  L1 {:>5} B  {:>8} cyc  {:>7} B dma",
+                layer.name,
+                layer.tiling.tile.channels,
+                layer.tiling.tile.rows,
+                layer.tiling.n_tiles,
+                layer.tiling.l1_bytes,
+                layer.cycles.total(),
+                layer.dma_bytes
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end "follow-me" demo: the full closed loop of the paper's
+//! Sec. III-C — CNN perception, Kalman smoothing, velocity control and
+//! vehicle kinematics — comparing three perception configurations:
+//!
+//! 1. a *perfect* sensor (upper bound),
+//! 2. a *static big* model (M1.0-like accuracy and latency),
+//! 3. an *adaptive D2+OP* system (near-big accuracy at reduced latency).
+//!
+//! Perception error is injected from each configuration's measured MAE and
+//! the perception rate from its modeled GAP8 latency, so the demo shows how
+//! the adaptive system's latency savings translate into tracking quality.
+//!
+//! ```sh
+//! cargo run --release --example follow_me
+//! ```
+
+use np_control::{FollowSim, SimConfig};
+use np_dataset::Pose;
+use np_dory::deploy;
+use np_gap8::Gap8Config;
+use np_nn::init::SmallRng;
+use np_zoo::ModelId;
+
+/// Perceives with additive noise scaled to a model's per-variable MAE.
+fn noisy_perception(
+    mae: [f32; 4],
+    seed: u64,
+) -> impl FnMut(&Pose) -> Pose {
+    let mut rng = SmallRng::seed(seed);
+    // MAE of |N(0, sigma)| is sigma*sqrt(2/pi): invert to get sigma.
+    let k = (std::f32::consts::PI / 2.0).sqrt();
+    move |truth| {
+        Pose::new(
+            truth.x + mae[0] * k * rng.normal(),
+            truth.y + mae[1] * k * rng.normal(),
+            truth.z + mae[2] * k * rng.normal(),
+            truth.phi + mae[3] * k * rng.normal(),
+        )
+    }
+}
+
+fn main() {
+    let gap8 = Gap8Config::default();
+    let big_plan = deploy(&ModelId::M10.paper_desc(), &gap8).expect("M1.0 fits");
+    let small_plan = deploy(&ModelId::F2.paper_desc(), &gap8).expect("F2 fits");
+
+    // Representative MAE values (per variable) for the two configurations;
+    // run `cargo run -p np-bench --bin table1` to regenerate measured ones.
+    let big_mae = [0.19f32, 0.14, 0.23, 0.48];
+
+    // Adaptive D2-OP at ~30% big-model invocations: iso-MAE with big,
+    // latency = C_small + 0.3 * C_big (paper Eq. 2).
+    let adaptive_latency_s =
+        (small_plan.latency_ms() + 0.3 * big_plan.latency_ms()) / 1e3;
+
+    let configs = [
+        ("perfect sensor", None, 0.005),
+        (
+            "static M1.0",
+            Some(big_mae),
+            big_plan.latency_ms() / 1e3,
+        ),
+        ("adaptive D2+OP", Some(big_mae), adaptive_latency_s),
+    ];
+
+    println!("closed-loop follow-me, 60 s simulated flight per configuration");
+    println!();
+    println!("configuration     latency    dist err   lateral err  in-view");
+    for (name, mae, latency) in configs {
+        let sim = FollowSim::new(SimConfig {
+            duration: 60.0,
+            perception_latency: latency as f32,
+            ..SimConfig::default()
+        });
+        let stats = match mae {
+            None => sim.run(|t| *t),
+            Some(m) => sim.run(noisy_perception(m, 42)),
+        };
+        println!(
+            "{:<16} {:>7.1} ms  {:>7.3} m  {:>9.3} m  {:>6.1}%",
+            name,
+            latency * 1e3,
+            stats.mean_distance_error,
+            stats.mean_lateral_error,
+            100.0 * stats.in_view_fraction
+        );
+    }
+    println!();
+    println!(
+        "adaptive perception runs at {:.0} Hz vs {:.0} Hz for the static big model,",
+        1.0 / adaptive_latency_s,
+        1e3 / big_plan.latency_ms()
+    );
+    println!("giving the controller fresher pose estimates at the same accuracy.");
+}

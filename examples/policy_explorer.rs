@@ -1,0 +1,85 @@
+//! Policy explorer: sweep every policy on one ensemble and print the
+//! Pareto-optimal operating points — the "rich set of intermediate
+//! solutions selectable at runtime by changing a single threshold" that
+//! the paper's conclusion highlights.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer
+//! ```
+
+use np_adaptive::features::{Backend, EvalTable};
+use np_adaptive::sweep::{pareto_front, sweep_aux_hlc, sweep_aux_sm, sweep_op, sweep_random};
+use np_adaptive::{CostModel, ErrorMap};
+use np_dataset::{DatasetConfig, Environment, GridSpec, PoseDataset};
+use np_dory::deploy;
+use np_gap8::Gap8Config;
+use np_nn::init::SmallRng;
+use np_zoo::{train_aux, train_regressor, ModelId, TrainRecipe};
+
+fn main() {
+    let data = PoseDataset::generate(&DatasetConfig {
+        env: Environment::Known,
+        n_sequences: 16,
+        frames_per_seq: 40,
+        ..DatasetConfig::known()
+    });
+    let grid = GridSpec::GRID_8X6;
+
+    let mut rng = SmallRng::seed(5);
+    let mut small = ModelId::F2.build_proxy(&mut rng);
+    let mut big = ModelId::M10.build_proxy(&mut rng);
+    let mut aux = ModelId::Aux(grid).build_proxy(&mut rng);
+    let recipe = TrainRecipe { epochs: 6, ..TrainRecipe::default() };
+    eprintln!("training D2 ensemble + aux...");
+    train_regressor(&mut small, &data, &recipe);
+    train_regressor(&mut big, &data, &recipe);
+    train_aux(&mut aux, &data, grid, &TrainRecipe { epochs: 8, lr: 1e-2, ..recipe });
+
+    let gap8 = Gap8Config::default();
+    let costs = CostModel::new(
+        &deploy(&ModelId::F2.paper_desc(), &gap8).expect("fits"),
+        &deploy(&ModelId::M10.paper_desc(), &gap8).expect("fits"),
+        &deploy(&ModelId::Aux(grid).paper_desc(), &gap8).expect("fits"),
+    );
+
+    let table = EvalTable::build(
+        &data,
+        &mut Backend::Float(&mut small),
+        &mut Backend::Float(&mut big),
+        &mut Backend::Float(&mut aux),
+        grid,
+    );
+
+    // Error map for Aux-HLC comes from the validation split.
+    let val = data.val_indices();
+    let truth_cells = data.grid_labels(&val, grid);
+    let features = EvalTable::build_for_indices(
+        &data,
+        &mut Backend::Float(&mut small),
+        &mut Backend::Float(&mut big),
+        &mut Backend::Float(&mut aux),
+        grid,
+        &val,
+    );
+    let map = ErrorMap::build(grid, &features, &truth_cells);
+
+    let mut all = Vec::new();
+    all.extend(sweep_op(&table, &costs, 15));
+    all.extend(sweep_aux_sm(&table, &costs, 15));
+    all.extend(sweep_aux_hlc(&table, &costs, &map, 15));
+    all.extend(sweep_random(&table, &costs, 11));
+
+    println!("{} operating points swept; pareto front:", all.len());
+    println!();
+    println!("policy                          MAE     kcycles  ms/frame  %big");
+    for p in pareto_front(&all) {
+        println!(
+            "{:<30} {:.3}  {:>8.0}  {:>7.2}  {:>5.1}",
+            p.result.policy,
+            p.result.mae_sum,
+            p.result.mean_cycles / 1e3,
+            p.result.latency_ms,
+            100.0 * p.result.frac_big
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Quickstart: build an adaptive D2 ensemble on a small synthetic dataset
+//! and watch the OP policy trade accuracy for cycles.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use np_adaptive::features::{Backend, EvalTable};
+use np_adaptive::{evaluate_policy, CostModel, OpPolicy, RandomPolicy};
+use np_dataset::{DatasetConfig, Environment, GridSpec, PoseDataset};
+use np_dory::deploy;
+use np_gap8::Gap8Config;
+use np_nn::init::SmallRng;
+use np_zoo::{train_aux, train_regressor, ModelId, TrainRecipe};
+
+fn main() {
+    // 1. A small synthetic "Known"-style dataset (temporally-ordered
+    //    flight sequences with ground-truth poses).
+    let data = PoseDataset::generate(&DatasetConfig {
+        env: Environment::Known,
+        n_sequences: 16,
+        frames_per_seq: 40,
+        ..DatasetConfig::known()
+    });
+    println!(
+        "dataset: {} frames ({} train / {} val / {} test)",
+        data.len(),
+        data.train_indices().len(),
+        data.val_indices().len(),
+        data.test_indices().len()
+    );
+
+    // 2. Train the ensemble members: F2 (small) and M1.0 (big), plus the
+    //    auxiliary head-localization classifier.
+    let mut rng = SmallRng::seed(1);
+    let recipe = TrainRecipe {
+        epochs: 6,
+        ..TrainRecipe::default()
+    };
+    let mut small = ModelId::F2.build_proxy(&mut rng);
+    let mut big = ModelId::M10.build_proxy(&mut rng);
+    println!("training F2 ({} params)...", small.num_params());
+    train_regressor(&mut small, &data, &recipe);
+    println!("training M1.0 ({} params)...", big.num_params());
+    train_regressor(&mut big, &data, &recipe);
+
+    let grid = GridSpec::GRID_8X6;
+    let mut aux = ModelId::Aux(grid).build_proxy(&mut rng);
+    println!("training aux-{grid} ({} params)...", aux.num_params());
+    train_aux(
+        &mut aux,
+        &data,
+        grid,
+        &TrainRecipe {
+            epochs: 8,
+            lr: 1e-2,
+            ..TrainRecipe::default()
+        },
+    );
+
+    // 3. Price the paper-exact architectures on the GAP8 model.
+    let gap8 = Gap8Config::default();
+    let plan_small = deploy(&ModelId::F2.paper_desc(), &gap8).expect("F2 fits GAP8");
+    let plan_big = deploy(&ModelId::M10.paper_desc(), &gap8).expect("M1.0 fits GAP8");
+    let plan_aux = deploy(&ModelId::Aux(grid).paper_desc(), &gap8).expect("aux fits GAP8");
+    println!(
+        "deployment: F2 {:.2} ms, M1.0 {:.2} ms, aux {:.2} ms",
+        plan_small.latency_ms(),
+        plan_big.latency_ms(),
+        plan_aux.latency_ms()
+    );
+    let costs = CostModel::new(&plan_small, &plan_big, &plan_aux);
+
+    // 4. Precompute per-frame outputs over the test sequences and evaluate
+    //    the OP policy across a few thresholds.
+    let table = EvalTable::build(
+        &data,
+        &mut Backend::Float(&mut small),
+        &mut Backend::Float(&mut big),
+        &mut Backend::Float(&mut aux),
+        grid,
+    );
+    println!();
+    println!("policy                      MAE    ms/frame  %big");
+    for th in [0.01f32, 0.05, 0.1, 0.3] {
+        let r = evaluate_policy(&mut OpPolicy::new(th), &table, &costs);
+        println!(
+            "{:<26} {:.3}  {:>7.2}  {:>5.1}",
+            r.policy,
+            r.mae_sum,
+            r.latency_ms,
+            100.0 * r.frac_big
+        );
+    }
+    for p in [0.0f64, 1.0] {
+        let r = evaluate_policy(&mut RandomPolicy::new(p, 7), &table, &costs);
+        println!(
+            "{:<26} {:.3}  {:>7.2}  {:>5.1}",
+            r.policy,
+            r.mae_sum,
+            r.latency_ms,
+            100.0 * r.frac_big
+        );
+    }
+    println!();
+    println!("lower thresholds run the big model more often: more accurate, slower.");
+}

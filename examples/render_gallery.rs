@@ -1,0 +1,43 @@
+//! Renders a gallery of synthetic frames to `gallery/` as PGM images and
+//! prints one as ASCII art — quick visual verification of the dataset
+//! substitute described in DESIGN.md.
+//!
+//! ```sh
+//! cargo run --release --example render_gallery
+//! ```
+
+use np_dataset::export::{to_ascii, write_pgm};
+use np_dataset::{DatasetConfig, Environment, PoseDataset};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for env in [Environment::Known, Environment::Unseen] {
+        let tag = match env {
+            Environment::Known => "known",
+            Environment::Unseen => "unseen",
+        };
+        let data = PoseDataset::generate(&DatasetConfig {
+            env,
+            n_sequences: 10,
+            frames_per_seq: 10,
+            ..DatasetConfig::known()
+        });
+        let cfg = data.config();
+        for i in (0..data.len()).step_by(7) {
+            let frame = data.frame(i);
+            let path = format!("gallery/{tag}-{i:03}.pgm");
+            write_pgm(frame, cfg.width, cfg.height, Path::new(&path))?;
+        }
+        println!(
+            "== {tag}: frame 0, pose ({:.2}, {:.2}, {:.2}, {:.2}), speed {:.2} ==",
+            data.frame(0).pose.x,
+            data.frame(0).pose.y,
+            data.frame(0).pose.z,
+            data.frame(0).pose.phi,
+            data.frame(0).speed
+        );
+        println!("{}", to_ascii(data.frame(0), cfg.width, cfg.height, 72));
+    }
+    println!("PGM frames written to gallery/");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact. First run trains the zoo (cached in
+# artifacts/). Outputs land in results/.
+set -euo pipefail
+mkdir -p results
+for bin in table1 fig3 fig4 fig5 table2 fig6 ablation headlines; do
+    echo "=== $bin ==="
+    cargo run -p np-bench --release --bin "$bin" > "results/$bin.txt" 2> "results/$bin.log" || {
+        echo "$bin FAILED"; tail -5 "results/$bin.log"; exit 1; }
+    tail -3 "results/$bin.log" || true
+done
+echo "all artifacts regenerated under results/"

@@ -1,0 +1,27 @@
+//! # nanopose
+//!
+//! Umbrella crate of the `nanopose` workspace — a Rust reproduction of
+//! *"Adaptive Deep Learning for Efficient Visual Pose Estimation aboard
+//! Ultra-low-power Nano-drones"* (Motetti et al., DATE 2024).
+//!
+//! This crate re-exports the workspace members under stable module names;
+//! see the README for the architecture overview and `np-bench` for the
+//! binaries that regenerate every table and figure of the paper.
+//!
+//! ```
+//! use nanopose::zoo::ModelId;
+//!
+//! // The paper-exact F1 architecture prices out at Table I's MAC count.
+//! let macs = ModelId::F1.paper_desc().macs();
+//! assert!((macs as f64 / 1e6 - 4.51).abs() < 0.1);
+//! ```
+
+pub use np_adaptive as adaptive;
+pub use np_control as control;
+pub use np_dataset as dataset;
+pub use np_dory as dory;
+pub use np_gap8 as gap8;
+pub use np_nn as nn;
+pub use np_quant as quant;
+pub use np_tensor as tensor;
+pub use np_zoo as zoo;

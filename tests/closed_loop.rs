@@ -1,0 +1,61 @@
+//! Cross-crate integration: a trained proxy CNN perceiving rendered frames
+//! inside the closed control loop — the full system of the paper's
+//! Sec. III-C, end to end.
+
+use nanopose::control::{FollowSim, SimConfig};
+use nanopose::dataset::render::{render_frame, Camera, EnvInstance};
+use nanopose::dataset::{DatasetConfig, PoseDataset, PoseScaler};
+use nanopose::nn::init::SmallRng;
+use nanopose::tensor::Tensor;
+use nanopose::zoo::{train_regressor, ModelId, TrainRecipe};
+
+#[test]
+fn cnn_in_the_loop_keeps_subject_in_view() {
+    // Train a quick F2 proxy.
+    let data = PoseDataset::generate(&DatasetConfig {
+        n_sequences: 14,
+        frames_per_seq: 30,
+        ..DatasetConfig::known()
+    });
+    let mut rng = SmallRng::seed(21);
+    let mut model = ModelId::F2.build_proxy(&mut rng);
+    train_regressor(
+        &mut model,
+        &data,
+        &TrainRecipe {
+            epochs: 10,
+            ..TrainRecipe::fast_test()
+        },
+    );
+
+    // Perception: render the true pose through the synthetic camera, run
+    // the CNN, unscale its outputs.
+    let cam = Camera::for_resolution(80, 48);
+    let mut render_rng = SmallRng::seed(5);
+    let env = EnvInstance::known(&mut render_rng);
+    let scaler = PoseScaler::default();
+
+    // A gently-moving subject: the briefly-trained proxy is noisy, and
+    // the point of the test is loop stability, not peak tracking.
+    let sim = FollowSim::new(SimConfig {
+        duration: 12.0,
+        subject_speed: 0.25,
+        ..SimConfig::default()
+    });
+    let stats = sim.run(|truth| {
+        let img = render_frame(truth, 0.0, &env, &cam, &mut render_rng);
+        let x = Tensor::from_vec(&[1, 1, 48, 80], img);
+        let y = model.forward(&x);
+        let o = y.as_slice();
+        scaler.unscale([o[0], o[1], o[2], o[3]])
+    });
+
+    // A briefly-trained proxy is imprecise, but the Kalman + controller
+    // stack must still keep the subject roughly in frame.
+    assert!(
+        stats.in_view_fraction > 0.5,
+        "lost the subject: {stats:?}"
+    );
+    assert!(stats.mean_distance_error < 1.5, "{stats:?}");
+    assert!(stats.perception_updates > 100);
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration: the full adaptive pipeline at smoke scale —
+//! dataset → training → quantization → evaluation tables → policies →
+//! costs. Uses small models and few epochs; asserts structural invariants
+//! rather than paper-level accuracy.
+
+use nanopose::adaptive::features::{Backend, EvalTable};
+use nanopose::adaptive::policy::AdaptivePolicy;
+use nanopose::adaptive::sweep::{pareto_front, sweep_op, sweep_random};
+use nanopose::adaptive::{evaluate_policy, CostModel, ErrorMap, OpPolicy, OraclePolicy, RandomPolicy};
+use nanopose::dataset::{DatasetConfig, GridSpec, PoseDataset};
+use nanopose::dory::deploy;
+use nanopose::gap8::Gap8Config;
+use nanopose::nn::init::SmallRng;
+use nanopose::nn::Sequential;
+use nanopose::zoo::{train_aux, train_regressor, ModelId, TrainRecipe};
+
+struct Pipeline {
+    data: PoseDataset,
+    small: Sequential,
+    big: Sequential,
+    aux: Sequential,
+    costs: CostModel,
+    table: EvalTable,
+}
+
+fn build_pipeline() -> Pipeline {
+    let data = PoseDataset::generate(&DatasetConfig {
+        n_sequences: 12,
+        frames_per_seq: 24,
+        ..DatasetConfig::known()
+    });
+    let grid = GridSpec::GRID_2X2;
+    let mut rng = SmallRng::seed(11);
+    let mut small = ModelId::F1.build_proxy(&mut rng);
+    let mut big = ModelId::M10.build_proxy(&mut rng);
+    let mut aux = ModelId::Aux(grid).build_proxy(&mut rng);
+    let recipe = TrainRecipe::fast_test();
+    train_regressor(&mut small, &data, &recipe);
+    train_regressor(&mut big, &data, &recipe);
+    train_aux(&mut aux, &data, grid, &TrainRecipe { lr: 1e-2, ..recipe });
+
+    let gap8 = Gap8Config::default();
+    let costs = CostModel::new(
+        &deploy(&ModelId::F1.paper_desc(), &gap8).expect("F1 fits"),
+        &deploy(&ModelId::M10.paper_desc(), &gap8).expect("M1.0 fits"),
+        &deploy(&ModelId::Aux(grid).paper_desc(), &gap8).expect("aux fits"),
+    );
+    let table = EvalTable::build(
+        &data,
+        &mut Backend::Float(&mut small),
+        &mut Backend::Float(&mut big),
+        &mut Backend::Float(&mut aux),
+        grid,
+    );
+    Pipeline {
+        data,
+        small,
+        big,
+        aux,
+        costs,
+        table,
+    }
+}
+
+#[test]
+fn static_extremes_bound_adaptive_costs() {
+    let p = build_pipeline();
+    let small_only = evaluate_policy(&mut RandomPolicy::new(0.0, 1), &p.table, &p.costs);
+    let big_only = evaluate_policy(&mut RandomPolicy::new(1.0, 1), &p.table, &p.costs);
+    assert!(small_only.mean_cycles < big_only.mean_cycles);
+
+    for th in [0.02f32, 0.1, 0.5] {
+        let r = evaluate_policy(&mut OpPolicy::new(th), &p.table, &p.costs);
+        // OP always runs the small model, so its cost is at least the
+        // small model's, and at most small + big.
+        assert!(r.mean_cycles >= small_only.mean_cycles);
+        assert!(r.mean_cycles <= small_only.mean_cycles + big_only.mean_cycles + 1.0);
+    }
+}
+
+#[test]
+fn op_threshold_monotonically_reduces_big_usage() {
+    let p = build_pipeline();
+    let mut last_frac = f64::INFINITY;
+    for th in [0.0f32, 0.05, 0.15, 0.5, f32::INFINITY] {
+        let r = evaluate_policy(&mut OpPolicy::new(th), &p.table, &p.costs);
+        assert!(
+            r.frac_big <= last_frac + 1e-9,
+            "frac_big not monotone at th {th}: {} > {last_frac}",
+            r.frac_big
+        );
+        last_frac = r.frac_big;
+    }
+}
+
+#[test]
+fn oracle_is_at_least_as_accurate_as_static_members() {
+    let p = build_pipeline();
+    let oracle = evaluate_policy(&mut OraclePolicy::new(), &p.table, &p.costs);
+    let small_only = evaluate_policy(&mut RandomPolicy::new(0.0, 1), &p.table, &p.costs);
+    let big_only = evaluate_policy(&mut RandomPolicy::new(1.0, 1), &p.table, &p.costs);
+    assert!(oracle.mae_sum <= small_only.mae_sum + 1e-6);
+    assert!(oracle.mae_sum <= big_only.mae_sum + 1e-6);
+}
+
+#[test]
+fn sweeps_produce_nonempty_pareto_fronts() {
+    let p = build_pipeline();
+    let mut points = sweep_op(&p.table, &p.costs, 9);
+    points.extend(sweep_random(&p.table, &p.costs, 5));
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    // Front is sorted by cycles and strictly improving in MAE.
+    for w in front.windows(2) {
+        assert!(w[0].result.mean_cycles <= w[1].result.mean_cycles);
+        assert!(w[0].result.mae_sum > w[1].result.mae_sum);
+    }
+}
+
+#[test]
+fn error_map_builds_from_validation_split() {
+    let mut p = build_pipeline();
+    let grid = GridSpec::GRID_2X2;
+    let val = p.data.val_indices();
+    let cells = p.data.grid_labels(&val, grid);
+    let features = EvalTable::build_for_indices(
+        &p.data,
+        &mut Backend::Float(&mut p.small),
+        &mut Backend::Float(&mut p.big),
+        &mut Backend::Float(&mut p.aux),
+        grid,
+        &val,
+    );
+    let map = ErrorMap::build(grid, &features, &cells);
+    // All four cells exist; visited cells have counts.
+    assert_eq!(map.values().len(), 4);
+    let total: usize = (0..4).map(|c| map.count(c)).sum();
+    assert_eq!(total, val.len());
+}
+
+#[test]
+fn quantized_backend_works_in_tables() {
+    let mut p = build_pipeline();
+    let calib_idx: Vec<usize> = p.data.train_indices().into_iter().take(32).collect();
+    let calib = p.data.images_tensor(&calib_idx);
+    let q_small = nanopose::quant::QuantizedNetwork::quantize(&p.small, &calib);
+    let q_big = nanopose::quant::QuantizedNetwork::quantize(&p.big, &calib);
+    let table_q = EvalTable::build(
+        &p.data,
+        &mut Backend::Quantized(&q_small),
+        &mut Backend::Quantized(&q_big),
+        &mut Backend::Float(&mut p.aux),
+        GridSpec::GRID_2X2,
+    );
+    assert_eq!(table_q.n_frames(), p.table.n_frames());
+    // Int8 predictions stay in the plausible pose envelope.
+    for f in table_q.iter_frames() {
+        assert!(f.small_pose.x.is_finite());
+        assert!((0.0..=4.0).contains(&f.small_pose.x));
+    }
+}
+
+#[test]
+fn policies_only_pay_aux_when_they_use_it() {
+    let p = build_pipeline();
+    // Random never consults the aux CNN: with p_big = 1 its cost must be
+    // exactly the big model (+ overhead), strictly below an aux policy
+    // that also always picks big.
+    let big_only = evaluate_policy(&mut RandomPolicy::new(1.0, 1), &p.table, &p.costs);
+    struct AlwaysBigWithAux;
+    impl AdaptivePolicy for AlwaysBigWithAux {
+        fn name(&self) -> String {
+            "aux-always-big".into()
+        }
+        fn reset(&mut self) {}
+        fn decide(
+            &mut self,
+            _f: &nanopose::adaptive::FrameFeatures,
+        ) -> nanopose::adaptive::Decision {
+            nanopose::adaptive::Decision::Big
+        }
+        fn uses_aux(&self) -> bool {
+            true
+        }
+    }
+    let with_aux = evaluate_policy(&mut AlwaysBigWithAux, &p.table, &p.costs);
+    assert!(with_aux.mean_cycles > big_only.mean_cycles);
+}

@@ -1,0 +1,118 @@
+//! Workspace-level property tests: invariants that must hold across crate
+//! boundaries for arbitrary inputs.
+
+use nanopose::adaptive::policy::AdaptivePolicy;
+use nanopose::adaptive::{Decision, FrameFeatures, OpPolicy};
+use nanopose::dataset::{GridSpec, Pose, PoseScaler};
+use nanopose::dory::{deploy, plan::ensemble_l2_bytes};
+use nanopose::gap8::Gap8Config;
+use nanopose::nn::init::SmallRng;
+use nanopose::quant::QuantParams;
+use nanopose::zoo::frontnet::build_frontnet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Min-max scaling roundtrips for any in-range pose.
+    #[test]
+    fn pose_scaling_roundtrip(
+        x in 0.4f32..3.6,
+        y in -1.6f32..1.6,
+        z in -0.7f32..0.7,
+        phi in -3.1f32..3.1,
+    ) {
+        let scaler = PoseScaler::default();
+        let pose = Pose::new(x, y, z, phi);
+        let back = scaler.unscale(scaler.scale(&pose));
+        prop_assert!(back.total_error(&pose) < 1e-3);
+    }
+
+    /// Quantize/dequantize error is bounded by half a step for in-range
+    /// values, for arbitrary ranges.
+    #[test]
+    fn quant_roundtrip_error_bound(
+        lo in -10.0f32..0.0,
+        span in 0.1f32..20.0,
+        t in 0.0f32..1.0,
+    ) {
+        let params = QuantParams::from_range(lo, lo + span);
+        let x = lo + t * span;
+        let err = (params.dequantize(params.quantize(x)) - x).abs();
+        prop_assert!(err <= params.scale * 0.5 + 1e-6);
+    }
+
+    /// Any Frontnet channel config deploys onto GAP8 and its cycle count
+    /// grows with its MAC count.
+    #[test]
+    fn frontnet_variants_deploy(
+        c1 in 1usize..5,
+        c2 in 1usize..5,
+        c3 in 1usize..5,
+    ) {
+        let channels = [c1 * 8, c2 * 8, c3 * 8, 16, 16, 16, 16];
+        let mut rng = SmallRng::seed(0);
+        let net = build_frontnet("t", &channels, (1, 96, 160), &mut rng);
+        let desc = net.describe((1, 96, 160));
+        let plan = deploy(&desc, &Gap8Config::default());
+        prop_assert!(plan.is_ok());
+        let plan = plan.expect("checked");
+        prop_assert!(plan.total_cycles() > 0);
+        prop_assert!(plan.l2_bytes() < 512 * 1024);
+    }
+
+    /// Ensemble memory never exceeds the sum of individual deployments.
+    #[test]
+    fn ensemble_memory_subadditive(ca in 1usize..4, cb in 1usize..4) {
+        let mut rng = SmallRng::seed(0);
+        let a = build_frontnet("a", &[ca * 8; 7], (1, 96, 160), &mut rng).describe((1, 96, 160));
+        let b = build_frontnet("b", &[cb * 8; 7], (1, 96, 160), &mut rng).describe((1, 96, 160));
+        let gap8 = Gap8Config::default();
+        let separate = deploy(&a, &gap8).expect("fits").l2_bytes()
+            + deploy(&b, &gap8).expect("fits").l2_bytes();
+        prop_assert!(ensemble_l2_bytes(&[&a, &b]) <= separate);
+    }
+
+    /// OP decisions depend only on the output-sum trajectory: adding a
+    /// constant to all four outputs of every frame leaves the decisions
+    /// unchanged only when the shift cancels in consecutive differences.
+    #[test]
+    fn op_invariant_to_constant_output_shift(
+        sums in proptest::collection::vec(0.0f32..4.0, 2..30),
+        shift in -0.5f32..0.5,
+        th in 0.01f32..1.0,
+    ) {
+        let mk_frame = |s: f32| FrameFeatures {
+            frame: 0,
+            small_scaled: [s / 4.0; 4],
+            big_scaled: [0.5; 4],
+            small_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            big_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            avg_pose: Pose::new(1.0, 0.0, 0.0, 0.0),
+            truth: Pose::new(1.0, 0.0, 0.0, 0.0),
+            aux_cell: 0,
+            aux_margin: 0.5,
+        };
+        let mut base = OpPolicy::new(th);
+        let mut shifted = OpPolicy::new(th);
+        let d1: Vec<Decision> = sums.iter().map(|&s| base.decide(&mk_frame(s))).collect();
+        let d2: Vec<Decision> = sums.iter().map(|&s| shifted.decide(&mk_frame(s + shift))).collect();
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Grid cell lookup is total over the image plane and border flags are
+    /// consistent with coordinates.
+    #[test]
+    fn grid_cells_total_and_consistent(
+        u in -50.0f32..250.0,
+        v in -50.0f32..150.0,
+    ) {
+        for grid in [GridSpec::GRID_2X2, GridSpec::GRID_3X3, GridSpec::GRID_8X6] {
+            let cell = grid.cell_of(u, v, 160, 96);
+            prop_assert!(cell < grid.n_cells());
+            if grid.is_corner(cell) {
+                prop_assert!(grid.is_border(cell));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-crate integration: the full quantization path — train → BN fold →
+//! calibrate → int8 → (optionally QAT) — preserves enough accuracy to be
+//! deployment-equivalent, on a real zoo model.
+
+use nanopose::dataset::{DatasetConfig, PoseDataset};
+use nanopose::nn::init::SmallRng;
+use nanopose::quant::qat::{finetune_qat, QatConfig};
+use nanopose::quant::QuantizedNetwork;
+use nanopose::zoo::{train_regressor, ModelId, TrainRecipe};
+
+#[test]
+fn int8_f1_stays_close_to_float() {
+    let data = PoseDataset::generate(&DatasetConfig {
+        n_sequences: 14,
+        frames_per_seq: 30,
+        ..DatasetConfig::known()
+    });
+    let mut rng = SmallRng::seed(31);
+    let mut model = ModelId::F1.build_proxy(&mut rng);
+    train_regressor(
+        &mut model,
+        &data,
+        &TrainRecipe {
+            epochs: 6,
+            ..TrainRecipe::fast_test()
+        },
+    );
+
+    let test = data.test_indices();
+    let fp_mae = nanopose::zoo::evaluate_mae(&mut model, &data, &test).sum();
+
+    let calib_idx: Vec<usize> = data.train_indices().into_iter().take(64).collect();
+    let calib = data.images_tensor(&calib_idx);
+    let qnet = QuantizedNetwork::quantize(&model, &calib);
+
+    // Evaluate the int8 network on the same frames.
+    let scaler = *data.scaler();
+    let mut q_mae = 0.0f32;
+    for chunk in test.chunks(64) {
+        let x = data.images_tensor(chunk);
+        let y = qnet.forward(&x);
+        for (bi, &i) in chunk.iter().enumerate() {
+            let o = &y.as_slice()[bi * 4..(bi + 1) * 4];
+            let pred = scaler.unscale([o[0], o[1], o[2], o[3]]);
+            q_mae += pred.total_error(&data.frame(i).pose);
+        }
+    }
+    q_mae /= test.len() as f32;
+
+    // Int8 must not cost more than 20% extra MAE on a trained model.
+    assert!(
+        q_mae < fp_mae * 1.2 + 0.05,
+        "int8 degraded too much: {q_mae} vs f32 {fp_mae}"
+    );
+}
+
+#[test]
+fn qat_finetune_runs_on_zoo_model() {
+    let data = PoseDataset::generate(&DatasetConfig {
+        n_sequences: 10,
+        frames_per_seq: 20,
+        ..DatasetConfig::known()
+    });
+    let mut rng = SmallRng::seed(32);
+    let mut model = ModelId::F1.build_proxy(&mut rng);
+    train_regressor(&mut model, &data, &TrainRecipe::fast_test());
+
+    let train = data.regression_data(&data.train_indices());
+    let loss = finetune_qat(
+        &mut model,
+        &train,
+        QatConfig {
+            epochs: 1,
+            ..QatConfig::default()
+        },
+    );
+    assert!(loss.is_finite() && loss < 1.0, "QAT loss {loss}");
+
+    // The fine-tuned model still quantizes and runs.
+    let calib = data.images_tensor(&data.train_indices()[..16]);
+    let qnet = QuantizedNetwork::quantize(&model, &calib);
+    let y = qnet.forward(&data.images_tensor(&data.test_indices()[..4]));
+    assert_eq!(y.shape()[1], 4);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+}
