@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the tier-1 build+test pass.
+# Mirrors what reviewers run; keep it green before pushing.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> ci.sh passed"

@@ -99,10 +99,26 @@ mod tests {
     fn model() -> CostModel {
         let cfg = Gap8Config::default();
         CostModel {
-            small: CycleBreakdown { compute: 1000, dma_stall: 100, setup: 10 },
-            big: CycleBreakdown { compute: 3000, dma_stall: 300, setup: 10 },
-            aux: CycleBreakdown { compute: 100, dma_stall: 10, setup: 10 },
-            decision_overhead: CycleBreakdown { compute: 0, dma_stall: 0, setup: 1 },
+            small: CycleBreakdown {
+                compute: 1000,
+                dma_stall: 100,
+                setup: 10,
+            },
+            big: CycleBreakdown {
+                compute: 3000,
+                dma_stall: 300,
+                setup: 10,
+            },
+            aux: CycleBreakdown {
+                compute: 100,
+                dma_stall: 10,
+                setup: 10,
+            },
+            decision_overhead: CycleBreakdown {
+                compute: 0,
+                dma_stall: 0,
+                setup: 1,
+            },
             config: cfg,
             power: PowerModel::default(),
         }

@@ -95,8 +95,16 @@ impl ErrorMap {
                 interior.1 += 1;
             }
         }
-        let b = if border.1 > 0 { border.0 / border.1 as f32 } else { 0.0 };
-        let i = if interior.1 > 0 { interior.0 / interior.1 as f32 } else { 0.0 };
+        let b = if border.1 > 0 {
+            border.0 / border.1 as f32
+        } else {
+            0.0
+        };
+        let i = if interior.1 > 0 {
+            interior.0 / interior.1 as f32
+        } else {
+            0.0
+        };
         b - i
     }
 

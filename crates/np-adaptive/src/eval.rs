@@ -123,9 +123,21 @@ mod tests {
 
     fn costs() -> CostModel {
         CostModel {
-            small: CycleBreakdown { compute: 1000, dma_stall: 0, setup: 0 },
-            big: CycleBreakdown { compute: 4000, dma_stall: 0, setup: 0 },
-            aux: CycleBreakdown { compute: 100, dma_stall: 0, setup: 0 },
+            small: CycleBreakdown {
+                compute: 1000,
+                dma_stall: 0,
+                setup: 0,
+            },
+            big: CycleBreakdown {
+                compute: 4000,
+                dma_stall: 0,
+                setup: 0,
+            },
+            aux: CycleBreakdown {
+                compute: 100,
+                dma_stall: 0,
+                setup: 0,
+            },
             decision_overhead: CycleBreakdown::default(),
             config: Gap8Config::default(),
             power: PowerModel::default(),

@@ -177,7 +177,10 @@ mod tests {
                 ema_triggers += 1;
             }
         }
-        assert!(op_triggers > ema_triggers, "op {op_triggers} vs ema {ema_triggers}");
+        assert!(
+            op_triggers > ema_triggers,
+            "op {op_triggers} vs ema {ema_triggers}"
+        );
     }
 
     #[test]
@@ -189,7 +192,9 @@ mod tests {
         let mut bigs = 0;
         // Value pairs: the inner trigger fires on every pair boundary and
         // clears inside each pair, so it never persists two frames.
-        let seq = [0.5f32, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52];
+        let seq = [
+            0.5f32, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52, 0.5, 0.5, 0.52, 0.52,
+        ];
         for &s in &seq {
             if flappy.decide(&frame(s)).runs_big() {
                 bigs += 1;

@@ -8,6 +8,7 @@ use np_dataset::{GridSpec, Pose, PoseDataset};
 use np_nn::Sequential;
 use np_quant::QuantizedNetwork;
 use np_tensor::ops::{softmax, top2};
+use np_tensor::parallel::Pool;
 
 /// Everything a policy may consult about one frame, plus both models'
 /// predictions for outcome accounting.
@@ -53,14 +54,26 @@ pub enum Backend<'a> {
 }
 
 impl Backend<'_> {
-    /// Raw outputs for the given frames, one row per frame.
+    /// Raw outputs for the given frames, one row per frame. Runs on the
+    /// global pool.
     pub fn outputs(&mut self, data: &PoseDataset, indices: &[usize]) -> Vec<Vec<f32>> {
+        self.outputs_with(Pool::global(), data, indices)
+    }
+
+    /// [`Self::outputs`] on an explicit execution context: the model's
+    /// batch-parallel kernels run on `pool`.
+    pub fn outputs_with(
+        &mut self,
+        pool: Pool,
+        data: &PoseDataset,
+        indices: &[usize],
+    ) -> Vec<Vec<f32>> {
         let mut rows = Vec::with_capacity(indices.len());
         for chunk in indices.chunks(64) {
             let x = data.images_tensor(chunk);
             let y = match self {
-                Backend::Float(m) => m.forward(&x),
-                Backend::Quantized(q) => q.forward(&x),
+                Backend::Float(m) => m.forward_with(pool, &x),
+                Backend::Quantized(q) => q.forward_with(pool, &x),
             };
             let d = y.shape()[1];
             for bi in 0..chunk.len() {
@@ -72,7 +85,8 @@ impl Backend<'_> {
 }
 
 impl EvalTable {
-    /// Builds the table for the dataset's test sequences.
+    /// Builds the table for the dataset's test sequences. Runs on the
+    /// global pool.
     ///
     /// # Panics
     ///
@@ -84,16 +98,32 @@ impl EvalTable {
         aux: &mut Backend<'_>,
         grid: GridSpec,
     ) -> EvalTable {
+        Self::build_with(Pool::global(), data, small, big, aux, grid)
+    }
+
+    /// [`Self::build`] on an explicit execution context.
+    pub fn build_with(
+        pool: Pool,
+        data: &PoseDataset,
+        small: &mut Backend<'_>,
+        big: &mut Backend<'_>,
+        aux: &mut Backend<'_>,
+        grid: GridSpec,
+    ) -> EvalTable {
         let sequences = data.test_sequences();
         assert!(!sequences.is_empty(), "dataset has no test sequences");
         let flat: Vec<usize> = sequences.iter().flatten().copied().collect();
-        let table = Self::build_for_indices(data, small, big, aux, grid, &flat);
+        let table = Self::build_for_indices_with(pool, data, small, big, aux, grid, &flat);
 
         // Regroup flat rows into the sequence structure.
         let mut iter = table.into_iter();
         let grouped = sequences
             .iter()
-            .map(|seq| (0..seq.len()).map(|_| iter.next().expect("length match")).collect())
+            .map(|seq| {
+                (0..seq.len())
+                    .map(|_| iter.next().expect("length match"))
+                    .collect()
+            })
             .collect();
         EvalTable {
             sequences: grouped,
@@ -102,8 +132,27 @@ impl EvalTable {
     }
 
     /// Builds flat (un-sequenced) features for arbitrary frames — used for
-    /// validation-set error maps.
+    /// validation-set error maps. Runs on the global pool.
     pub fn build_for_indices(
+        data: &PoseDataset,
+        small: &mut Backend<'_>,
+        big: &mut Backend<'_>,
+        aux: &mut Backend<'_>,
+        grid: GridSpec,
+        indices: &[usize],
+    ) -> Vec<FrameFeatures> {
+        Self::build_for_indices_with(Pool::global(), data, small, big, aux, grid, indices)
+    }
+
+    /// [`Self::build_for_indices`] on an explicit execution context.
+    ///
+    /// The three backends run one after another; each backend's inference
+    /// is batch-parallel on `pool`. Parallelizing *within* a backend beats
+    /// racing the three backends against each other: batch chunks are 64
+    /// frames wide, so per-frame work saturates the pool, while the big
+    /// model dominates the three-way split and would leave workers idle.
+    pub fn build_for_indices_with(
+        pool: Pool,
         data: &PoseDataset,
         small: &mut Backend<'_>,
         big: &mut Backend<'_>,
@@ -112,9 +161,9 @@ impl EvalTable {
         indices: &[usize],
     ) -> Vec<FrameFeatures> {
         let scaler = *data.scaler();
-        let small_out = small.outputs(data, indices);
-        let big_out = big.outputs(data, indices);
-        let aux_out = aux.outputs(data, indices);
+        let small_out = small.outputs_with(pool, data, indices);
+        let big_out = big.outputs_with(pool, data, indices);
+        let aux_out = aux.outputs_with(pool, data, indices);
 
         indices
             .iter()

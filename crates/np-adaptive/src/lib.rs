@@ -39,7 +39,9 @@ pub mod sweep;
 pub use cost::{CostModel, EnsembleId};
 pub use error_map::ErrorMap;
 pub use eval::{evaluate_policy, EvalResult};
-pub use features::{EvalTable, FrameFeatures};
-pub use policy::{AdaptivePolicy, AuxHlcPolicy, AuxSmPolicy, Decision, OpPolicy, OraclePolicy, RandomPolicy};
 pub use extensions::{Hysteresis, OpEmaPolicy};
+pub use features::{EvalTable, FrameFeatures};
+pub use policy::{
+    AdaptivePolicy, AuxHlcPolicy, AuxSmPolicy, Decision, OpPolicy, OraclePolicy, RandomPolicy,
+};
 pub use sweep::{pareto_front, OperatingPoint};

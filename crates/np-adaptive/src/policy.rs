@@ -276,8 +276,14 @@ mod tests {
         // Stationary outputs: small.
         assert_eq!(op.decide(&frame([0.5; 4], 1.0, 0)), Decision::Small);
         // Jump of 0.4 in the sum: ensemble.
-        assert_eq!(op.decide(&frame([0.6, 0.5, 0.5, 0.5], 1.0, 0)), Decision::Small);
-        assert_eq!(op.decide(&frame([0.9, 0.6, 0.5, 0.5], 1.0, 0)), Decision::Ensemble);
+        assert_eq!(
+            op.decide(&frame([0.6, 0.5, 0.5, 0.5], 1.0, 0)),
+            Decision::Small
+        );
+        assert_eq!(
+            op.decide(&frame([0.9, 0.6, 0.5, 0.5], 1.0, 0)),
+            Decision::Ensemble
+        );
     }
 
     #[test]
@@ -336,9 +342,13 @@ mod tests {
     #[test]
     fn random_policy_is_deterministic_across_resets() {
         let mut a = RandomPolicy::new(0.5, 7);
-        let seq1: Vec<Decision> = (0..20).map(|_| a.decide(&frame([0.0; 4], 0.5, 0))).collect();
+        let seq1: Vec<Decision> = (0..20)
+            .map(|_| a.decide(&frame([0.0; 4], 0.5, 0)))
+            .collect();
         a.reset();
-        let seq2: Vec<Decision> = (0..20).map(|_| a.decide(&frame([0.0; 4], 0.5, 0))).collect();
+        let seq2: Vec<Decision> = (0..20)
+            .map(|_| a.decide(&frame([0.0; 4], 0.5, 0)))
+            .collect();
         assert_eq!(seq1, seq2);
     }
 

@@ -5,6 +5,7 @@ use crate::error_map::ErrorMap;
 use crate::eval::{evaluate_policy, EvalResult};
 use crate::features::EvalTable;
 use crate::policy::{AuxHlcPolicy, AuxSmPolicy, OpPolicy, RandomPolicy};
+use np_tensor::parallel::Pool;
 
 /// One point on a policy's accuracy-vs-cost curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,8 +35,20 @@ pub fn quantiles(mut values: Vec<f32>, n: usize) -> Vec<f32> {
 }
 
 /// Sweeps the OP policy across `n` thresholds placed at quantiles of the
-/// observed OP-score distribution.
+/// observed OP-score distribution. Runs on the global pool.
 pub fn sweep_op(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
+    sweep_op_with(Pool::global(), table, costs, n)
+}
+
+/// [`sweep_op`] on an explicit execution context. Operating points are
+/// evaluated in parallel (each threshold replays the table independently);
+/// the returned order follows the threshold order regardless of pool size.
+pub fn sweep_op_with(
+    pool: Pool,
+    table: &EvalTable,
+    costs: &CostModel,
+    n: usize,
+) -> Vec<OperatingPoint> {
     // Collect the empirical OP scores.
     let mut scores = Vec::new();
     for seq in &table.sequences {
@@ -51,32 +64,56 @@ pub fn sweep_op(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<Operating
     let mut ths = quantiles(scores, n);
     ths.push(f32::INFINITY); // never trigger: degenerates to static small
     ths.dedup();
-    ths.into_iter()
-        .map(|th| OperatingPoint {
+    pool.map(ths.len(), |i| {
+        let th = ths[i];
+        OperatingPoint {
             threshold: th,
             result: evaluate_policy(&mut OpPolicy::new(th), table, costs),
-        })
-        .collect()
+        }
+    })
 }
 
-/// Sweeps Aux-SM across `n` margin thresholds.
+/// Sweeps Aux-SM across `n` margin thresholds. Runs on the global pool.
 pub fn sweep_aux_sm(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
+    sweep_aux_sm_with(Pool::global(), table, costs, n)
+}
+
+/// [`sweep_aux_sm`] on an explicit execution context.
+pub fn sweep_aux_sm_with(
+    pool: Pool,
+    table: &EvalTable,
+    costs: &CostModel,
+    n: usize,
+) -> Vec<OperatingPoint> {
     let margins: Vec<f32> = table.iter_frames().map(|f| f.aux_margin).collect();
     let mut ths = quantiles(margins, n);
     ths.insert(0, -1.0); // never big
     ths.push(1.1); // always big
     ths.dedup();
     let grid = table.grid.to_string();
-    ths.into_iter()
-        .map(|th| OperatingPoint {
+    pool.map(ths.len(), |i| {
+        let th = ths[i];
+        OperatingPoint {
             threshold: th,
             result: evaluate_policy(&mut AuxSmPolicy::new(th, grid.clone()), table, costs),
-        })
-        .collect()
+        }
+    })
 }
 
-/// Sweeps Aux-HLC across the distinct values of the error map.
+/// Sweeps Aux-HLC across the distinct values of the error map. Runs on the
+/// global pool.
 pub fn sweep_aux_hlc(
+    table: &EvalTable,
+    costs: &CostModel,
+    map: &ErrorMap,
+    n: usize,
+) -> Vec<OperatingPoint> {
+    sweep_aux_hlc_with(Pool::global(), table, costs, map, n)
+}
+
+/// [`sweep_aux_hlc`] on an explicit execution context.
+pub fn sweep_aux_hlc_with(
+    pool: Pool,
     table: &EvalTable,
     costs: &CostModel,
     map: &ErrorMap,
@@ -86,25 +123,37 @@ pub fn sweep_aux_hlc(
     ths.insert(0, f32::NEG_INFINITY); // always big
     ths.push(f32::INFINITY); // never big
     ths.dedup();
-    ths.into_iter()
-        .map(|th| OperatingPoint {
+    pool.map(ths.len(), |i| {
+        let th = ths[i];
+        OperatingPoint {
             threshold: th,
             result: evaluate_policy(&mut AuxHlcPolicy::new(th, map.clone()), table, costs),
-        })
-        .collect()
+        }
+    })
 }
 
-/// Sweeps the Random baseline across big-model probabilities.
+/// Sweeps the Random baseline across big-model probabilities. Runs on the
+/// global pool.
 pub fn sweep_random(table: &EvalTable, costs: &CostModel, n: usize) -> Vec<OperatingPoint> {
-    (0..n)
-        .map(|i| {
-            let p = i as f64 / (n - 1) as f64;
-            OperatingPoint {
-                threshold: p as f32,
-                result: evaluate_policy(&mut RandomPolicy::new(p, 99), table, costs),
-            }
-        })
-        .collect()
+    sweep_random_with(Pool::global(), table, costs, n)
+}
+
+/// [`sweep_random`] on an explicit execution context. Each probability
+/// seeds its own [`RandomPolicy`] RNG, so results do not depend on the
+/// evaluation order.
+pub fn sweep_random_with(
+    pool: Pool,
+    table: &EvalTable,
+    costs: &CostModel,
+    n: usize,
+) -> Vec<OperatingPoint> {
+    pool.map(n, |i| {
+        let p = i as f64 / (n - 1) as f64;
+        OperatingPoint {
+            threshold: p as f32,
+            result: evaluate_policy(&mut RandomPolicy::new(p, 99), table, costs),
+        }
+    })
 }
 
 /// Non-dominated subset of operating points (minimize MAE and cycles),
@@ -149,7 +198,12 @@ pub fn best_at_cycles(points: &[OperatingPoint], cycle_budget: f64) -> Option<&O
     points
         .iter()
         .filter(|p| p.result.mean_cycles <= cycle_budget)
-        .min_by(|a, b| a.result.mae_sum.partial_cmp(&b.result.mae_sum).expect("finite"))
+        .min_by(|a, b| {
+            a.result
+                .mae_sum
+                .partial_cmp(&b.result.mae_sum)
+                .expect("finite")
+        })
 }
 
 #[cfg(test)]

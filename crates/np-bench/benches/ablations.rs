@@ -17,9 +17,7 @@ fn bench_ablations(c: &mut Criterion) {
         let label = format!("deploy_M10_{objective:?}");
         c.bench_function(&label, |b| {
             b.iter(|| {
-                black_box(
-                    deploy_with_objective(black_box(&m10), &gap8, objective).expect("fits"),
-                )
+                black_box(deploy_with_objective(black_box(&m10), &gap8, objective).expect("fits"))
             })
         });
     }

@@ -2,13 +2,67 @@
 //! deployment kernels, at Frontnet-layer shapes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use np_quant::kernels::{qconv2d, QConvGeometry};
+use np_quant::kernels::{qconv2d, qconv2d_reference, qconv2d_with, QConvGeometry};
 use np_quant::requant::FixedMultiplier;
 use np_tensor::conv::{conv2d, depthwise_conv2d, Conv2dSpec};
 use np_tensor::im2col::{im2col, Im2colSpec};
-use np_tensor::matmul::matmul;
+use np_tensor::matmul::{matmul, matmul_acc_with};
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
 use std::hint::black_box;
+
+/// Dominant conv layer of each paper network at the 96×160 deployment
+/// resolution: (label, geometry, input height, input width).
+///
+/// F1/F2 are dominated by their 5×5 stems; M1.0 by its widest pointwise.
+const PAPER_SHAPES: [(&str, QConvGeometry, usize, usize); 3] = [
+    (
+        "F1_stem_5x5",
+        QConvGeometry {
+            in_channels: 1,
+            out_channels: 32,
+            kernel: 5,
+            stride: 2,
+            padding: 2,
+        },
+        96,
+        160,
+    ),
+    (
+        "F2_block_3x3",
+        QConvGeometry {
+            in_channels: 40,
+            out_channels: 16,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
+        24,
+        40,
+    ),
+    (
+        "M1.0_pointwise",
+        QConvGeometry {
+            in_channels: 60,
+            out_channels: 60,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
+        12,
+        20,
+    ),
+];
+
+fn pseudo_i8(n: usize, seed: u64) -> Vec<i8> {
+    let mut s = seed + 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 40) as u8 as i8
+        })
+        .collect()
+}
 
 fn pseudo(n: usize, seed: u64) -> Vec<f32> {
     let mut s = seed + 1;
@@ -30,7 +84,10 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(&input),
                 &weight,
                 None,
-                Conv2dSpec { stride: 2, padding: 2 },
+                Conv2dSpec {
+                    stride: 2,
+                    padding: 2,
+                },
             ))
         })
     });
@@ -44,7 +101,10 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(&mid_in),
                 &mid_w,
                 None,
-                Conv2dSpec { stride: 1, padding: 1 },
+                Conv2dSpec {
+                    stride: 1,
+                    padding: 1,
+                },
             ))
         })
     });
@@ -57,7 +117,10 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(&mid_in),
                 &dw_w,
                 None,
-                Conv2dSpec { stride: 1, padding: 1 },
+                Conv2dSpec {
+                    stride: 1,
+                    padding: 1,
+                },
             ))
         })
     });
@@ -110,6 +173,75 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("matmul_32x288x240", |b| {
         b.iter(|| black_box(matmul(black_box(&a), &bm, 32, 288, 240)))
     });
+
+    // Direct (reference loop nest) vs im2col-lowered integer conv at each
+    // paper network's dominant layer shape.
+    for (label, geo, h, w) in PAPER_SHAPES {
+        let qx = pseudo_i8(geo.in_channels * h * w, 11);
+        let qw = pseudo_i8(
+            geo.out_channels * geo.in_channels * geo.kernel * geo.kernel,
+            12,
+        );
+        let qb = vec![100i32; geo.out_channels];
+        let qm = vec![FixedMultiplier::from_real(0.003); geo.out_channels];
+        c.bench_function(&format!("qconv2d_direct_{label}"), |b| {
+            b.iter(|| {
+                black_box(qconv2d_reference(
+                    black_box(&qx),
+                    h,
+                    w,
+                    -3,
+                    geo,
+                    &qw,
+                    &qb,
+                    &qm,
+                    5,
+                    true,
+                ))
+            })
+        });
+        c.bench_function(&format!("qconv2d_lowered_{label}"), |b| {
+            b.iter(|| {
+                black_box(qconv2d_with(
+                    Pool::serial(),
+                    black_box(&qx),
+                    h,
+                    w,
+                    -3,
+                    geo,
+                    &qw,
+                    &qb,
+                    &qm,
+                    5,
+                    true,
+                ))
+            })
+        });
+    }
+
+    // The float GEMM each shape lowers to, across pool widths. On a
+    // single-core container these report the scheduling overhead floor
+    // rather than a speedup; see DESIGN.md.
+    for (label, geo, h, w) in PAPER_SHAPES {
+        let (oh, ow) = geo.out_hw(h, w);
+        let (m, k, n) = (
+            geo.out_channels,
+            geo.in_channels * geo.kernel * geo.kernel,
+            oh * ow,
+        );
+        let ga = pseudo(m * k, 13);
+        let gb = pseudo(k * n, 14);
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            c.bench_function(&format!("gemm_{label}_t{threads}"), |b| {
+                b.iter(|| {
+                    let mut gc = vec![0.0f32; m * n];
+                    matmul_acc_with(pool, black_box(&ga), &gb, &mut gc, m, k, n);
+                    black_box(gc)
+                })
+            });
+        }
+    }
 }
 
 criterion_group!(benches, bench_kernels);

@@ -16,15 +16,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let env = EnvInstance::known(&mut rng);
     let pose = Pose::new(1.5, 0.2, 0.0, 0.5);
     c.bench_function("render_frame_80x48", |b| {
-        b.iter(|| {
-            black_box(render_frame(
-                black_box(&pose),
-                0.3,
-                &env,
-                &cam,
-                &mut rng,
-            ))
-        })
+        b.iter(|| black_box(render_frame(black_box(&pose), 0.3, &env, &cam, &mut rng)))
     });
 
     // Proxy model inference (single frame).

@@ -1,0 +1,236 @@
+//! Kernel micro-benchmark harness emitting `BENCH_kernels.json`.
+//!
+//! Two questions, answered with wall time and effective MAC/s:
+//!
+//! 1. Does the im2col-lowered int8 conv beat the direct loop nest at the
+//!    dominant layer shape of every paper network (F1, F2, M1.0)?
+//! 2. How does the row-chunked float GEMM scale across pool widths
+//!    (`NP_THREADS`-style 1/2/4)?
+//!
+//! Numbers are measured on the machine that runs the binary. On a
+//! single-core container the threaded rows report the scheduling-overhead
+//! floor rather than a speedup — the JSON records `cpus_available` so a
+//! reader can tell which regime a checked-in baseline came from.
+//!
+//! Usage: `cargo run --release -p np-bench --bin bench_kernels [out.json]`
+
+use np_quant::kernels::{qconv2d_reference, qconv2d_with, QConvGeometry};
+use np_quant::requant::FixedMultiplier;
+use np_tensor::matmul::matmul_acc_with;
+use np_tensor::parallel::Pool;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Dominant conv layer of each paper network at the 96×160 deployment
+/// resolution (same table as `benches/kernels.rs`).
+const PAPER_SHAPES: [(&str, QConvGeometry, usize, usize); 3] = [
+    (
+        "F1_stem_5x5",
+        QConvGeometry {
+            in_channels: 1,
+            out_channels: 32,
+            kernel: 5,
+            stride: 2,
+            padding: 2,
+        },
+        96,
+        160,
+    ),
+    (
+        "F2_block_3x3",
+        QConvGeometry {
+            in_channels: 40,
+            out_channels: 16,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
+        24,
+        40,
+    ),
+    (
+        "M1.0_pointwise",
+        QConvGeometry {
+            in_channels: 60,
+            out_channels: 60,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
+        12,
+        20,
+    ),
+];
+
+const WARMUP: usize = 3;
+const REPS: usize = 30;
+
+fn pseudo_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed + 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+        })
+        .collect()
+}
+
+fn pseudo_i8(n: usize, seed: u64) -> Vec<i8> {
+    let mut s = seed + 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 40) as u8 as i8
+        })
+        .collect()
+}
+
+/// Best-of-`REPS` wall time of `f` in nanoseconds (minimum filters out
+/// scheduler noise, the standard micro-benchmark estimator).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+fn mac_per_s(macs: u64, ns: f64) -> f64 {
+    macs as f64 / (ns * 1e-9)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"cpus_available\": {cpus},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    json.push_str("  \"qconv2d_direct_vs_lowered\": [\n");
+
+    let mut all_lowered_win = true;
+    for (i, (label, geo, h, w)) in PAPER_SHAPES.iter().enumerate() {
+        let (geo, h, w) = (*geo, *h, *w);
+        let qx = pseudo_i8(geo.in_channels * h * w, 11);
+        let qw = pseudo_i8(
+            geo.out_channels * geo.in_channels * geo.kernel * geo.kernel,
+            12,
+        );
+        let qb = vec![100i32; geo.out_channels];
+        let qm = vec![FixedMultiplier::from_real(0.003); geo.out_channels];
+        let (oh, ow) = geo.out_hw(h, w);
+        let macs = (geo.out_channels * oh * ow * geo.in_channels * geo.kernel * geo.kernel) as u64;
+
+        let direct_ns = time_ns(|| {
+            black_box(qconv2d_reference(
+                black_box(&qx),
+                h,
+                w,
+                -3,
+                geo,
+                &qw,
+                &qb,
+                &qm,
+                5,
+                true,
+            ));
+        });
+        let lowered_ns = time_ns(|| {
+            black_box(qconv2d_with(
+                Pool::serial(),
+                black_box(&qx),
+                h,
+                w,
+                -3,
+                geo,
+                &qw,
+                &qb,
+                &qm,
+                5,
+                true,
+            ));
+        });
+        let speedup = direct_ns / lowered_ns;
+        all_lowered_win &= speedup > 1.0;
+        eprintln!(
+            "[bench_kernels] {label}: direct {direct_ns:.0} ns, lowered {lowered_ns:.0} ns \
+             ({speedup:.2}x, {:.1} MMAC/s lowered)",
+            mac_per_s(macs, lowered_ns) / 1e6
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{label}\", \"macs\": {macs}, \
+             \"direct_ns\": {direct_ns:.0}, \"lowered_ns\": {lowered_ns:.0}, \
+             \"direct_mac_per_s\": {:.0}, \"lowered_mac_per_s\": {:.0}, \
+             \"speedup\": {speedup:.3}}}{}",
+            mac_per_s(macs, direct_ns),
+            mac_per_s(macs, lowered_ns),
+            if i + 1 < PAPER_SHAPES.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"gemm_by_pool_width\": [\n");
+
+    for (i, (label, geo, h, w)) in PAPER_SHAPES.iter().enumerate() {
+        let (geo, h, w) = (*geo, *h, *w);
+        let (oh, ow) = geo.out_hw(h, w);
+        let (m, k, n) = (
+            geo.out_channels,
+            geo.in_channels * geo.kernel * geo.kernel,
+            oh * ow,
+        );
+        let macs = (m * k * n) as u64;
+        let ga = pseudo_f32(m * k, 13);
+        let gb = pseudo_f32(k * n, 14);
+        let mut base_ns = 0.0;
+        let mut entries = String::new();
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let ns = time_ns(|| {
+                let mut gc = vec![0.0f32; m * n];
+                matmul_acc_with(pool, black_box(&ga), &gb, &mut gc, m, k, n);
+                black_box(&gc);
+            });
+            if threads == 1 {
+                base_ns = ns;
+            }
+            let speedup = base_ns / ns;
+            eprintln!(
+                "[bench_kernels] gemm {label} ({m}x{k}x{n}) t{threads}: {ns:.0} ns \
+                 ({speedup:.2}x vs t1, {:.1} MMAC/s)",
+                mac_per_s(macs, ns) / 1e6
+            );
+            let _ = writeln!(
+                entries,
+                "      {{\"threads\": {threads}, \"ns\": {ns:.0}, \
+                 \"mac_per_s\": {:.0}, \"speedup_vs_serial\": {speedup:.3}}}{}",
+                mac_per_s(macs, ns),
+                if threads != 4 { "," } else { "" },
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{label}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+             \"macs\": {macs}, \"by_threads\": [\n{entries}    ]}}{}",
+            if i + 1 < PAPER_SHAPES.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    assert!(
+        all_lowered_win,
+        "im2col-lowered qconv2d lost to the direct loop on at least one shape"
+    );
+    eprintln!("[bench_kernels] wrote {out_path}");
+}

@@ -45,7 +45,10 @@ fn main() {
     println!("mean E interior cells: {:+.4}", mean(&interior));
     println!("mean E border cells:   {:+.4}", mean(&border));
     println!("mean E corner cells:   {:+.4}", mean(&corner));
-    println!("border advantage (border+corner mean - interior mean): {:+.4}", map.border_advantage());
+    println!(
+        "border advantage (border+corner mean - interior mean): {:+.4}",
+        map.border_advantage()
+    );
     println!();
     println!(
         "Paper shape check (difference increases at edges, more at corners): {}",

@@ -2,7 +2,9 @@
 //! cached (or freshly trained) models on the Known dataset — a compact
 //! alternative to reading the full fig5/table2 outputs.
 
-use np_adaptive::sweep::{best_at_cycles, cheapest_at_mae, pareto_front, sweep_aux_hlc, sweep_op, sweep_random};
+use np_adaptive::sweep::{
+    best_at_cycles, cheapest_at_mae, pareto_front, sweep_aux_hlc, sweep_op, sweep_random,
+};
 use np_adaptive::EnsembleId;
 use np_bench::{Experiment, Scale};
 use np_dataset::{Environment, GridSpec};
@@ -16,7 +18,12 @@ fn main() {
 
     println!("# Headline summary (Known dataset)");
     println!();
-    println!("static MAE: F1 {:.3}, F2 {:.3}, M1.0 {:.3}", mae[0].sum(), mae[1].sum(), big_mae);
+    println!(
+        "static MAE: F1 {:.3}, F2 {:.3}, M1.0 {:.3}",
+        mae[0].sum(),
+        mae[1].sum(),
+        big_mae
+    );
     println!(
         "static latency: F1 {:.2} ms, F2 {:.2} ms, M1.0 {:.2} ms",
         exp.plan_f1.latency_ms(),
@@ -61,7 +68,10 @@ fn main() {
                 dominated += 1;
             }
         }
-        println!("random points dominated by adaptive: {dominated}/{}", random.len());
+        println!(
+            "random points dominated by adaptive: {dominated}/{}",
+            random.len()
+        );
         println!();
     }
 }

@@ -25,9 +25,7 @@ fn main() {
 
     println!("# Table I — static models (measured vs paper)");
     println!();
-    println!(
-        "| Network | MAE x | MAE y | MAE z | MAE phi | MAE sum | Params | MAC |"
-    );
+    println!("| Network | MAE x | MAE y | MAE z | MAE phi | MAE sum | Params | MAC |");
     println!("|---|---|---|---|---|---|---|---|");
     for ((id, report), (name, p_mae, p_params, p_mac)) in
         ids.iter().zip(mae.iter()).zip(paper.iter())

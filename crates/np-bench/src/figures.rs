@@ -77,7 +77,9 @@ pub fn run_policy_comparison(exp: &mut Experiment, figure: &str, dataset: &str) 
                 p.result.policy,
             );
         } else {
-            eprintln!("[{figure}] {ens}: no adaptive point reaches the big model's MAE {big_mae:.3}");
+            eprintln!(
+                "[{figure}] {ens}: no adaptive point reaches the big model's MAE {big_mae:.3}"
+            );
         }
         if let Some(p) = best_at_cycles(&all, big_cycles) {
             eprintln!(

@@ -209,10 +209,7 @@ impl Experiment {
 
         let gap8 = Gap8Config::default();
         let plan = |id: ModelId| deploy(&id.paper_desc(), &gap8).expect("zoo model must fit GAP8");
-        let plan_aux = GRIDS
-            .iter()
-            .map(|&g| (g, plan(ModelId::Aux(g))))
-            .collect();
+        let plan_aux = GRIDS.iter().map(|&g| (g, plan(ModelId::Aux(g)))).collect();
 
         Experiment {
             data,

@@ -194,8 +194,8 @@ mod tests {
             }
         }
         let mean: f32 = estimates.iter().sum::<f32>() / estimates.len() as f32;
-        let var: f32 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f32>()
-            / estimates.len() as f32;
+        let var: f32 =
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f32>() / estimates.len() as f32;
         assert!((mean - 5.0).abs() < 0.1, "biased: {mean}");
         assert!(var < 0.02, "not smoothing: var {var}");
     }

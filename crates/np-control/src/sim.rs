@@ -101,7 +101,12 @@ impl FollowSim {
             let dy = subject.1 - drone.1;
             let rel_x = dx * drone_yaw.cos() + dy * drone_yaw.sin();
             let rel_y = -dx * drone_yaw.sin() + dy * drone_yaw.cos();
-            let truth = Pose::new(rel_x.max(0.05), rel_y, 0.0, wrap_angle(subject_dir - drone_yaw));
+            let truth = Pose::new(
+                rel_x.max(0.05),
+                rel_y,
+                0.0,
+                wrap_angle(subject_dir - drone_yaw),
+            );
 
             // Perception at its own rate; filter predicts in between.
             if step % perception_every == 0 {
@@ -143,10 +148,7 @@ mod tests {
     fn perfect_perception_tracks_well() {
         let sim = FollowSim::new(SimConfig::default());
         let stats = sim.run(|truth| *truth);
-        assert!(
-            stats.mean_distance_error < 0.45,
-            "poor tracking: {stats:?}"
-        );
+        assert!(stats.mean_distance_error < 0.45, "poor tracking: {stats:?}");
         assert!(stats.in_view_fraction > 0.9, "{stats:?}");
     }
 

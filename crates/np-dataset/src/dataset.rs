@@ -294,7 +294,11 @@ mod tests {
     #[test]
     fn splits_are_disjoint_and_cover() {
         let data = PoseDataset::generate(&DatasetConfig::tiny());
-        let (tr, va, te) = (data.train_indices(), data.val_indices(), data.test_indices());
+        let (tr, va, te) = (
+            data.train_indices(),
+            data.val_indices(),
+            data.test_indices(),
+        );
         assert_eq!(tr.len() + va.len() + te.len(), data.len());
         // No sequence appears in two splits.
         let seq_of = |idx: &Vec<usize>| -> Vec<usize> {

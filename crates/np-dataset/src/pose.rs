@@ -84,10 +84,10 @@ impl Default for PoseScaler {
     fn default() -> Self {
         PoseScaler {
             bounds: [
-                (0.4, 3.6),                                          // x
-                (-1.6, 1.6),                                         // y
-                (-0.7, 0.7),                                         // z
-                (-std::f32::consts::PI, std::f32::consts::PI),       // phi
+                (0.4, 3.6),                                    // x
+                (-1.6, 1.6),                                   // y
+                (-0.7, 0.7),                                   // z
+                (-std::f32::consts::PI, std::f32::consts::PI), // phi
             ],
         }
     }

@@ -143,7 +143,11 @@ pub fn render_frame(
                 * ((x as f32 * env.texture_freq + env.texture_phase).sin()
                     + (y as f32 * env.texture_freq * 0.7).cos())
                 / 2.0;
-            let floor = if fy > 0.75 { -0.12 * (fy - 0.75) / 0.25 } else { 0.0 };
+            let floor = if fy > 0.75 {
+                -0.12 * (fy - 0.75) / 0.25
+            } else {
+                0.0
+            };
             let vignette = -0.08 * ((fx - 0.5).powi(2) + (fy - 0.5).powi(2));
             img[y * w + x] = env.base_light + texture + floor + vignette;
         }
@@ -197,9 +201,16 @@ fn draw_person(
 
     // Shoulder asymmetry hints at heading.
     let shoulder_dx = 0.8 * r * phi.sin();
-    fill_ellipse(img, w, h, u + shoulder_dx, v + 2.0 * r, 1.5 * r, 0.8 * r, |_, _| {
-        env.torso_albedo * 1.25
-    });
+    fill_ellipse(
+        img,
+        w,
+        h,
+        u + shoulder_dx,
+        v + 2.0 * r,
+        1.5 * r,
+        0.8 * r,
+        |_, _| env.torso_albedo * 1.25,
+    );
 
     // Head: facing direction modulates luminance — the visual cue for phi.
     // phi = 0 means facing the drone (bright face visible).
@@ -330,7 +341,13 @@ mod tests {
         let mut rng = SmallRng::seed(6);
         let env = EnvInstance::known(&mut rng);
         let cam = test_cam();
-        let facing = render_frame(&Pose::new(1.0, 0.0, 0.0, 0.0), 0.0, &env, &cam, &mut SmallRng::seed(9));
+        let facing = render_frame(
+            &Pose::new(1.0, 0.0, 0.0, 0.0),
+            0.0,
+            &env,
+            &cam,
+            &mut SmallRng::seed(9),
+        );
         let away = render_frame(
             &Pose::new(1.0, 0.0, 0.0, std::f32::consts::PI),
             0.0,
@@ -365,7 +382,10 @@ mod tests {
             }
             g
         };
-        assert!(grad(&blurred) < grad(&sharp), "blur did not reduce gradients");
+        assert!(
+            grad(&blurred) < grad(&sharp),
+            "blur did not reduce gradients"
+        );
     }
 
     #[test]

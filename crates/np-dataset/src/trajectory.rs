@@ -113,12 +113,16 @@ impl Trajectory {
             self.v_dist *= -0.5;
         }
 
-        let speed = (self.v_by.powi(2) + self.v_bz.powi(2) + (self.v_dist * 0.3).powi(2))
-            .sqrt()
+        let speed = (self.v_by.powi(2) + self.v_bz.powi(2) + (self.v_dist * 0.3).powi(2)).sqrt()
             + 0.12 * self.v_phi.abs();
 
         TrajectorySample {
-            pose: Pose::new(self.dist, self.by * self.dist, self.bz * self.dist, self.phi),
+            pose: Pose::new(
+                self.dist,
+                self.by * self.dist,
+                self.bz * self.dist,
+                self.phi,
+            ),
             speed,
         }
     }

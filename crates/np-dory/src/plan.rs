@@ -183,7 +183,11 @@ pub fn activation_bytes(network: &NetworkDesc) -> usize {
 /// Table II's D1/D2 memory is less than the sum of their members.
 pub fn ensemble_l2_bytes(networks: &[&NetworkDesc]) -> usize {
     let weights: usize = networks.iter().map(|n| weight_bytes(n)).sum();
-    let acts = networks.iter().map(|n| activation_bytes(n)).max().unwrap_or(0);
+    let acts = networks
+        .iter()
+        .map(|n| activation_bytes(n))
+        .max()
+        .unwrap_or(0);
     weights + acts
 }
 
@@ -199,13 +203,34 @@ mod tests {
         let net = Sequential::with_name(
             format!("fn-{c1}-{c2}"),
             vec![
-                Box::new(Conv2d::new(1, c1, 5, 2, 2, Initializer::KaimingUniform, &mut rng)) as _,
+                Box::new(Conv2d::new(
+                    1,
+                    c1,
+                    5,
+                    2,
+                    2,
+                    Initializer::KaimingUniform,
+                    &mut rng,
+                )) as _,
                 Box::new(Relu::new()) as _,
                 Box::new(MaxPool2d::new(2, 2)) as _,
-                Box::new(Conv2d::new(c1, c2, 3, 2, 1, Initializer::KaimingUniform, &mut rng)) as _,
+                Box::new(Conv2d::new(
+                    c1,
+                    c2,
+                    3,
+                    2,
+                    1,
+                    Initializer::KaimingUniform,
+                    &mut rng,
+                )) as _,
                 Box::new(Relu::new()) as _,
                 Box::new(Flatten::new()) as _,
-                Box::new(Linear::new(c2 * 12 * 20, 4, Initializer::KaimingUniform, &mut rng)) as _,
+                Box::new(Linear::new(
+                    c2 * 12 * 20,
+                    4,
+                    Initializer::KaimingUniform,
+                    &mut rng,
+                )) as _,
             ],
         );
         net.describe((1, 96, 160))

@@ -32,11 +32,7 @@ pub fn kernel_class(layer: &LayerDesc) -> KernelClass {
 /// compute; the visible cost per steady-state tile is
 /// `max(compute_tile, dma_tile)`, plus a prologue (first input transfer)
 /// and epilogue (last output transfer).
-pub fn schedule_layer(
-    layer: &LayerDesc,
-    choice: TilingChoice,
-    cfg: &Gap8Config,
-) -> CycleBreakdown {
+pub fn schedule_layer(layer: &LayerDesc, choice: TilingChoice, cfg: &Gap8Config) -> CycleBreakdown {
     if !matters(layer.kind) {
         // Folded/free ops: zero cost at deployment granularity. (BatchNorm
         // is folded into convs before deployment; standalone activations

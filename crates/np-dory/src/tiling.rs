@@ -48,9 +48,10 @@ fn tile_bytes(layer: &LayerDesc, tile: Tile) -> usize {
     let in_w = layer.in_hw.1;
     // Input rows needed to produce `tile.rows` output rows.
     let in_rows = match layer.kind {
-        LayerKind::Conv2d | LayerKind::DepthwiseConv2d | LayerKind::MaxPool | LayerKind::AvgPool => {
-            (tile.rows - 1) * layer.stride + layer.kernel
-        }
+        LayerKind::Conv2d
+        | LayerKind::DepthwiseConv2d
+        | LayerKind::MaxPool
+        | LayerKind::AvgPool => (tile.rows - 1) * layer.stride + layer.kernel,
         _ => tile.rows,
     };
     let in_channels = match layer.kind {
@@ -63,7 +64,9 @@ fn tile_bytes(layer: &LayerDesc, tile: Tile) -> usize {
         LayerKind::Conv2d => {
             tile.channels * layer.in_channels * layer.kernel * layer.kernel + 4 * tile.channels
         }
-        LayerKind::DepthwiseConv2d => tile.channels * layer.kernel * layer.kernel + 4 * tile.channels,
+        LayerKind::DepthwiseConv2d => {
+            tile.channels * layer.kernel * layer.kernel + 4 * tile.channels
+        }
         LayerKind::Linear => tile.channels * layer.in_channels + 4 * tile.channels,
         _ => 0,
     };
@@ -108,7 +111,10 @@ pub fn solve_tiling(
     if !matters(layer.kind) {
         // Free ops occupy no L1.
         return Some(TilingChoice {
-            tile: Tile { channels: c_out, rows: out_h },
+            tile: Tile {
+                channels: c_out,
+                rows: out_h,
+            },
             n_tiles: 1,
             l1_bytes: 0,
             single_tile: true,
@@ -140,9 +146,7 @@ pub fn solve_tiling(
                 };
                 let score = match objective {
                     TilingObjective::MaxTile => tile_macs(layer, tile),
-                    TilingObjective::MinDma => {
-                        u64::MAX - total_dma_bytes(layer, choice) as u64
-                    }
+                    TilingObjective::MinDma => u64::MAX - total_dma_bytes(layer, choice) as u64,
                 };
                 if best.as_ref().is_none_or(|(_, s)| score > *s) {
                     best = Some((choice, score));
@@ -168,7 +172,10 @@ pub fn total_dma_bytes(layer: &LayerDesc, choice: TilingChoice) -> usize {
 
 /// True for kinds that execute on the cluster and occupy L1.
 pub fn matters(kind: LayerKind) -> bool {
-    !matches!(kind, LayerKind::Reshape | LayerKind::Activation | LayerKind::BatchNorm)
+    !matches!(
+        kind,
+        LayerKind::Reshape | LayerKind::Activation | LayerKind::BatchNorm
+    )
 }
 
 #[cfg(test)]
@@ -222,8 +229,20 @@ mod tests {
     #[test]
     fn tile_bytes_monotone_in_rows() {
         let layer = conv_layer(16, 16, (32, 32), 3, 1);
-        let small = tile_bytes(&layer, Tile { channels: 16, rows: 4 });
-        let big = tile_bytes(&layer, Tile { channels: 16, rows: 16 });
+        let small = tile_bytes(
+            &layer,
+            Tile {
+                channels: 16,
+                rows: 4,
+            },
+        );
+        let big = tile_bytes(
+            &layer,
+            Tile {
+                channels: 16,
+                rows: 16,
+            },
+        );
         assert!(big > small);
     }
 

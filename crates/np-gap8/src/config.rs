@@ -88,6 +88,24 @@ impl Gap8Config {
         c / (c + self.channel_util_knee)
     }
 
+    /// DORY-style core-partition balance in `(0, 1]`.
+    ///
+    /// PULP-NN statically splits a layer's `work` parallel units (output
+    /// channels for MAC kernels) across the cluster cores, so the layer
+    /// runs in `ceil(work / cores)` rounds and the last round may be
+    /// ragged: `work = 33` on 8 cores takes 5 rounds with only one core
+    /// busy in the last. The balance is `work / (cores * rounds)` — exactly
+    /// 1.0 whenever `work` is a multiple of the core count (all paper
+    /// networks use 32-multiple channel widths, so they are unaffected).
+    pub fn core_partition_utilization(&self, work: usize) -> f64 {
+        if work == 0 {
+            return 1.0;
+        }
+        let cores = self.cluster_cores.max(1);
+        let rounds = work.div_ceil(cores);
+        work as f64 / (cores * rounds) as f64
+    }
+
     /// Converts cluster cycles to seconds.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / self.cluster_freq_hz
@@ -129,6 +147,21 @@ mod tests {
         let cfg = Gap8Config::default();
         assert!(cfg.channel_utilization(4) < cfg.channel_utilization(32));
         assert!(cfg.channel_utilization(128) > 0.9);
+    }
+
+    #[test]
+    fn partition_balance_exact_at_core_multiples() {
+        let cfg = Gap8Config::default();
+        for work in [8, 16, 32, 64, 128] {
+            assert_eq!(cfg.core_partition_utilization(work), 1.0, "work {work}");
+        }
+        // 33 channels on 8 cores: 5 rounds, 40 core-slots, 33 busy.
+        assert!((cfg.core_partition_utilization(33) - 33.0 / 40.0).abs() < 1e-12);
+        // Fewer units than cores: one ragged round.
+        assert!((cfg.core_partition_utilization(4) - 0.5).abs() < 1e-12);
+        // Degenerate inputs stay in (0, 1].
+        assert_eq!(cfg.core_partition_utilization(0), 1.0);
+        assert_eq!(cfg.core_partition_utilization(1), 1.0 / 8.0);
     }
 
     #[test]

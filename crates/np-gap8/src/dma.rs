@@ -89,9 +89,7 @@ mod tests {
     #[test]
     fn onchip_is_faster_than_offchip() {
         let bytes = 4096;
-        assert!(
-            DmaLink::L2ToL1.transfer_cycles(bytes) < DmaLink::DramToL2.transfer_cycles(bytes)
-        );
+        assert!(DmaLink::L2ToL1.transfer_cycles(bytes) < DmaLink::DramToL2.transfer_cycles(bytes));
     }
 
     #[test]

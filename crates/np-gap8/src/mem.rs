@@ -116,7 +116,11 @@ impl MemoryPlan {
     /// # Errors
     ///
     /// Returns [`AllocError`] if the level would overflow.
-    pub fn alloc(&mut self, label: impl Into<String>, bytes: usize) -> Result<&Allocation, AllocError> {
+    pub fn alloc(
+        &mut self,
+        label: impl Into<String>,
+        bytes: usize,
+    ) -> Result<&Allocation, AllocError> {
         let aligned = bytes.div_ceil(4) * 4;
         if aligned > self.available() {
             return Err(AllocError {

@@ -56,19 +56,21 @@ impl CycleBreakdown {
 /// Compute-only cycles for `macs` MAC operations of the given class with
 /// `out_channels` output channels (determines cluster utilization).
 ///
+/// MAC kernels pay two multiplicative utilization penalties: the empirical
+/// channel-count knee (small layers cannot amortize per-core ramp-up) and
+/// the exact DORY/PULP-NN partition raggedness of splitting `out_channels`
+/// across the cluster cores ([`Gap8Config::core_partition_utilization`]).
+///
 /// Pooling/elementwise "macs" are interpreted as output-element counts.
-pub fn compute_cycles(
-    cfg: &Gap8Config,
-    class: KernelClass,
-    macs: u64,
-    out_channels: usize,
-) -> u64 {
+pub fn compute_cycles(cfg: &Gap8Config, class: KernelClass, macs: u64, out_channels: usize) -> u64 {
     match class {
         KernelClass::Pool | KernelClass::Elementwise => {
             (macs as f64 / cfg.pool_elems_per_cycle).ceil() as u64
         }
         _ => {
-            let throughput = cfg.mac_per_cycle(class) * cfg.channel_utilization(out_channels);
+            let throughput = cfg.mac_per_cycle(class)
+                * cfg.channel_utilization(out_channels)
+                * cfg.core_partition_utilization(out_channels);
             (macs as f64 / throughput.max(1e-9)).ceil() as u64
         }
     }
@@ -92,6 +94,17 @@ mod tests {
         let narrow = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 4);
         let wide = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 64);
         assert!(narrow > wide);
+    }
+
+    #[test]
+    fn ragged_channel_count_costs_more_per_mac() {
+        // 33 output channels leave 7 of 8 cores idle in the last DORY
+        // round, so per-MAC cost exceeds the 32-channel layout even though
+        // the channel-knee utilization slightly improves.
+        let cfg = Gap8Config::default();
+        let aligned = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32);
+        let ragged = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 33);
+        assert!(ragged > aligned, "ragged {ragged} vs aligned {aligned}");
     }
 
     #[test]

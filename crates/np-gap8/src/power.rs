@@ -83,25 +83,39 @@ mod tests {
     #[test]
     fn dma_heavy_power_is_higher() {
         let pm = PowerModel::default();
-        let compute_only = CycleBreakdown { compute: 1000, dma_stall: 0, setup: 0 };
-        let dma_heavy = CycleBreakdown { compute: 600, dma_stall: 400, setup: 0 };
-        assert!(
-            pm.average_power_w(&dma_heavy, &cfg()) > pm.average_power_w(&compute_only, &cfg())
-        );
+        let compute_only = CycleBreakdown {
+            compute: 1000,
+            dma_stall: 0,
+            setup: 0,
+        };
+        let dma_heavy = CycleBreakdown {
+            compute: 600,
+            dma_stall: 400,
+            setup: 0,
+        };
+        assert!(pm.average_power_w(&dma_heavy, &cfg()) > pm.average_power_w(&compute_only, &cfg()));
     }
 
     #[test]
     fn power_envelope_below_100mw() {
         // Paper: the whole perception task fits a 90 mW envelope.
         let pm = PowerModel::default();
-        let worst = CycleBreakdown { compute: 0, dma_stall: 1_000_000, setup: 0 };
+        let worst = CycleBreakdown {
+            compute: 0,
+            dma_stall: 1_000_000,
+            setup: 0,
+        };
         assert!(pm.average_power_w(&worst, &cfg()) < 0.105);
     }
 
     #[test]
     fn energy_scales_linearly_with_time() {
         let pm = PowerModel::default();
-        let one = CycleBreakdown { compute: 100_000, dma_stall: 50_000, setup: 10_000 };
+        let one = CycleBreakdown {
+            compute: 100_000,
+            dma_stall: 50_000,
+            setup: 10_000,
+        };
         let two = one.add(&one);
         let e1 = pm.energy_mj(&one, &cfg());
         let e2 = pm.energy_mj(&two, &cfg());

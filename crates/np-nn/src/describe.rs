@@ -73,9 +73,7 @@ impl LayerDesc {
             LayerKind::MaxPool | LayerKind::AvgPool => {
                 spatial * self.out_channels as u64 * (self.kernel * self.kernel) as u64
             }
-            LayerKind::BatchNorm | LayerKind::Activation => {
-                spatial * self.out_channels as u64
-            }
+            LayerKind::BatchNorm | LayerKind::Activation => spatial * self.out_channels as u64,
             LayerKind::Reshape => 0,
         }
     }
@@ -175,7 +173,10 @@ mod tests {
     use super::*;
 
     fn conv(cin: usize, cout: usize, hw: (usize, usize), k: usize, s: usize) -> LayerDesc {
-        let out = ((hw.0 + 2 * (k / 2) - k) / s + 1, (hw.1 + 2 * (k / 2) - k) / s + 1);
+        let out = (
+            (hw.0 + 2 * (k / 2) - k) / s + 1,
+            (hw.1 + 2 * (k / 2) - k) / s + 1,
+        );
         LayerDesc {
             kind: LayerKind::Conv2d,
             name: format!("conv({cin}->{cout})"),

@@ -1,6 +1,7 @@
 //! The [`Layer`] trait and learnable [`Param`] storage.
 
 use crate::describe::LayerDesc;
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
 
 /// A learnable tensor and its accumulated gradient.
@@ -42,6 +43,14 @@ pub trait Layer: Send {
     /// in batch norm); inference callers pass `false`.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 
+    /// [`Layer::forward`] on an explicit execution context. Layers with
+    /// parallel kernels (convolutions) override this; the default ignores
+    /// the pool, which is correct for cheap elementwise layers.
+    fn forward_with(&mut self, pool: Pool, input: &Tensor, train: bool) -> Tensor {
+        let _ = pool;
+        self.forward(input, train)
+    }
+
     /// Back-propagates `grad_out` (gradient w.r.t. this layer's output),
     /// accumulates parameter gradients, and returns the gradient w.r.t. the
     /// layer's input.
@@ -50,6 +59,13 @@ pub trait Layer: Send {
     ///
     /// Implementations panic if called before `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::backward`] on an explicit execution context. Same contract
+    /// as [`Layer::forward_with`].
+    fn backward_with(&mut self, pool: Pool, grad_out: &Tensor) -> Tensor {
+        let _ = pool;
+        self.backward(grad_out)
+    }
 
     /// Mutable access to the layer's learnable parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;

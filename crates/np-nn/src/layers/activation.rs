@@ -61,7 +61,6 @@ impl Layer for Relu {
         (desc, input)
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

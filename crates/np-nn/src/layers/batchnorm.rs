@@ -98,7 +98,9 @@ impl BatchNorm2d {
     /// Panics if any slice length differs from the channel count.
     pub fn set_state(&mut self, gamma: &[f32], beta: &[f32], mean: &[f32], var: &[f32]) {
         assert!(
-            [gamma, beta, mean, var].iter().all(|s| s.len() == self.channels),
+            [gamma, beta, mean, var]
+                .iter()
+                .all(|s| s.len() == self.channels),
             "batchnorm state length mismatch"
         );
         self.gamma = Param::new(Tensor::from_slice(gamma));
@@ -249,7 +251,6 @@ impl Layer for BatchNorm2d {
         (desc, input)
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -277,7 +278,12 @@ mod tests {
         let x = Tensor::from_vec(&[2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let y = bn.forward(&x, true);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -1,12 +1,25 @@
 //! Standard and depthwise convolution layers with backward passes.
+//!
+//! Both directions take an explicit [`Pool`] through the `*_with` trait
+//! methods and parallelize over the batch dimension: forward items and
+//! input-gradient items own disjoint output slices, while weight/bias
+//! gradients reduce over fixed-size batch chunks ([`GRAD_CHUNK`] items)
+//! whose partials are summed on the calling thread in chunk order. Chunk
+//! boundaries depend only on the batch size, so results are
+//! bitwise-identical across pool sizes.
 
 use crate::describe::{LayerDesc, LayerKind};
 use crate::init::{Initializer, SmallRng};
 use crate::layer::{Layer, Param};
 use np_tensor::im2col::{col2im, im2col, Im2colSpec};
-use np_tensor::matmul::{matmul_a_bt, matmul_acc, matmul_at_b};
+use np_tensor::matmul::{matmul_a_bt_with, matmul_acc_with, matmul_at_b_with};
+use np_tensor::parallel::Pool;
 use np_tensor::shape::conv_out_dim;
 use np_tensor::Tensor;
+
+/// Batch items per weight-gradient reduction chunk. A pure function of the
+/// problem (never the thread count) so the reduction tree is fixed.
+const GRAD_CHUNK: usize = 8;
 
 /// Learnable 2-D convolution (square kernel, symmetric stride/padding).
 #[derive(Clone)]
@@ -104,6 +117,10 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.forward_with(Pool::global(), input, train)
+    }
+
+    fn forward_with(&mut self, pool: Pool, input: &Tensor, train: bool) -> Tensor {
         let d = input.shape();
         assert_eq!(d.len(), 4, "conv2d expects NCHW input");
         assert_eq!(d[1], self.in_channels, "conv2d channel mismatch");
@@ -114,26 +131,46 @@ impl Layer for Conv2d {
         let rows = spec.rows();
         let per_in = self.in_channels * h * w;
         let per_out = self.out_channels * cols;
+        let c_out = self.out_channels;
+        let xs = input.as_slice();
+        let weight = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+
+        // In train mode the lowered matrices are needed again by backward,
+        // so materialize them all (in parallel) up front.
+        let lowered_cache: Vec<Vec<f32>> = if train {
+            pool.map(n, |bi| im2col(&xs[bi * per_in..(bi + 1) * per_in], spec))
+        } else {
+            Vec::new()
+        };
 
         let mut out = vec![0.0; n * per_out];
-        let mut lowered_cache = Vec::with_capacity(if train { n } else { 0 });
-        for bi in 0..n {
-            let lowered = im2col(&input.as_slice()[bi * per_in..(bi + 1) * per_in], spec);
-            let dst = &mut out[bi * per_out..(bi + 1) * per_out];
-            for (ci, &bv) in self.bias.value.as_slice().iter().enumerate() {
+        let gemm = |dst: &mut [f32], lowered: &[f32], gemm_pool: Pool| {
+            for (ci, &bv) in bias.iter().enumerate() {
                 dst[ci * cols..(ci + 1) * cols].fill(bv);
             }
-            matmul_acc(
-                self.weight.value.as_slice(),
-                &lowered,
-                dst,
-                self.out_channels,
-                rows,
-                cols,
-            );
-            if train {
-                lowered_cache.push(lowered);
-            }
+            matmul_acc_with(gemm_pool, weight, lowered, dst, c_out, rows, cols);
+        };
+        if n == 1 {
+            // Single item: the GEMM itself is the parallel region.
+            let scratch;
+            let lowered: &[f32] = if train {
+                &lowered_cache[0]
+            } else {
+                scratch = im2col(&xs[..per_in], spec);
+                &scratch
+            };
+            gemm(&mut out, lowered, pool);
+        } else {
+            // Batched: one worker per item, serial GEMM inside.
+            pool.for_each_chunk(&mut out, per_out, |bi, dst| {
+                if train {
+                    gemm(dst, &lowered_cache[bi], Pool::serial());
+                } else {
+                    let lowered = im2col(&xs[bi * per_in..(bi + 1) * per_in], spec);
+                    gemm(dst, &lowered, Pool::serial());
+                }
+            });
         }
         self.cache = train.then_some(ConvCache {
             lowered: lowered_cache,
@@ -144,6 +181,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_with(Pool::global(), grad_out)
+    }
+
+    fn backward_with(&mut self, pool: Pool, grad_out: &Tensor) -> Tensor {
         let cache = self
             .cache
             .as_ref()
@@ -161,36 +202,58 @@ impl Layer for Conv2d {
 
         let per_out = self.out_channels * cols;
         let per_in = self.in_channels * h * w;
-        let mut grad_in = vec![0.0; n * per_in];
+        let c_out = self.out_channels;
         let go = grad_out.as_slice();
+        let weight = self.weight.value.as_slice();
+        let w_len = self.weight.grad.numel();
 
-        for bi in 0..n {
-            let gy = &go[bi * per_out..(bi + 1) * per_out];
-            // dW[Cout][rows] += gy[Cout][cols] * lowered^T[cols][rows]
-            matmul_a_bt(
-                gy,
-                &cache.lowered[bi],
-                self.weight.grad.as_mut_slice(),
-                self.out_channels,
-                cols,
-                rows,
-            );
-            // db += row sums of gy
-            for (ci, gb) in self.bias.grad.as_mut_slice().iter_mut().enumerate() {
-                *gb += gy[ci * cols..(ci + 1) * cols].iter().sum::<f32>();
+        // dW/db: per-chunk partials over fixed GRAD_CHUNK batch slices,
+        // computed in parallel, reduced below in chunk order.
+        let n_chunks = n.div_ceil(GRAD_CHUNK);
+        let partials: Vec<(Vec<f32>, Vec<f32>)> = pool.map(n_chunks, |ck| {
+            let mut dw = vec![0.0; w_len];
+            let mut db = vec![0.0; c_out];
+            for bi in ck * GRAD_CHUNK..((ck + 1) * GRAD_CHUNK).min(n) {
+                let gy = &go[bi * per_out..(bi + 1) * per_out];
+                // dW[Cout][rows] += gy[Cout][cols] * lowered^T[cols][rows]
+                matmul_a_bt_with(
+                    Pool::serial(),
+                    gy,
+                    &cache.lowered[bi],
+                    &mut dw,
+                    c_out,
+                    cols,
+                    rows,
+                );
+                // db += row sums of gy
+                for (ci, gb) in db.iter_mut().enumerate() {
+                    *gb += gy[ci * cols..(ci + 1) * cols].iter().sum::<f32>();
+                }
             }
+            (dw, db)
+        });
+
+        // dX: each batch item owns a disjoint slice of grad_in.
+        let mut grad_in = vec![0.0; n * per_in];
+        pool.for_each_chunk(&mut grad_in, per_in, |bi, dst| {
+            let gy = &go[bi * per_out..(bi + 1) * per_out];
             // dlowered[rows][cols] = W^T[rows][Cout] * gy[Cout][cols]
             let mut dlowered = vec![0.0; rows * cols];
-            matmul_at_b(
-                self.weight.value.as_slice(),
-                gy,
-                &mut dlowered,
-                rows,
-                self.out_channels,
-                cols,
-            );
+            matmul_at_b_with(Pool::serial(), weight, gy, &mut dlowered, rows, c_out, cols);
             let dx = col2im(&dlowered, spec);
-            grad_in[bi * per_in..(bi + 1) * per_in].copy_from_slice(&dx);
+            dst.copy_from_slice(&dx);
+        });
+
+        // Ordered reduction: chunk-ascending, on the calling thread.
+        let gw = self.weight.grad.as_mut_slice();
+        let gb = self.bias.grad.as_mut_slice();
+        for (dw, db) in &partials {
+            for (g, d) in gw.iter_mut().zip(dw.iter()) {
+                *g += d;
+            }
+            for (g, d) in gb.iter_mut().zip(db.iter()) {
+                *g += d;
+            }
         }
         Tensor::from_vec(&[n, self.in_channels, h, w], grad_in)
     }
@@ -221,7 +284,6 @@ impl Layer for Conv2d {
         };
         (desc, (self.out_channels, oh, ow))
     }
-
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
@@ -307,7 +369,12 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = np_tensor::conv::depthwise_conv2d(
+        self.forward_with(Pool::global(), input, train)
+    }
+
+    fn forward_with(&mut self, pool: Pool, input: &Tensor, train: bool) -> Tensor {
+        let out = np_tensor::conv::depthwise_conv2d_with(
+            pool,
             input,
             &self.weight.value,
             Some(&self.bias.value),
@@ -403,7 +470,6 @@ impl Layer for DepthwiseConv2d {
         };
         (desc, (c, oh, ow))
     }
-
 
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -47,7 +47,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask_data: Vec<f32> = (0..input.numel())
-            .map(|_| if self.rng.chance(keep as f64) { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.chance(keep as f64) {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(input.shape(), mask_data);
         let out = input.mul(&mask);

@@ -65,7 +65,6 @@ impl Layer for Flatten {
         (desc, (c * h * w, 1, 1))
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

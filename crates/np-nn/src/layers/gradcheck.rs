@@ -153,11 +153,24 @@ fn whole_network_gradient_spot_check() {
 
     let mut rng = SmallRng::seed(30);
     let mut net = Sequential::new(vec![
-        Box::new(super::Conv2d::new(1, 3, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+        Box::new(super::Conv2d::new(
+            1,
+            3,
+            3,
+            1,
+            1,
+            Initializer::KaimingUniform,
+            &mut rng,
+        )),
         Box::new(super::Relu::new()),
         Box::new(super::MaxPool2d::new(2, 2)),
         Box::new(super::Flatten::new()),
-        Box::new(super::Linear::new(3 * 2 * 2, 2, Initializer::KaimingUniform, &mut rng)),
+        Box::new(super::Linear::new(
+            3 * 2 * 2,
+            2,
+            Initializer::KaimingUniform,
+            &mut rng,
+        )),
     ]);
     let x = smooth_input(&[4, 1, 4, 4], &mut rng);
     let t = smooth_input(&[4, 2], &mut rng);

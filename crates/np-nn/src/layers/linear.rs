@@ -159,7 +159,6 @@ impl Layer for Linear {
         (desc, (self.out_features, 1, 1))
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

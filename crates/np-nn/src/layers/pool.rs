@@ -83,7 +83,6 @@ impl Layer for MaxPool2d {
         (desc, (c, oh, ow))
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -195,7 +194,6 @@ impl Layer for AvgPool2d {
         (desc, (c, oh, ow))
     }
 
-
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -278,7 +276,6 @@ impl Layer for GlobalAvgPool {
         };
         (desc, (c, 1, 1))
     }
-
 
     fn as_any(&self) -> &dyn std::any::Any {
         self

@@ -51,3 +51,6 @@ pub mod trainer;
 pub use describe::{LayerDesc, LayerKind, NetworkDesc};
 pub use layer::{Layer, Param};
 pub use sequential::Sequential;
+
+#[cfg(test)]
+mod proptests;

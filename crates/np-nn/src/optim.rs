@@ -58,7 +58,10 @@ impl Sgd {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.velocity.len(), params.len(), "parameter list changed");
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
@@ -139,7 +142,10 @@ impl Adam {
     /// Panics if the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
             self.v = self.m.clone();
         }
         assert_eq!(self.m.len(), params.len(), "parameter list changed");
@@ -147,7 +153,11 @@ impl Adam {
         let c = self.config;
         let bias1 = 1.0 - c.beta1.powi(self.t as i32);
         let bias2 = 1.0 - c.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let pv = p.value.as_mut_slice();
             let g = p.grad.as_slice();
             let mv = m.as_mut_slice();

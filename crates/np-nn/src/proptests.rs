@@ -1,0 +1,95 @@
+//! Property-based parity suites for the layer-level parallel paths.
+//!
+//! Training must be reproducible regardless of how many workers the
+//! execution context carries: forward activations, input gradients, and
+//! parameter gradients of the convolution layers have to be *bitwise*
+//! identical across pool widths. The layer kernels guarantee this by using
+//! partition-independent accumulation orders (see `np_tensor::matmul`) and
+//! fixed-shape gradient reductions (`GRAD_CHUNK` in `layers/conv.rs`).
+
+use crate::init::{Initializer, SmallRng};
+use crate::layer::Layer;
+use crate::layers::{Conv2d, DepthwiseConv2d};
+use np_tensor::parallel::Pool;
+use np_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic data fill for buffers whose size depends on drawn values.
+fn seeded_vec(tag: &str, seed: u64, n: usize) -> Vec<f32> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n).map(|_| (r.unit_f64() as f32) * 2.0 - 1.0).collect()
+}
+
+/// Runs forward(train) + backward on a fresh clone of `proto` with the
+/// given pool width and returns everything the optimizer would see.
+fn run_layer(
+    proto: &dyn Layer,
+    threads: usize,
+    input: &Tensor,
+    grad: &Tensor,
+) -> (Tensor, Tensor, Vec<Tensor>) {
+    let pool = Pool::new(threads);
+    let mut layer = proto.clone_box();
+    let y = layer.forward_with(pool, input, true);
+    let gx = layer.backward_with(pool, grad);
+    let grads = layer.params().iter().map(|p| p.grad.clone()).collect();
+    (y, gx, grads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conv_layer_training_step_bitwise_across_pools(
+        n in 1usize..5,
+        c_in in 1usize..4,
+        c_out in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        h in 4usize..8,
+        w in 4usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed(seed);
+        let proto: Box<dyn Layer> = Box::new(Conv2d::new(
+            c_in, c_out, kernel, stride, padding, Initializer::KaimingUniform, &mut rng,
+        ));
+        let input = Tensor::from_vec(&[n, c_in, h, w], seeded_vec("cl-x", seed, n * c_in * h * w));
+        // Probe the output shape, then build the output gradient.
+        let y1 = proto.clone().forward_with(Pool::serial(), &input, false);
+        let grad = Tensor::from_vec(y1.shape(), seeded_vec("cl-g", seed, y1.numel()));
+        let (y_serial, gx_serial, grads_serial) = run_layer(proto.as_ref(), 1, &input, &grad);
+        for threads in [2usize, 3, 8] {
+            let (y, gx, grads) = run_layer(proto.as_ref(), threads, &input, &grad);
+            prop_assert_eq!(&y, &y_serial, "forward, threads {}", threads);
+            prop_assert_eq!(&gx, &gx_serial, "grad_in, threads {}", threads);
+            prop_assert_eq!(&grads, &grads_serial, "param grads, threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn depthwise_layer_forward_bitwise_across_pools(
+        n in 1usize..5,
+        c in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        h in 4usize..8,
+        w in 4usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed(seed);
+        let proto: Box<dyn Layer> = Box::new(DepthwiseConv2d::new(
+            c, kernel, stride, padding, Initializer::KaimingUniform, &mut rng,
+        ));
+        let input = Tensor::from_vec(&[n, c, h, w], seeded_vec("dl-x", seed, n * c * h * w));
+        let mut serial = proto.clone();
+        let y_serial = serial.forward_with(Pool::serial(), &input, false);
+        for threads in [2usize, 8] {
+            let mut layer = proto.clone();
+            let y = layer.forward_with(Pool::new(threads), &input, false);
+            prop_assert_eq!(&y, &y_serial, "threads {}", threads);
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::describe::NetworkDesc;
 use crate::layer::{Layer, Param};
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
 
 /// A feed-forward chain of layers — sufficient for every network in the
@@ -45,34 +46,51 @@ impl Sequential {
         &mut self.layers
     }
 
-    /// Inference forward pass (no caches, batch-norm uses running stats).
+    /// Inference forward pass (no caches, batch-norm uses running stats),
+    /// on the global pool.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.run(input, false)
+        self.run_with(Pool::global(), input, false)
     }
 
-    /// Training forward pass (caches activations for [`Self::backward`]).
+    /// Training forward pass (caches activations for [`Self::backward`]),
+    /// on the global pool.
     pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
-        self.run(input, true)
+        self.run_with(Pool::global(), input, true)
     }
 
-    fn run(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// [`Self::forward`] on an explicit execution context.
+    pub fn forward_with(&mut self, pool: Pool, input: &Tensor) -> Tensor {
+        self.run_with(pool, input, false)
+    }
+
+    /// [`Self::forward_train`] on an explicit execution context.
+    pub fn forward_train_with(&mut self, pool: Pool, input: &Tensor) -> Tensor {
+        self.run_with(pool, input, true)
+    }
+
+    fn run_with(&mut self, pool: Pool, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+            x = layer.forward_with(pool, &x, train);
         }
         x
     }
 
     /// Back-propagates the loss gradient through every layer, accumulating
-    /// parameter gradients.
+    /// parameter gradients. Runs on the global pool.
     ///
     /// # Panics
     ///
     /// Panics if [`Self::forward_train`] has not been called first.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_with(Pool::global(), grad_out)
+    }
+
+    /// [`Self::backward`] on an explicit execution context.
+    pub fn backward_with(&mut self, pool: Pool, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward_with(pool, &g);
         }
         g
     }

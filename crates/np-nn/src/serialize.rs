@@ -204,8 +204,21 @@ mod tests {
     fn model(seed: u64) -> Sequential {
         let mut rng = SmallRng::seed(seed);
         Sequential::new(vec![
-            Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
-            Box::new(Linear::new(2 * 4 * 4, 3, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Conv2d::new(
+                1,
+                2,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
+            Box::new(Linear::new(
+                2 * 4 * 4,
+                3,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
         ])
     }
 
@@ -229,13 +242,23 @@ mod tests {
         let build = |seed: u64| {
             let mut rng = SmallRng::seed(seed);
             Sequential::new(vec![
-                Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng))
-                    as Box<dyn crate::Layer>,
+                Box::new(Conv2d::new(
+                    1,
+                    2,
+                    3,
+                    1,
+                    1,
+                    Initializer::KaimingUniform,
+                    &mut rng,
+                )) as Box<dyn crate::Layer>,
                 Box::new(BatchNorm2d::new(2)),
             ])
         };
         let mut src = build(1);
-        if let Some(bn) = src.layers_mut()[1].as_any_mut().downcast_mut::<BatchNorm2d>() {
+        if let Some(bn) = src.layers_mut()[1]
+            .as_any_mut()
+            .downcast_mut::<BatchNorm2d>()
+        {
             bn.set_state(&[1.5, 0.5], &[0.1, -0.1], &[3.0, -2.0], &[0.5, 4.0]);
         }
         let mut blob = Vec::new();

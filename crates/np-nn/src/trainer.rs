@@ -4,6 +4,7 @@ use crate::layer::Param;
 use crate::loss::{cross_entropy_loss, huber_loss, l1_loss, mse_loss};
 use crate::optim::{Adam, Sgd};
 use crate::sequential::Sequential;
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
 
 /// Ground truth for a training set.
@@ -187,8 +188,9 @@ fn batch_loss(
     targets: &TrainTarget,
     loss: LossKind,
     grad_scale: f32,
+    pool: Pool,
 ) -> f32 {
-    let pred = model.forward_train(inputs);
+    let pred = model.forward_train_with(pool, inputs);
     let (value, grad) = match (loss, targets) {
         (LossKind::L1, TrainTarget::Regression(t)) => l1_loss(&pred, t),
         (LossKind::Mse, TrainTarget::Regression(t)) => mse_loss(&pred, t),
@@ -196,7 +198,7 @@ fn batch_loss(
         (LossKind::CrossEntropy, TrainTarget::Classification(t)) => cross_entropy_loss(&pred, t),
         _ => panic!("loss kind does not match target kind"),
     };
-    model.backward(&grad.scale(grad_scale));
+    model.backward_with(pool, &grad.scale(grad_scale));
     value
 }
 
@@ -239,28 +241,34 @@ pub fn fit(
             }
             let batch_n = batch_idx.len();
             let loss_value = if threads == 1 || batch_n < 2 * threads {
+                // Single-model path: the kernels themselves parallelize
+                // (over batch items / GEMM rows) on a pool of this width.
                 let (bx, by) = data.gather(batch_idx);
                 model.zero_grad();
-                batch_loss(model, &bx, &by, config.loss, 1.0)
+                batch_loss(model, &bx, &by, config.loss, 1.0, Pool::new(threads))
             } else {
                 // Shard the batch across worker clones.
                 let shard = batch_n.div_ceil(threads);
                 let shards: Vec<&[usize]> = batch_idx.chunks(shard).collect();
                 let loss_kind = config.loss;
-                let results: Vec<f32> = crossbeam::thread::scope(|scope| {
+                let results: Vec<f32> = std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (worker, idxs) in workers.iter_mut().zip(shards.iter()) {
                         worker.copy_params_from(model);
                         worker.zero_grad();
                         let (bx, by) = data.gather(idxs);
                         let weight = idxs.len() as f32 / batch_n as f32;
-                        handles.push(scope.spawn(move |_| {
-                            batch_loss(worker, &bx, &by, loss_kind, weight) * weight
+                        // Workers run serial kernels: the batch shards ARE
+                        // the parallelism, nesting pools would oversubscribe.
+                        handles.push(scope.spawn(move || {
+                            batch_loss(worker, &bx, &by, loss_kind, weight, Pool::serial()) * weight
                         }));
                     }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                })
-                .expect("training scope panicked");
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                });
                 model.zero_grad();
                 for worker in &workers[..shards.len()] {
                     model.accumulate_grads_from(worker);
@@ -313,10 +321,23 @@ mod tests {
     fn toy_model(seed: u64) -> Sequential {
         let mut rng = SmallRng::seed(seed);
         Sequential::new(vec![
-            Box::new(Conv2d::new(1, 4, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Conv2d::new(
+                1,
+                4,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
             Box::new(Relu::new()),
             Box::new(Flatten::new()),
-            Box::new(Linear::new(4 * 16, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Linear::new(
+                4 * 16,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
         ])
     }
 
@@ -361,7 +382,11 @@ mod tests {
         };
         let mut m1 = toy_model(9);
         let mut m2 = m1.clone();
-        let mut o1 = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.0, weight_decay: 0.0 });
+        let mut o1 = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
         let mut o2 = o1.clone();
         let s1 = fit(&mut m1, &mut o1, &data, config(1));
         let s2 = fit(&mut m2, &mut o2, &data, config(4));
@@ -399,7 +424,11 @@ mod tests {
             Box::new(Flatten::new()),
             Box::new(Linear::new(16, 2, Initializer::XavierUniform, &mut rng)),
         ]);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         fit(
             &mut model,
             &mut opt,
@@ -426,13 +455,30 @@ mod tests {
         use crate::layers::BatchNorm2d;
         let data = toy_data(64, 3);
         let mut model = Sequential::new(vec![
-            Box::new(Conv2d::new(1, 4, 3, 1, 1, Initializer::KaimingUniform, &mut SmallRng::seed(2))),
+            Box::new(Conv2d::new(
+                1,
+                4,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut SmallRng::seed(2),
+            )),
             Box::new(BatchNorm2d::new(4)),
             Box::new(Relu::new()),
             Box::new(Flatten::new()),
-            Box::new(Linear::new(4 * 16, 1, Initializer::KaimingUniform, &mut SmallRng::seed(3))),
+            Box::new(Linear::new(
+                4 * 16,
+                1,
+                Initializer::KaimingUniform,
+                &mut SmallRng::seed(3),
+            )),
         ]);
-        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         fit(
             &mut model,
             &mut opt,
@@ -452,10 +498,7 @@ mod tests {
             .expect("layer 1 is batchnorm");
         // Inputs are uniform(-1,1) through a random conv: running variance
         // must have moved away from its 1.0 initialization.
-        let moved = bn
-            .running_var()
-            .iter()
-            .any(|&v| (v - 1.0).abs() > 1e-3)
+        let moved = bn.running_var().iter().any(|&v| (v - 1.0).abs() > 1e-3)
             || bn.running_mean().iter().any(|&m| m.abs() > 1e-4);
         assert!(moved, "running stats never left initialization");
 

@@ -51,10 +51,21 @@ mod tests {
     fn ranges_cover_activations() {
         let mut rng = SmallRng::seed(8);
         let mut net = Sequential::new(vec![
-            Box::new(Conv2d::new(1, 2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Conv2d::new(
+                1,
+                2,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
             Box::new(Relu::new()),
         ]);
-        let calib = Tensor::from_vec(&[2, 1, 4, 4], (0..32).map(|i| i as f32 * 0.1 - 1.6).collect());
+        let calib = Tensor::from_vec(
+            &[2, 1, 4, 4],
+            (0..32).map(|i| i as f32 * 0.1 - 1.6).collect(),
+        );
         let result = calibrate(&mut net, &calib);
         assert_eq!(result.outputs.len(), 2);
 

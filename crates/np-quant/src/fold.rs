@@ -87,16 +87,32 @@ mod tests {
             &[0.9, 1.5, 0.4],
         );
         let mut net = Sequential::new(vec![
-            Box::new(Conv2d::new(1, 3, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Conv2d::new(
+                1,
+                3,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
             Box::new(bn),
             Box::new(Relu::new()),
             Box::new(Flatten::new()),
-            Box::new(Linear::new(3 * 16, 2, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Linear::new(
+                3 * 16,
+                2,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
         ]);
         let mut folded = fold_batchnorm(&net);
         assert_eq!(folded.layers().len(), 4, "BN should disappear");
 
-        let x = Tensor::from_vec(&[2, 1, 4, 4], (0..32).map(|i| i as f32 * 0.05 - 0.8).collect());
+        let x = Tensor::from_vec(
+            &[2, 1, 4, 4],
+            (0..32).map(|i| i as f32 * 0.05 - 0.8).collect(),
+        );
         let want = net.forward(&x);
         let got = folded.forward(&x);
         assert!(got.allclose(&want, 1e-4), "{got:?} vs {want:?}");
@@ -108,7 +124,14 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         bn.set_state(&[2.0, 0.5], &[0.0, 1.0], &[0.1, 0.2], &[1.0, 0.25]);
         let mut net = Sequential::new(vec![
-            Box::new(DepthwiseConv2d::new(2, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(DepthwiseConv2d::new(
+                2,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
             Box::new(bn),
         ]);
         let mut folded = fold_batchnorm(&net);

@@ -1,8 +1,16 @@
 //! Integer-only inference kernels: i8 operands, i32 accumulators,
 //! fixed-point requantization. These mirror the PULP-NN kernels DORY emits
 //! for the GAP8 cluster.
+//!
+//! Standard convolution runs im2col-lowered (see [`crate::lowering`]) and
+//! parallelizes over output channels on an explicit [`Pool`]; the original
+//! direct six-loop walk is kept as [`qconv2d_reference`] and pinned to the
+//! fast path by exact-equality tests — integer arithmetic is associative,
+//! so the two agree bit for bit.
 
+use crate::lowering::{qgemm_row, qim2col};
 use crate::requant::{requantize_to_i8, FixedMultiplier};
+use np_tensor::parallel::Pool;
 
 /// Geometry of an integer convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +37,8 @@ impl QConvGeometry {
     }
 }
 
-/// Integer standard convolution over one CHW image.
+/// Integer standard convolution over one CHW image, im2col-lowered, on the
+/// global pool.
 ///
 /// * `input`: `C_in * H * W` i8 values with zero point `in_zp`
 /// * `weight`: `C_out * C_in * K * K` symmetric i8 (zero point 0)
@@ -42,6 +51,95 @@ impl QConvGeometry {
 /// Panics on size mismatches.
 #[allow(clippy::too_many_arguments)]
 pub fn qconv2d(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    qconv2d_with(
+        Pool::global(),
+        input,
+        h,
+        w,
+        in_zp,
+        geo,
+        weight,
+        bias,
+        mults,
+        out_zp,
+        relu,
+    )
+}
+
+/// [`qconv2d`] on an explicit pool, parallel over output channels.
+///
+/// Each worker requantizes one channel's [`qgemm_row`] accumulator into its
+/// disjoint slice of the output; integer math makes the result identical
+/// for every pool size.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d_with(
+    pool: Pool,
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    assert_eq!(input.len(), geo.in_channels * h * w, "input size");
+    let patch = geo.in_channels * geo.kernel * geo.kernel;
+    assert_eq!(weight.len(), geo.out_channels * patch, "weight size");
+    assert_eq!(bias.len(), geo.out_channels, "bias size");
+    assert_eq!(mults.len(), geo.out_channels, "multiplier count");
+
+    let (oh, ow) = geo.out_hw(h, w);
+    let cols = oh * ow;
+    let lowered = qim2col(input, h, w, in_zp, geo);
+    let mut out = vec![0i8; geo.out_channels * cols];
+    pool.for_each_chunk(&mut out, cols, |co, dst| {
+        let mut acc = vec![0i32; cols];
+        qgemm_row(
+            &weight[co * patch..(co + 1) * patch],
+            &lowered,
+            bias[co],
+            &mut acc,
+        );
+        let relu_floor = out_zp.clamp(-128, 127) as i8;
+        for (o, &a) in dst.iter_mut().zip(acc.iter()) {
+            let q = requantize_to_i8(a, mults[co], out_zp);
+            *o = if relu && (q as i32) < out_zp {
+                relu_floor
+            } else {
+                q
+            };
+        }
+    });
+    out
+}
+
+/// The direct six-loop convolution, kept as the obviously-correct reference
+/// for the lowered path. Same conventions as [`qconv2d`]; results are
+/// exactly equal.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv2d_reference(
     input: &[i8],
     h: usize,
     w: usize,
@@ -100,7 +198,7 @@ pub fn qconv2d(
     out
 }
 
-/// Integer depthwise convolution over one CHW image.
+/// Integer depthwise convolution over one CHW image, on the global pool.
 ///
 /// `weight` is `C * K * K`; all other conventions match [`qconv2d`].
 ///
@@ -109,6 +207,48 @@ pub fn qconv2d(
 /// Panics on size mismatches.
 #[allow(clippy::too_many_arguments)]
 pub fn qdepthwise_conv2d(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    qdepthwise_conv2d_with(
+        Pool::global(),
+        input,
+        h,
+        w,
+        in_zp,
+        channels,
+        kernel,
+        stride,
+        padding,
+        weight,
+        bias,
+        mults,
+        out_zp,
+        relu,
+    )
+}
+
+/// [`qdepthwise_conv2d`] on an explicit pool, parallel over channels (each
+/// channel is an independent plane, exactly the per-core split DORY uses
+/// for depthwise layers on the GAP8 cluster).
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qdepthwise_conv2d_with(
+    pool: Pool,
     input: &[i8],
     h: usize,
     w: usize,
@@ -133,7 +273,7 @@ pub fn qdepthwise_conv2d(
     let pad = padding as isize;
     let mut out = vec![0i8; channels * oh * ow];
 
-    for c in 0..channels {
+    pool.for_each_chunk(&mut out, oh * ow, |c, dst| {
         let plane = &input[c * h * w..(c + 1) * h * w];
         let kern = &weight[c * kernel * kernel..(c + 1) * kernel * kernel];
         for oy in 0..oh {
@@ -156,10 +296,10 @@ pub fn qdepthwise_conv2d(
                 if relu && (q as i32) < out_zp {
                     q = out_zp.clamp(-128, 127) as i8;
                 }
-                out[c * oh * ow + oy * ow + ox] = q;
+                dst[oy * ow + ox] = q;
             }
         }
-    }
+    });
     out
 }
 
@@ -294,8 +434,12 @@ mod tests {
         };
         let (h, w) = (5, 4);
         // Float data.
-        let xf: Vec<f32> = (0..2 * h * w).map(|i| ((i * 7 % 13) as f32 / 13.0) - 0.4).collect();
-        let wf: Vec<f32> = (0..3 * 2 * 9).map(|i| ((i * 5 % 11) as f32 / 11.0) - 0.5).collect();
+        let xf: Vec<f32> = (0..2 * h * w)
+            .map(|i| ((i * 7 % 13) as f32 / 13.0) - 0.4)
+            .collect();
+        let wf: Vec<f32> = (0..3 * 2 * 9)
+            .map(|i| ((i * 5 % 11) as f32 / 11.0) - 0.5)
+            .collect();
         let bf = [0.1f32, -0.2, 0.05];
 
         // Quantize.
@@ -305,11 +449,25 @@ mod tests {
         let out_p = QuantParams::from_range(-2.0, 2.0);
         let xq = in_p.quantize_slice(&xf);
         let wq = w_p.quantize_slice(&wf);
-        let bias: Vec<i32> = bf.iter().map(|&b| (b / (in_p.scale * w_p.scale)).round() as i32).collect();
+        let bias: Vec<i32> = bf
+            .iter()
+            .map(|&b| (b / (in_p.scale * w_p.scale)).round() as i32)
+            .collect();
         let mult = FixedMultiplier::from_real(in_p.scale * w_p.scale / out_p.scale);
         let mults = vec![mult; 3];
 
-        let got = qconv2d(&xq, h, w, in_p.zero_point, geo, &wq, &bias, &mults, out_p.zero_point, false);
+        let got = qconv2d(
+            &xq,
+            h,
+            w,
+            in_p.zero_point,
+            geo,
+            &wq,
+            &bias,
+            &mults,
+            out_p.zero_point,
+            false,
+        );
 
         // Float reference.
         let xt = np_tensor::Tensor::from_vec(&[1, 2, h, w], xf);
@@ -319,7 +477,10 @@ mod tests {
             &xt,
             &wt,
             Some(&bt),
-            np_tensor::conv::Conv2dSpec { stride: 1, padding: 1 },
+            np_tensor::conv::Conv2dSpec {
+                stride: 1,
+                padding: 1,
+            },
         );
 
         for (q, &f) in got.iter().zip(want.as_slice().iter()) {
@@ -348,6 +509,57 @@ mod tests {
         // First output is very negative -> clamped to zp (-10).
         assert_eq!(out[0], -10);
         assert!(out[1] > -10);
+    }
+
+    #[test]
+    fn lowered_equals_reference_exactly() {
+        // Integer arithmetic: the lowered path must match the direct loop
+        // bit for bit, across strides, paddings, and pool sizes.
+        let mut s = 99u64;
+        let mut pseudo_i8 = move |n: usize| -> Vec<i8> {
+            (0..n)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as i8
+                })
+                .collect()
+        };
+        for (cin, cout, k, stride, padding, h, w) in [
+            (1, 1, 1, 1, 0, 4, 4),
+            (2, 3, 3, 1, 1, 6, 5),
+            (3, 4, 5, 2, 2, 9, 8),
+            (2, 2, 3, 2, 0, 7, 7),
+            (1, 5, 3, 3, 1, 10, 6),
+        ] {
+            let geo = QConvGeometry {
+                in_channels: cin,
+                out_channels: cout,
+                kernel: k,
+                stride,
+                padding,
+            };
+            let input = pseudo_i8(cin * h * w);
+            let weight = pseudo_i8(cout * cin * k * k);
+            let bias: Vec<i32> = (0..cout as i32).map(|i| i * 17 - 20).collect();
+            let mults = vec![FixedMultiplier::from_real(0.03); cout];
+            let want = qconv2d_reference(&input, h, w, 3, geo, &weight, &bias, &mults, -5, true);
+            for threads in [1, 2, 8] {
+                let got = qconv2d_with(
+                    Pool::new(threads),
+                    &input,
+                    h,
+                    w,
+                    3,
+                    geo,
+                    &weight,
+                    &bias,
+                    &mults,
+                    -5,
+                    true,
+                );
+                assert_eq!(got, want, "geo {geo:?} at {threads} threads");
+            }
+        }
     }
 
     #[test]

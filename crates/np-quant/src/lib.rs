@@ -40,6 +40,7 @@
 pub mod calibrate;
 pub mod fold;
 pub mod kernels;
+pub mod lowering;
 pub mod qat;
 pub mod qnetwork;
 pub mod qparams;
@@ -47,3 +48,6 @@ pub mod requant;
 
 pub use qnetwork::QuantizedNetwork;
 pub use qparams::{MinMaxObserver, QuantParams};
+
+#[cfg(test)]
+mod proptests;

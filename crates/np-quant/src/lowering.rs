@@ -1,0 +1,120 @@
+//! im2col lowering and the integer GEMM microkernel behind [`qconv2d`].
+//!
+//! The direct six-loop convolution in `kernels.rs` walks the input with a
+//! bounds check per tap; lowering first materializes every receptive-field
+//! patch as a column of a `(C_in*K*K) x (H_out*W_out)` i16 matrix — with the
+//! input zero point already subtracted, so padding cells are plain zeros —
+//! and then reduces each output channel to a branch-free dot-row over that
+//! matrix. This is the same restructuring PULP-NN applies on GAP8, where
+//! the inner loop becomes a `SumDotp` over contiguous memory.
+//!
+//! All arithmetic is integer (i16 operands, i32 accumulation), so results
+//! are exactly equal to the direct reference and independent of how work is
+//! partitioned across threads.
+//!
+//! [`qconv2d`]: crate::kernels::qconv2d
+
+use crate::kernels::QConvGeometry;
+
+/// Lowers one CHW i8 image into the im2col matrix for `geo`.
+///
+/// Row `ci*K*K + ky*K + kx`, column `oy*W_out + ox` holds
+/// `input[ci][oy*s + ky - p][ox*s + kx - p] - in_zp`, or `0` when the tap
+/// lands in the padding (the pad value *is* the zero point, so its centered
+/// value is exactly zero). `x - in_zp` spans at most `[-255, 255]`, which
+/// fits i16 with room to spare.
+pub fn qim2col(input: &[i8], h: usize, w: usize, in_zp: i32, geo: QConvGeometry) -> Vec<i16> {
+    assert_eq!(input.len(), geo.in_channels * h * w, "input size");
+    let (oh, ow) = geo.out_hw(h, w);
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let cols = oh * ow;
+    let mut lowered = vec![0i16; geo.in_channels * k * k * cols];
+
+    for ci in 0..geo.in_channels {
+        let plane = &input[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let dst = &mut lowered[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = oy as isize * geo.stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // row of padding: stays zero
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = ox as isize * geo.stride as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            dst[oy * ow + ox] = (src_row[ix as usize] as i32 - in_zp) as i16;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    lowered
+}
+
+/// One GEMM row: `acc[col] = bias + sum_r weight[r] * lowered[r][col]`.
+///
+/// `weight` is one output channel's flattened `C_in*K*K` i8 filter;
+/// `lowered` is the [`qim2col`] matrix; `acc` has `cols` i32 slots. The
+/// axpy-over-rows order keeps the inner loop a contiguous i16-by-scalar
+/// multiply-accumulate that LLVM vectorizes.
+pub fn qgemm_row(weight: &[i8], lowered: &[i16], bias: i32, acc: &mut [i32]) {
+    let cols = acc.len();
+    assert_eq!(lowered.len(), weight.len() * cols, "lowered size");
+    acc.fill(bias);
+    for (r, &wv) in weight.iter().enumerate() {
+        let wv = wv as i32;
+        let row = &lowered[r * cols..(r + 1) * cols];
+        for (a, &x) in acc.iter_mut().zip(row.iter()) {
+            *a += wv * x as i32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qim2col_identity_1x1() {
+        let geo = QConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let input = vec![5i8, -3, 0, 7];
+        let lowered = qim2col(&input, 2, 2, 2, geo);
+        assert_eq!(lowered, vec![3, -5, -2, 5]);
+    }
+
+    #[test]
+    fn qim2col_padding_cells_are_zero() {
+        let geo = QConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        // Constant image equal to the zero point: every centered value is 0,
+        // so the whole lowered matrix must be zeros (padding included).
+        let input = vec![4i8; 9];
+        let lowered = qim2col(&input, 3, 3, 4, geo);
+        assert!(lowered.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn qgemm_row_known_dot() {
+        // 2 rows x 3 cols, weight [2, -1], bias 10.
+        let lowered = vec![1i16, 2, 3, 4, 5, 6];
+        let mut acc = vec![0i32; 3];
+        qgemm_row(&[2, -1], &lowered, 10, &mut acc);
+        assert_eq!(acc, vec![10 + 2 - 4, 10 + 4 - 5, 10 + 6 - 6]);
+    }
+}

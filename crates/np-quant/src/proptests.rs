@@ -1,0 +1,101 @@
+//! Property-based parity suites for the integer kernels.
+//!
+//! The im2col-lowered conv path and the pooled kernels must agree with the
+//! direct reference loops *exactly* — integer arithmetic has no tolerance
+//! to hide behind — across random geometries including stride and padding
+//! edge cases, and across every pool width.
+
+use crate::kernels::{
+    qconv2d_reference, qconv2d_with, qdepthwise_conv2d, qdepthwise_conv2d_with, QConvGeometry,
+};
+use crate::requant::FixedMultiplier;
+use np_tensor::parallel::Pool;
+use proptest::prelude::*;
+
+/// Deterministic i8 fill for buffers whose size depends on drawn values.
+fn seeded_i8(tag: &str, seed: u64, n: usize) -> Vec<i8> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n).map(|_| (r.next_u64() & 0xff) as u8 as i8).collect()
+}
+
+/// Per-channel requantization multipliers spread over realistic scales.
+fn seeded_mults(tag: &str, seed: u64, n: usize) -> Vec<FixedMultiplier> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n)
+        .map(|_| FixedMultiplier::from_real(0.0005 + 0.2 * r.unit_f64() as f32))
+        .collect()
+}
+
+fn seeded_bias(tag: &str, seed: u64, n: usize) -> Vec<i32> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n).map(|_| (r.index(4001) as i32) - 2000).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lowered_qconv2d_equals_reference_exactly(
+        in_channels in 1usize..4,
+        out_channels in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..4,
+        padding in 0usize..3,
+        h in 4usize..10,
+        w in 4usize..10,
+        in_zp in -20i32..20,
+        out_zp in -20i32..20,
+        relu_sel in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let geo = QConvGeometry { in_channels, out_channels, kernel, stride, padding };
+        let relu = relu_sel == 1;
+        let input = seeded_i8("qc-x", seed, in_channels * h * w);
+        let weight = seeded_i8("qc-w", seed, out_channels * in_channels * kernel * kernel);
+        let bias = seeded_bias("qc-b", seed, out_channels);
+        let mults = seeded_mults("qc-m", seed, out_channels);
+
+        let reference =
+            qconv2d_reference(&input, h, w, in_zp, geo, &weight, &bias, &mults, out_zp, relu);
+        for threads in [1usize, 2, 8] {
+            let got = qconv2d_with(
+                Pool::new(threads),
+                &input, h, w, in_zp, geo, &weight, &bias, &mults, out_zp, relu,
+            );
+            prop_assert_eq!(&got, &reference, "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn qdepthwise_pool_parity_is_exact(
+        channels in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..4,
+        padding in 0usize..3,
+        h in 4usize..10,
+        w in 4usize..10,
+        in_zp in -20i32..20,
+        out_zp in -20i32..20,
+        relu_sel in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let relu = relu_sel == 1;
+        let input = seeded_i8("qd-x", seed, channels * h * w);
+        let weight = seeded_i8("qd-w", seed, channels * kernel * kernel);
+        let bias = seeded_bias("qd-b", seed, channels);
+        let mults = seeded_mults("qd-m", seed, channels);
+
+        let serial = qdepthwise_conv2d(
+            &input, h, w, in_zp, channels, kernel, stride, padding,
+            &weight, &bias, &mults, out_zp, relu,
+        );
+        for threads in [2usize, 8] {
+            let got = qdepthwise_conv2d_with(
+                Pool::new(threads),
+                &input, h, w, in_zp, channels, kernel, stride, padding,
+                &weight, &bias, &mults, out_zp, relu,
+            );
+            prop_assert_eq!(&got, &serial, "threads {}", threads);
+        }
+    }
+}

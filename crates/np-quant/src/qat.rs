@@ -174,7 +174,15 @@ mod tests {
     fn toy_model(seed: u64) -> Sequential {
         let mut rng = SmallRng::seed(seed);
         Sequential::new(vec![
-            Box::new(Conv2d::new(1, 4, 3, 1, 1, Initializer::KaimingUniform, &mut rng)),
+            Box::new(Conv2d::new(
+                1,
+                4,
+                3,
+                1,
+                1,
+                Initializer::KaimingUniform,
+                &mut rng,
+            )),
             Box::new(Relu::new()),
             Box::new(Flatten::new()),
             Box::new(Linear::new(64, 1, Initializer::KaimingUniform, &mut rng)),
@@ -198,7 +206,11 @@ mod tests {
         let mut q = m.clone();
         fake_quantize_weights(&mut q);
         for (a, b) in m.params().iter().zip(q.params().iter()) {
-            let absmax = a.value.as_slice().iter().fold(0.0f32, |x, &y| x.max(y.abs()));
+            let absmax = a
+                .value
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |x, &y| x.max(y.abs()));
             for (x, y) in a.value.as_slice().iter().zip(b.value.as_slice().iter()) {
                 assert!((x - y).abs() <= absmax / 127.0 + 1e-6);
             }
@@ -210,7 +222,11 @@ mod tests {
         let data = toy_data(256, 3);
         let mut model = toy_model(4);
         // Pre-train in full precision.
-        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         fit(
             &mut model,
             &mut opt,
@@ -229,7 +245,9 @@ mod tests {
             let mut q = m.clone();
             fake_quantize_weights(&mut q);
             let pred = q.forward(&data.inputs);
-            let TrainTarget::Regression(t) = &data.targets else { unreachable!() };
+            let TrainTarget::Regression(t) = &data.targets else {
+                unreachable!()
+            };
             l1_loss(&pred, t).0
         };
         let ptq_loss = eval_quantized(&model);

@@ -2,11 +2,16 @@
 
 use crate::calibrate::calibrate;
 use crate::fold::fold_batchnorm;
-use crate::kernels::{qavg_pool2d, qconv2d, qdepthwise_conv2d, qlinear, qmax_pool2d, QConvGeometry};
+use crate::kernels::{
+    qavg_pool2d, qconv2d_with, qdepthwise_conv2d_with, qlinear, qmax_pool2d, QConvGeometry,
+};
 use crate::qparams::QuantParams;
 use crate::requant::FixedMultiplier;
-use np_nn::layers::{AvgPool2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu};
+use np_nn::layers::{
+    AvgPool2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+};
 use np_nn::{LayerKind, Sequential};
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
 
 /// One operator of a quantized network.
@@ -88,8 +93,7 @@ impl QuantizedNetwork {
         while i < layers.len() {
             let any = layers[i].as_any();
             // Fuse a directly-following ReLU into weighted producers.
-            let next_is_relu =
-                i + 1 < layers.len() && layers[i + 1].as_any().is::<Relu>();
+            let next_is_relu = i + 1 < layers.len() && layers[i + 1].as_any().is::<Relu>();
 
             if let Some(conv) = any.downcast_ref::<Conv2d>() {
                 let out_idx = if next_is_relu { i + 1 } else { i };
@@ -217,26 +221,39 @@ impl QuantizedNetwork {
     }
 
     /// Runs the integer network on a float NCHW batch: quantize → int8
-    /// pipeline → dequantize.
+    /// pipeline → dequantize. Runs on the global pool.
     ///
     /// # Panics
     ///
     /// Panics if the input is not rank 4.
     pub fn forward(&self, input: &Tensor) -> Tensor {
+        self.forward_with(Pool::global(), input)
+    }
+
+    /// [`Self::forward`] on an explicit execution context.
+    ///
+    /// Batches of more than one image run batch-parallel with serial layer
+    /// kernels per image; a single image runs its layer kernels on `pool`.
+    /// Integer arithmetic is exact, so the result is independent of the
+    /// partition either way.
+    pub fn forward_with(&self, pool: Pool, input: &Tensor) -> Tensor {
         let d = input.shape();
         assert_eq!(d.len(), 4, "expected NCHW input");
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let per = c * h * w;
-        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
-        let mut out_dim = 0;
-        for bi in 0..n {
+        let item = |bi: usize, item_pool: Pool| -> Vec<f32> {
             let xq = self
                 .input_params
                 .quantize_slice(&input.as_slice()[bi * per..(bi + 1) * per]);
-            let (yq, _) = self.run_int(&xq, (c, h, w));
-            out_dim = yq.len();
-            rows.push(self.output_params.dequantize_slice(&yq));
-        }
+            let (yq, _) = self.run_int_with(item_pool, &xq, (c, h, w));
+            self.output_params.dequantize_slice(&yq)
+        };
+        let rows: Vec<Vec<f32>> = if n > 1 {
+            pool.map(n, |bi| item(bi, Pool::serial()))
+        } else {
+            (0..n).map(|bi| item(bi, pool)).collect()
+        };
+        let out_dim = rows.first().map_or(0, Vec::len);
         let mut flat = Vec::with_capacity(n * out_dim);
         for r in rows {
             flat.extend(r);
@@ -245,8 +262,23 @@ impl QuantizedNetwork {
     }
 
     /// Runs the integer pipeline on an already-quantized CHW image,
-    /// returning the raw i8 outputs and their shape.
-    pub fn run_int(&self, input: &[i8], chw: (usize, usize, usize)) -> (Vec<i8>, (usize, usize, usize)) {
+    /// returning the raw i8 outputs and their shape. Runs on the global
+    /// pool.
+    pub fn run_int(
+        &self,
+        input: &[i8],
+        chw: (usize, usize, usize),
+    ) -> (Vec<i8>, (usize, usize, usize)) {
+        self.run_int_with(Pool::global(), input, chw)
+    }
+
+    /// [`Self::run_int`] on an explicit execution context.
+    pub fn run_int_with(
+        &self,
+        pool: Pool,
+        input: &[i8],
+        chw: (usize, usize, usize),
+    ) -> (Vec<i8>, (usize, usize, usize)) {
         let _ = self.input_chw; // reserved for shape validation hooks
         let (mut c, mut h, mut w) = chw;
         let mut x = input.to_vec();
@@ -261,7 +293,19 @@ impl QuantizedNetwork {
                     out,
                     relu,
                 } => {
-                    x = qconv2d(&x, h, w, zp, *geo, weight, bias, mults, out.zero_point, *relu);
+                    x = qconv2d_with(
+                        pool,
+                        &x,
+                        h,
+                        w,
+                        zp,
+                        *geo,
+                        weight,
+                        bias,
+                        mults,
+                        out.zero_point,
+                        *relu,
+                    );
                     let (oh, ow) = geo.out_hw(h, w);
                     c = geo.out_channels;
                     h = oh;
@@ -279,9 +323,21 @@ impl QuantizedNetwork {
                     out,
                     relu,
                 } => {
-                    x = qdepthwise_conv2d(
-                        &x, h, w, zp, *channels, *kernel, *stride, *padding, weight, bias, mults,
-                        out.zero_point, *relu,
+                    x = qdepthwise_conv2d_with(
+                        pool,
+                        &x,
+                        h,
+                        w,
+                        zp,
+                        *channels,
+                        *kernel,
+                        *stride,
+                        *padding,
+                        weight,
+                        bias,
+                        mults,
+                        out.zero_point,
+                        *relu,
                     );
                     h = (h + 2 * padding - kernel) / stride + 1;
                     w = (w + 2 * padding - kernel) / stride + 1;
@@ -295,7 +351,16 @@ impl QuantizedNetwork {
                     out,
                     relu,
                 } => {
-                    x = qlinear(&x, zp, weight, bias, mults, *out_features, out.zero_point, *relu);
+                    x = qlinear(
+                        &x,
+                        zp,
+                        weight,
+                        bias,
+                        mults,
+                        *out_features,
+                        out.zero_point,
+                        *relu,
+                    );
                     c = *out_features;
                     h = 1;
                     w = 1;
@@ -465,7 +530,10 @@ mod tests {
         let qnet = QuantizedNetwork::quantize(&net, &calib);
         // conv(+bn+relu fused), maxpool, conv(+relu fused), flatten, linear
         let kinds = qnet.kinds();
-        assert!(!kinds.contains(&LayerKind::Activation), "relu not fused: {kinds:?}");
+        assert!(
+            !kinds.contains(&LayerKind::Activation),
+            "relu not fused: {kinds:?}"
+        );
         assert!(!kinds.contains(&LayerKind::BatchNorm));
         assert_eq!(kinds.iter().filter(|k| **k == LayerKind::Conv2d).count(), 2);
     }

@@ -55,7 +55,11 @@ impl FixedMultiplier {
             return prod.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
         }
         let round = 1i64 << (shift - 1);
-        let rounded = if prod >= 0 { prod + round } else { prod - round };
+        let rounded = if prod >= 0 {
+            prod + round
+        } else {
+            prod - round
+        };
         (rounded >> shift).clamp(i32::MIN as i64, i32::MAX as i64) as i32
     }
 

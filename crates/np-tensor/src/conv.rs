@@ -1,7 +1,15 @@
 //! Convolution kernels: standard, depthwise, and slow reference versions.
+//!
+//! The fast paths take an explicit [`Pool`] via the `*_with` entry points
+//! (the plain names run on [`Pool::global`]). Batched inputs parallelize
+//! over the batch dimension — each item's im2col + GEMM runs serially
+//! inside one worker, so an item's result is the same bits no matter which
+//! worker computes it. Single-item inputs fall through to the row-parallel
+//! GEMM, which is itself bitwise-deterministic across pool sizes.
 
 use crate::im2col::{im2col, Im2colSpec};
-use crate::matmul::matmul_acc;
+use crate::matmul::matmul_acc_with;
+use crate::parallel::Pool;
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
 
@@ -23,7 +31,7 @@ impl Default for Conv2dSpec {
     }
 }
 
-/// Standard 2-D convolution via `im2col` + GEMM.
+/// Standard 2-D convolution via `im2col` + GEMM on the global pool.
 ///
 /// * `input`: `[N, C_in, H, W]`
 /// * `weight`: `[C_out, C_in, K, K]`
@@ -35,10 +43,25 @@ impl Default for Conv2dSpec {
 ///
 /// Panics on any shape inconsistency.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    conv2d_with(Pool::global(), input, weight, bias, spec)
+}
+
+/// [`conv2d`] on an explicit pool: batch-parallel for `N > 1`, row-parallel
+/// GEMM for a single item.
+pub fn conv2d_with(
+    pool: Pool,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
     let [n, c_in, h, w] = dims4(input, "conv2d input");
     let [c_out, wc_in, k, k2] = dims4(weight, "conv2d weight");
     assert_eq!(k, k2, "conv2d requires square kernels");
-    assert_eq!(c_in, wc_in, "channel mismatch: input {c_in}, weight {wc_in}");
+    assert_eq!(
+        c_in, wc_in,
+        "channel mismatch: input {c_in}, weight {wc_in}"
+    );
     if let Some(b) = bias {
         assert_eq!(b.numel(), c_out, "bias length mismatch");
     }
@@ -58,21 +81,35 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     let per_out = c_out * cols;
 
     let mut out = vec![0.0; n * per_out];
-    for bi in 0..n {
+    let item = |bi: usize, dst: &mut [f32], gemm_pool: Pool| {
         let lowered = im2col(&input.as_slice()[bi * per_in..(bi + 1) * per_in], ispec);
-        let dst = &mut out[bi * per_out..(bi + 1) * per_out];
         if let Some(b) = bias {
             for (ci, &bv) in b.as_slice().iter().enumerate() {
                 dst[ci * cols..(ci + 1) * cols].fill(bv);
             }
         }
-        matmul_acc(weight.as_slice(), &lowered, dst, c_out, rows, cols);
+        matmul_acc_with(
+            gemm_pool,
+            weight.as_slice(),
+            &lowered,
+            dst,
+            c_out,
+            rows,
+            cols,
+        );
+    };
+    if n > 1 {
+        // One worker per batch item; serial GEMM inside so workers never nest.
+        pool.for_each_chunk(&mut out, per_out, |bi, dst| item(bi, dst, Pool::serial()));
+    } else if n == 1 {
+        item(0, &mut out, pool);
     }
     Tensor::from_vec(&[n, c_out, oh, ow], out)
 }
 
-/// Depthwise 2-D convolution: each input channel is convolved with its own
-/// single-channel kernel (groups = channels, multiplier 1).
+/// Depthwise 2-D convolution on the global pool: each input channel is
+/// convolved with its own single-channel kernel (groups = channels,
+/// multiplier 1).
 ///
 /// * `input`: `[N, C, H, W]`
 /// * `weight`: `[C, 1, K, K]`
@@ -82,6 +119,19 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
 ///
 /// Panics on any shape inconsistency.
 pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    depthwise_conv2d_with(Pool::global(), input, weight, bias, spec)
+}
+
+/// [`depthwise_conv2d`] on an explicit pool, parallel over `(batch, channel)`
+/// planes. Each plane is an independent output slice computed by the same
+/// scalar kernel regardless of the partition.
+pub fn depthwise_conv2d_with(
+    pool: Pool,
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
@@ -101,32 +151,30 @@ pub fn depthwise_conv2d(
     let pad = spec.padding as isize;
     let mut out = vec![0.0; n * c * oh * ow];
 
-    for bi in 0..n {
-        for ci in 0..c {
-            let plane = &input.as_slice()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
-            let kern = &weight.as_slice()[ci * k * k..(ci + 1) * k * k];
-            let bias_v = bias.map_or(0.0, |b| b.as_slice()[ci]);
-            let dst = &mut out[(bi * c + ci) * oh * ow..(bi * c + ci + 1) * oh * ow];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bias_v;
-                    for ky in 0..k {
-                        let iy = oy as isize * spec.stride as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = ox as isize * spec.stride as isize + kx as isize - pad;
-                            if ix >= 0 && ix < w as isize {
-                                acc += kern[ky * k + kx] * plane[iy as usize * w + ix as usize];
-                            }
+    pool.for_each_chunk(&mut out, oh * ow, |plane, dst| {
+        let (bi, ci) = (plane / c, plane % c);
+        let plane_src = &input.as_slice()[(bi * c + ci) * h * w..(bi * c + ci + 1) * h * w];
+        let kern = &weight.as_slice()[ci * k * k..(ci + 1) * k * k];
+        let bias_v = bias.map_or(0.0, |b| b.as_slice()[ci]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias_v;
+                for ky in 0..k {
+                    let iy = oy as isize * spec.stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = ox as isize * spec.stride as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            acc += kern[ky * k + kx] * plane_src[iy as usize * w + ix as usize];
                         }
                     }
-                    dst[oy * ow + ox] = acc;
                 }
+                dst[oy * ow + ox] = acc;
             }
         }
-    }
+    });
     Tensor::from_vec(&[n, c, oh, ow], out)
 }
 
@@ -196,13 +244,51 @@ mod tests {
         let weight = Tensor::from_vec(&[4, 3, 3, 3], pseudo(4 * 3 * 3 * 3, 2));
         let bias = Tensor::from_vec(&[4], pseudo(4, 3));
         for spec in [
-            Conv2dSpec { stride: 1, padding: 0 },
-            Conv2dSpec { stride: 1, padding: 1 },
-            Conv2dSpec { stride: 2, padding: 1 },
+            Conv2dSpec {
+                stride: 1,
+                padding: 0,
+            },
+            Conv2dSpec {
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dSpec {
+                stride: 2,
+                padding: 1,
+            },
         ] {
             let fast = conv2d(&input, &weight, Some(&bias), spec);
             let slow = conv2d_reference(&input, &weight, Some(&bias), spec);
             assert!(fast.allclose(&slow, 1e-4), "mismatch at {spec:?}");
+        }
+    }
+
+    #[test]
+    fn pool_sizes_agree_bitwise() {
+        let input = Tensor::from_vec(&[3, 4, 9, 8], pseudo(3 * 4 * 9 * 8, 21));
+        let weight = Tensor::from_vec(&[6, 4, 3, 3], pseudo(6 * 4 * 9, 22));
+        let bias = Tensor::from_vec(&[6], pseudo(6, 23));
+        let spec = Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        };
+        let base = conv2d_with(Pool::serial(), &input, &weight, Some(&bias), spec);
+        let dw_weight = Tensor::from_vec(&[4, 1, 3, 3], pseudo(36, 24));
+        let dw_base = depthwise_conv2d_with(Pool::serial(), &input, &dw_weight, None, spec);
+        for threads in [2, 5, 8] {
+            let pool = Pool::new(threads);
+            let got = conv2d_with(pool, &input, &weight, Some(&bias), spec);
+            assert_eq!(
+                got.as_slice(),
+                base.as_slice(),
+                "conv2d at {threads} threads"
+            );
+            let dw = depthwise_conv2d_with(pool, &input, &dw_weight, None, spec);
+            assert_eq!(
+                dw.as_slice(),
+                dw_base.as_slice(),
+                "depthwise at {threads} threads"
+            );
         }
     }
 
@@ -212,7 +298,10 @@ mod tests {
         let c = 3;
         let input = Tensor::from_vec(&[1, c, 6, 5], pseudo(c * 30, 7));
         let dw_weight = Tensor::from_vec(&[c, 1, 3, 3], pseudo(c * 9, 8));
-        let spec = Conv2dSpec { stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            stride: 1,
+            padding: 1,
+        };
 
         let mut full = Tensor::zeros(&[c, c, 3, 3]);
         for ci in 0..c {
@@ -232,7 +321,15 @@ mod tests {
         let input = Tensor::from_vec(&[1, 1, 4, 4], pseudo(16, 11));
         let mut weight = Tensor::zeros(&[1, 1, 3, 3]);
         weight.set(&[0, 0, 1, 1], 1.0);
-        let out = conv2d(&input, &weight, None, Conv2dSpec { stride: 1, padding: 1 });
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dSpec {
+                stride: 1,
+                padding: 1,
+            },
+        );
         assert!(out.allclose(&input, 1e-6));
     }
 
@@ -241,7 +338,15 @@ mod tests {
         // 160x96 input, 5x5 stride-2 pad-2: the actual Frontnet front layer.
         let input = Tensor::zeros(&[1, 1, 96, 160]);
         let weight = Tensor::zeros(&[32, 1, 5, 5]);
-        let out = conv2d(&input, &weight, None, Conv2dSpec { stride: 2, padding: 2 });
+        let out = conv2d(
+            &input,
+            &weight,
+            None,
+            Conv2dSpec {
+                stride: 2,
+                padding: 2,
+            },
+        );
         assert_eq!(out.shape(), &[1, 32, 48, 80]);
     }
 

@@ -33,6 +33,7 @@ pub mod conv;
 pub mod im2col;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod pool;
 pub mod shape;
 pub mod tensor;

@@ -4,6 +4,23 @@
 //! GEMM, so this routine dominates training time. It is a cache-blocked
 //! triple loop with a `k`-innermost micro-kernel that LLVM auto-vectorizes;
 //! no unsafe code and no architecture-specific intrinsics.
+//!
+//! Every product has two entry points: a plain one that runs on the
+//! process-wide [`Pool::global`], and a `*_with` one taking an explicit
+//! [`Pool`]. Parallelism is over disjoint row blocks of the output, and the
+//! per-row accumulation order is identical no matter how rows are
+//! partitioned — results are bitwise-identical across pool sizes (see the
+//! `parallel` module docs).
+
+use crate::parallel::Pool;
+
+/// Rows of `c` per parallel work item. Fixed (never derived from the thread
+/// count) so partitioning is a pure function of the problem shape.
+const ROW_CHUNK: usize = 8;
+
+/// Below this many multiply-adds the fan-out overhead outweighs the work
+/// and the `*_with` entry points run inline on the calling thread.
+const PAR_THRESHOLD: usize = 1 << 15;
 
 /// `c[m][n] += a[m][k] * b[k][n]` for row-major slices.
 ///
@@ -14,30 +31,87 @@
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_acc_with(Pool::global(), a, b, c, m, k, n);
+}
+
+/// [`matmul_acc`] on an explicit pool, parallel over row blocks of `c`.
+pub fn matmul_acc_with(
+    pool: Pool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs size mismatch");
     assert_eq!(b.len(), k * n, "rhs size mismatch");
     assert_eq!(c.len(), m * n, "out size mismatch");
+    if n == 0 {
+        return;
+    }
+    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+        acc_rows(a, b, c, 0, k, n);
+        return;
+    }
+    pool.for_each_chunk(c, ROW_CHUNK * n, |chunk_idx, c_chunk| {
+        acc_rows(a, b, c_chunk, chunk_idx * ROW_CHUNK, k, n);
+    });
+}
 
+/// The blocked kernel for rows `[row0, row0 + c_chunk.len() / n)` of the
+/// output. Accumulation order per output element is `k0`-block-major then
+/// `kk`-ascending — a function of `(k, n)` only, so any row partition
+/// produces bitwise-identical rows.
+fn acc_rows(a: &[f32], b: &[f32], c_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
     const BLOCK_K: usize = 128;
     const BLOCK_N: usize = 256;
 
+    let rows = c_chunk.len() / n;
     for k0 in (0..k).step_by(BLOCK_K) {
         let k1 = (k0 + BLOCK_K).min(k);
         for n0 in (0..n).step_by(BLOCK_N) {
             let n1 = (n0 + BLOCK_N).min(n);
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n + n0..i * n + n1];
+            for r in 0..rows {
+                let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                let c_row = &mut c_chunk[r * n + n0..r * n + n1];
                 for kk in k0..k1 {
                     let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
                     let b_row = &b[kk * n + n0..kk * n + n1];
                     for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                         *cv += aik * bv;
                     }
                 }
+            }
+        }
+    }
+}
+
+/// [`matmul_acc`] that skips zero entries of `a`.
+///
+/// Pays a branch per `a` element, which is a net loss on dense inputs —
+/// the dense path is branch-free. Use only when `a` is known to be mostly
+/// zeros (e.g. post-ReLU activations lowered through `im2col`). Serial:
+/// skipping makes row cost data-dependent, so there is little point
+/// balancing it statically.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_acc_sparse(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "out size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aik * bv;
             }
         }
     }
@@ -58,18 +132,46 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_at_b_with(Pool::global(), a, b, c, m, k, n);
+}
+
+/// [`matmul_at_b`] on an explicit pool, parallel over row blocks of `c`.
+pub fn matmul_at_b_with(
+    pool: Pool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), k * m, "lhs size mismatch");
     assert_eq!(b.len(), k * n, "rhs size mismatch");
     assert_eq!(c.len(), m * n, "out size mismatch");
+    if n == 0 {
+        return;
+    }
+    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+        at_b_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    pool.for_each_chunk(c, ROW_CHUNK * n, |chunk_idx, c_chunk| {
+        at_b_rows(a, b, c_chunk, chunk_idx * ROW_CHUNK, m, k, n);
+    });
+}
+
+/// Kernel for rows `[row0, row0 + c_chunk.len() / n)` of `c = a^T * b`.
+/// `kk` stays outermost so each `b` row is reused across the whole row
+/// block; per-element accumulation is `kk`-ascending regardless of the
+/// partition.
+fn at_b_rows(a: &[f32], b: &[f32], c_chunk: &mut [f32], row0: usize, m: usize, k: usize, n: usize) {
+    let rows = c_chunk.len() / n;
     for kk in 0..k {
         let a_row = &a[kk * m..(kk + 1) * m];
         let b_row = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aik = a_row[i];
-            if aik == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
+        for r in 0..rows {
+            let aik = a_row[row0 + r];
+            let c_row = &mut c_chunk[r * n..(r + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                 *cv += aik * bv;
             }
@@ -85,18 +187,47 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_a_bt_with(Pool::global(), a, b, c, m, k, n);
+}
+
+/// [`matmul_a_bt`] on an explicit pool, parallel over row blocks of `c`.
+pub fn matmul_a_bt_with(
+    pool: Pool,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     assert_eq!(a.len(), m * k, "lhs size mismatch");
     assert_eq!(b.len(), n * k, "rhs size mismatch");
     assert_eq!(c.len(), m * n, "out size mismatch");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
+    if n == 0 {
+        return;
+    }
+    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+        a_bt_rows(a, b, c, 0, k, n);
+        return;
+    }
+    pool.for_each_chunk(c, ROW_CHUNK * n, |chunk_idx, c_chunk| {
+        a_bt_rows(a, b, c_chunk, chunk_idx * ROW_CHUNK, k, n);
+    });
+}
+
+/// Kernel for rows `[row0, row0 + c_chunk.len() / n)` of `c = a * b^T`.
+/// Each element is an independent `k`-ascending dot product.
+fn a_bt_rows(a: &[f32], b: &[f32], c_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = c_chunk.len() / n;
+    for r in 0..rows {
+        let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
         for j in 0..n {
             let b_row = &b[j * k..(j + 1) * k];
             let mut acc = 0.0;
             for (av, bv) in a_row.iter().zip(b_row.iter()) {
                 acc += av * bv;
             }
-            c[i * n + j] += acc;
+            c_chunk[r * n + j] += acc;
         }
     }
 }
@@ -122,7 +253,9 @@ mod tests {
         let mut state = seed as u64 + 1;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as i32 % 1000) as f32 / 250.0 - 2.0
             })
             .collect()
@@ -179,6 +312,72 @@ mod tests {
         matmul_a_bt(&a, &b_t, &mut c2, m, k, n);
         for (x, y) in c2.iter().zip(want.iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sparse_entry_point_matches_dense() {
+        let (m, k, n) = (6, 40, 30);
+        let mut a = arb_matrix(m * k, 9);
+        // Make it actually sparse.
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = arb_matrix(k * n, 10);
+        let mut dense = vec![0.0; m * n];
+        matmul_acc_with(Pool::serial(), &a, &b, &mut dense, m, k, n);
+        let mut sparse = vec![0.0; m * n];
+        matmul_acc_sparse(&a, &b, &mut sparse, m, k, n);
+        for (x, y) in sparse.iter().zip(dense.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pool_sizes_are_bitwise_identical() {
+        // Large enough to clear PAR_THRESHOLD so the parallel path runs.
+        let (m, k, n) = (33, 64, 100);
+        let a = arb_matrix(m * k, 5);
+        let b = arb_matrix(k * n, 6);
+        let a_t = {
+            let mut t = vec![0.0; m * k];
+            for i in 0..m {
+                for kk in 0..k {
+                    t[kk * m + i] = a[i * k + kk];
+                }
+            }
+            t
+        };
+        let b_t = {
+            let mut t = vec![0.0; k * n];
+            for kk in 0..k {
+                for j in 0..n {
+                    t[j * k + kk] = b[kk * n + j];
+                }
+            }
+            t
+        };
+
+        let mut base_acc = vec![0.0; m * n];
+        matmul_acc_with(Pool::serial(), &a, &b, &mut base_acc, m, k, n);
+        let mut base_atb = vec![0.0; m * n];
+        matmul_at_b_with(Pool::serial(), &a_t, &b, &mut base_atb, m, k, n);
+        let mut base_abt = vec![0.0; m * n];
+        matmul_a_bt_with(Pool::serial(), &a, &b_t, &mut base_abt, m, k, n);
+
+        for threads in [2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut c = vec![0.0; m * n];
+            matmul_acc_with(pool, &a, &b, &mut c, m, k, n);
+            assert_eq!(c, base_acc, "matmul_acc differs at {threads} threads");
+            let mut c = vec![0.0; m * n];
+            matmul_at_b_with(pool, &a_t, &b, &mut c, m, k, n);
+            assert_eq!(c, base_atb, "matmul_at_b differs at {threads} threads");
+            let mut c = vec![0.0; m * n];
+            matmul_a_bt_with(pool, &a, &b_t, &mut c, m, k, n);
+            assert_eq!(c, base_abt, "matmul_a_bt differs at {threads} threads");
         }
     }
 }

@@ -1,0 +1,223 @@
+//! Scoped worker-pool execution context for the compute kernels.
+//!
+//! Every parallel kernel in the workspace takes an explicit [`Pool`] (the
+//! `*_with` entry points) instead of spawning ambient threads; the plain
+//! entry points delegate to a process-wide [`Pool::global`] sized from
+//! `NP_THREADS` or the machine's available parallelism. A `Pool` is just a
+//! thread *count* plus a work-distribution strategy: teams are spawned per
+//! parallel region with `std::thread::scope`, so borrowed data flows into
+//! workers without `'static` bounds, no channels, and no shutdown protocol.
+//!
+//! # Determinism
+//!
+//! Parallel float kernels in this workspace are bitwise-deterministic
+//! across pool sizes. Two rules make that hold and `Pool` is designed
+//! around them:
+//!
+//! 1. **Independent outputs, shared kernel.** Work items own disjoint
+//!    output slices, and the per-item arithmetic is the *same code path*
+//!    regardless of which worker runs it or how items are partitioned.
+//!    [`Pool::run`] and [`Pool::for_each_chunk`] only decide *who* computes
+//!    an item, never *how*.
+//! 2. **Fixed-shape reductions.** When results must be summed (e.g. weight
+//!    gradients across a batch), callers reduce over fixed-size chunks
+//!    whose boundaries depend only on the problem size — never on the
+//!    thread count — and the final accumulation happens on the calling
+//!    thread in chunk order.
+//!
+//! Integer kernels (the quantized path) are exact, so their parallel
+//! parity is unconditional.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An explicit execution context: how many threads parallel regions may use.
+///
+/// Cheap to copy; holds no OS resources. `threads == 1` means every
+/// operation runs inline on the calling thread with zero overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool that fans out to at most `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: all work runs on the calling thread.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The process-wide default pool.
+    ///
+    /// Sized from the `NP_THREADS` environment variable when set to a
+    /// positive integer, otherwise from `std::thread::available_parallelism`
+    /// capped at 8 (the kernels here saturate memory bandwidth quickly;
+    /// more workers than that just adds scheduling noise).
+    pub fn global() -> Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        *GLOBAL.get_or_init(|| {
+            let threads = std::env::var("NP_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+                });
+            Pool::new(threads)
+        })
+    }
+
+    /// The worker count this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` for every `i in 0..n_tasks`, distributing indices
+    /// across the pool with an atomic work-stealing counter. The calling
+    /// thread participates, so a 1-thread pool (or `n_tasks <= 1`) runs
+    /// everything inline. Returns after all tasks complete.
+    pub fn run(&self, n_tasks: usize, task: impl Fn(usize) + Sync) {
+        let workers = self.threads.min(n_tasks);
+        if workers <= 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            task(i);
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// last may be shorter) and runs `body(chunk_index, chunk)` for each,
+    /// distributed across the pool. Chunk boundaries depend only on
+    /// `data.len()` and `chunk_len`, never on the thread count.
+    pub fn for_each_chunk<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        body: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                body(idx, chunk);
+            }
+            return;
+        }
+        let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+        let work = || {
+            loop {
+                // Hold the lock only to pop the next chunk, not to run it.
+                let item = queue.lock().expect("chunk queue poisoned").next();
+                match item {
+                    Some((idx, chunk)) => body(idx, chunk),
+                    None => break,
+                }
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+
+    /// Maps `f` over `0..n` in parallel, returning results in index order.
+    pub fn map<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        self.for_each_chunk(&mut slots, 1, |idx, chunk| {
+            chunk[0] = Some(f(idx));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("map task did not run"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_covers_every_index_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            for n in [0usize, 1, 7, 64] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(n, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_boundaries_are_thread_independent() {
+        for threads in [1, 2, 5] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0u32; 23];
+            pool.for_each_chunk(&mut data, 5, |idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = idx as u32 + 1;
+                }
+            });
+            let expect: Vec<u32> = (0..23).map(|i| i / 5 + 1).collect();
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 4] {
+            let out = Pool::new(threads).map(17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_sums_match_serial() {
+        let total = AtomicU64::new(0);
+        Pool::new(4).run(100, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        assert_eq!(Pool::global(), Pool::global());
+        assert!(Pool::global().threads() >= 1);
+    }
+}

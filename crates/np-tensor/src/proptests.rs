@@ -1,17 +1,28 @@
 //! Property-based tests over the tensor substrate.
 
-use crate::conv::{conv2d, conv2d_reference, Conv2dSpec};
+use crate::conv::{conv2d, conv2d_reference, conv2d_with, depthwise_conv2d_with, Conv2dSpec};
 use crate::im2col::{col2im, im2col, Im2colSpec};
+use crate::matmul::{matmul_a_bt_with, matmul_acc_with, matmul_at_b_with};
 use crate::ops::{softmax, top2};
+use crate::parallel::Pool;
 use crate::pool::{avg_pool2d, max_pool2d, PoolSpec};
 use crate::tensor::Tensor;
 use proptest::prelude::*;
 
 fn small_tensor(dims: [usize; 4]) -> impl Strategy<Value = Tensor> {
     let n = dims.iter().product::<usize>();
-    proptest::collection::vec(-2.0f32..2.0, n)
-        .prop_map(move |v| Tensor::from_vec(&dims, v))
+    proptest::collection::vec(-2.0f32..2.0, n).prop_map(move |v| Tensor::from_vec(&dims, v))
 }
+
+/// Deterministic data fill for cases whose buffer sizes depend on other
+/// drawn values (the shim has no `prop_flat_map`).
+fn seeded_vec(tag: &str, seed: u64, n: usize) -> Vec<f32> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n).map(|_| (r.unit_f64() as f32) * 4.0 - 2.0).collect()
+}
+
+/// Pool widths the parity properties compare against serial execution.
+const PARITY_POOLS: [usize; 3] = [2, 3, 8];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -88,6 +99,94 @@ proptest! {
         let (a, b) = top2(&values);
         prop_assert!(a >= b);
         prop_assert!(values.iter().all(|&v| v <= a));
+    }
+
+    #[test]
+    fn gemm_kernels_bitwise_equal_across_pools(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        // Sizes straddle PAR_THRESHOLD, so both the inline and the
+        // row-chunked parallel paths are exercised; results must be
+        // bit-identical either way.
+        let a = seeded_vec("gemm-a", seed, m * k);
+        let b = seeded_vec("gemm-b", seed, k * n);
+        let c0 = seeded_vec("gemm-c", seed, m * n);
+
+        let mut acc_serial = c0.clone();
+        matmul_acc_with(Pool::serial(), &a, &b, &mut acc_serial, m, k, n);
+        let mut atb_serial = vec![0.0f32; m * n];
+        let at = seeded_vec("gemm-at", seed, k * m);
+        matmul_at_b_with(Pool::serial(), &at, &b, &mut atb_serial, m, k, n);
+        let bt = seeded_vec("gemm-bt", seed, n * k);
+        let mut abt_serial = vec![0.0f32; m * n];
+        matmul_a_bt_with(Pool::serial(), &a, &bt, &mut abt_serial, m, k, n);
+
+        for threads in PARITY_POOLS {
+            let pool = Pool::new(threads);
+            let mut acc = c0.clone();
+            matmul_acc_with(pool, &a, &b, &mut acc, m, k, n);
+            prop_assert_eq!(&acc, &acc_serial);
+            let mut atb = vec![0.0f32; m * n];
+            matmul_at_b_with(pool, &at, &b, &mut atb, m, k, n);
+            prop_assert_eq!(&atb, &atb_serial);
+            let mut abt = vec![0.0f32; m * n];
+            matmul_a_bt_with(pool, &a, &bt, &mut abt, m, k, n);
+            prop_assert_eq!(&abt, &abt_serial);
+        }
+    }
+
+    #[test]
+    fn conv2d_bitwise_equal_across_pools(
+        n in 1usize..4,
+        c_in in 1usize..4,
+        c_out in 1usize..6,
+        h in 4usize..9,
+        w in 4usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = Conv2dSpec { stride, padding };
+        let input = Tensor::from_vec(&[n, c_in, h, w], seeded_vec("cv-x", seed, n * c_in * h * w));
+        let weight = Tensor::from_vec(
+            &[c_out, c_in, kernel, kernel],
+            seeded_vec("cv-w", seed, c_out * c_in * kernel * kernel),
+        );
+        let bias = Tensor::from_vec(&[c_out], seeded_vec("cv-b", seed, c_out));
+        let serial = conv2d_with(Pool::serial(), &input, &weight, Some(&bias), spec);
+        for threads in PARITY_POOLS {
+            let got = conv2d_with(Pool::new(threads), &input, &weight, Some(&bias), spec);
+            prop_assert_eq!(&got, &serial);
+        }
+    }
+
+    #[test]
+    fn depthwise_bitwise_equal_across_pools(
+        n in 1usize..4,
+        c in 1usize..6,
+        h in 4usize..9,
+        w in 4usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = Conv2dSpec { stride, padding };
+        let input = Tensor::from_vec(&[n, c, h, w], seeded_vec("dw-x", seed, n * c * h * w));
+        let weight = Tensor::from_vec(
+            &[c, 1, kernel, kernel],
+            seeded_vec("dw-w", seed, c * kernel * kernel),
+        );
+        let bias = Tensor::from_vec(&[c], seeded_vec("dw-b", seed, c));
+        let serial = depthwise_conv2d_with(Pool::serial(), &input, &weight, Some(&bias), spec);
+        for threads in PARITY_POOLS {
+            let got = depthwise_conv2d_with(Pool::new(threads), &input, &weight, Some(&bias), spec);
+            prop_assert_eq!(&got, &serial);
+        }
     }
 
     #[test]

@@ -77,10 +77,20 @@ mod tests {
     #[test]
     fn pruned_is_cheaper_than_unpruned() {
         let mut rng = SmallRng::seed(0);
-        let unpruned = build_aux(&AUX_CHANNELS_UNPRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng)
-            .describe((1, 96, 160));
-        let pruned = build_aux(&AUX_CHANNELS_PRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng)
-            .describe((1, 96, 160));
+        let unpruned = build_aux(
+            &AUX_CHANNELS_UNPRUNED,
+            GridSpec::GRID_8X6,
+            (1, 96, 160),
+            &mut rng,
+        )
+        .describe((1, 96, 160));
+        let pruned = build_aux(
+            &AUX_CHANNELS_PRUNED,
+            GridSpec::GRID_8X6,
+            (1, 96, 160),
+            &mut rng,
+        )
+        .describe((1, 96, 160));
         assert!(pruned.macs() < unpruned.macs());
         // Paper: pruned aux ≈ 656 kMAC.
         let k = pruned.macs() as f64 / 1e3;
@@ -90,7 +100,12 @@ mod tests {
     #[test]
     fn paper_resolution_works() {
         let mut rng = SmallRng::seed(0);
-        let mut net = build_aux(&AUX_CHANNELS_PRUNED, GridSpec::GRID_8X6, (1, 96, 160), &mut rng);
+        let mut net = build_aux(
+            &AUX_CHANNELS_PRUNED,
+            GridSpec::GRID_8X6,
+            (1, 96, 160),
+            &mut rng,
+        );
         let y = net.forward(&Tensor::zeros(&[1, 1, 96, 160]));
         assert_eq!(y.shape(), &[1, 48]);
     }

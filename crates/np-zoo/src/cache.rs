@@ -68,18 +68,26 @@ mod tests {
 
         let key = "unit-test-model";
         let mut trained = 0;
-        let m1 = load_or_train(key, || tiny_model(1), |m| {
-            trained += 1;
-            // "Training": set weights to a known value.
-            for p in m.params_mut() {
-                p.value.as_mut_slice().fill(0.25);
-            }
-        });
+        let m1 = load_or_train(
+            key,
+            || tiny_model(1),
+            |m| {
+                trained += 1;
+                // "Training": set weights to a known value.
+                for p in m.params_mut() {
+                    p.value.as_mut_slice().fill(0.25);
+                }
+            },
+        );
         assert_eq!(trained, 1);
 
-        let m2 = load_or_train(key, || tiny_model(2), |_| {
-            trained += 1;
-        });
+        let m2 = load_or_train(
+            key,
+            || tiny_model(2),
+            |_| {
+                trained += 1;
+            },
+        );
         assert_eq!(trained, 1, "second call retrained");
         let x = Tensor::from_vec(&[1, 4], vec![1.0; 4]);
         let mut a = m1.clone();

@@ -76,9 +76,14 @@ impl ModelId {
         match self {
             ModelId::F1 => frontnet::build_frontnet("F1", &F1_CHANNELS, input, rng),
             ModelId::F2 => frontnet::build_frontnet("F2", &F2_CHANNELS, input, rng),
-            ModelId::M10 => {
-                mobilenet::build_mobilenet("M1.0", M10_STEM, &M10_CHANNELS, &M10_STRIDES, input, rng)
-            }
+            ModelId::M10 => mobilenet::build_mobilenet(
+                "M1.0",
+                M10_STEM,
+                &M10_CHANNELS,
+                &M10_STRIDES,
+                input,
+                rng,
+            ),
             ModelId::Aux(grid) => aux::build_aux(&AUX_CHANNELS_PRUNED, *grid, input, rng),
         }
     }
@@ -94,7 +99,10 @@ mod tests {
         let macs = d.macs() as f64 / 1e6;
         let params = d.params() as f64 / 1e3;
         assert!((macs - 4.51).abs() < 0.10, "F1 macs {macs}M (paper 4.51M)");
-        assert!((params - 14.8).abs() < 1.0, "F1 params {params}k (paper 14.8k)");
+        assert!(
+            (params - 14.8).abs() < 1.0,
+            "F1 params {params}k (paper 14.8k)"
+        );
     }
 
     #[test]
@@ -103,7 +111,10 @@ mod tests {
         let macs = d.macs() as f64 / 1e6;
         let params = d.params() as f64 / 1e3;
         assert!((macs - 7.09).abs() < 0.15, "F2 macs {macs}M (paper 7.09M)");
-        assert!((params - 44.5).abs() < 2.0, "F2 params {params}k (paper 44.5k)");
+        assert!(
+            (params - 44.5).abs() < 2.0,
+            "F2 params {params}k (paper 44.5k)"
+        );
     }
 
     #[test]
@@ -111,8 +122,14 @@ mod tests {
         let d = ModelId::M10.paper_desc();
         let macs = d.macs() as f64 / 1e6;
         let params = d.params() as f64 / 1e3;
-        assert!((macs - 11.42).abs() < 0.5, "M1.0 macs {macs}M (paper 11.42M)");
-        assert!((params - 46.8).abs() < 2.0, "M1.0 params {params}k (paper 46.8k)");
+        assert!(
+            (macs - 11.42).abs() < 0.5,
+            "M1.0 macs {macs}M (paper 11.42M)"
+        );
+        assert!(
+            (params - 46.8).abs() < 2.0,
+            "M1.0 params {params}k (paper 46.8k)"
+        );
     }
 
     #[test]

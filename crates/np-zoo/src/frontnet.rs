@@ -56,7 +56,12 @@ pub fn build_frontnet(
     }
 
     layers.push(Box::new(Flatten::new()));
-    layers.push(Box::new(Linear::new(prev * h * w, 4, Initializer::XavierUniform, rng)));
+    layers.push(Box::new(Linear::new(
+        prev * h * w,
+        4,
+        Initializer::XavierUniform,
+        rng,
+    )));
     Sequential::with_name(name, layers)
 }
 

@@ -28,7 +28,11 @@ pub fn build_mobilenet(
     input: (usize, usize, usize),
     rng: &mut SmallRng,
 ) -> Sequential {
-    assert_eq!(channels.len(), strides.len(), "block config length mismatch");
+    assert_eq!(
+        channels.len(),
+        strides.len(),
+        "block config length mismatch"
+    );
     let (cin, mut h, mut w) = input;
     let init = Initializer::KaimingUniform;
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
@@ -54,7 +58,12 @@ pub fn build_mobilenet(
     }
 
     layers.push(Box::new(Flatten::new()));
-    layers.push(Box::new(Linear::new(prev * h * w, 4, Initializer::XavierUniform, rng)));
+    layers.push(Box::new(Linear::new(
+        prev * h * w,
+        4,
+        Initializer::XavierUniform,
+        rng,
+    )));
     Sequential::with_name(name, layers)
 }
 

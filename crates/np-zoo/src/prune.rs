@@ -22,7 +22,12 @@ pub fn channel_importance(conv: &Conv2d) -> Vec<f32> {
     let c_out = w.shape()[0];
     let per = w.numel() / c_out;
     (0..c_out)
-        .map(|c| w.as_slice()[c * per..(c + 1) * per].iter().map(|v| v.abs()).sum())
+        .map(|c| {
+            w.as_slice()[c * per..(c + 1) * per]
+                .iter()
+                .map(|v| v.abs())
+                .sum()
+        })
         .collect()
 }
 
@@ -67,11 +72,7 @@ pub fn mask_conv(conv: &mut Conv2d, keep: usize) -> Vec<usize> {
 /// (conv/relu/maxpool/flatten/linear layers only), if it does not contain
 /// exactly `keep.len()` convolutions, or if any `keep[i]` exceeds the
 /// available channels.
-pub fn compact_aux(
-    net: &Sequential,
-    input: (usize, usize, usize),
-    keep: &[usize],
-) -> Sequential {
+pub fn compact_aux(net: &Sequential, input: (usize, usize, usize), keep: &[usize]) -> Sequential {
     let desc = net.describe(input);
     let mut rng = SmallRng::seed(0); // init is overwritten immediately
     let mut out_layers: Vec<Box<dyn Layer>> = Vec::new();
@@ -106,7 +107,10 @@ pub fn compact_aux(
                     }
                 }
             }
-            let new_b: Vec<f32> = kept_out.iter().map(|&c| conv.bias().as_slice()[c]).collect();
+            let new_b: Vec<f32> = kept_out
+                .iter()
+                .map(|&c| conv.bias().as_slice()[c])
+                .collect();
             let mut new_conv = Conv2d::new(
                 kept_in.len(),
                 kept_out.len(),
@@ -187,7 +191,15 @@ mod tests {
     #[test]
     fn masked_channels_output_zero() {
         let mut rng = SmallRng::seed(3);
-        let mut conv = Conv2d::new(1, 4, 3, 1, 1, np_nn::init::Initializer::KaimingUniform, &mut rng);
+        let mut conv = Conv2d::new(
+            1,
+            4,
+            3,
+            1,
+            1,
+            np_nn::init::Initializer::KaimingUniform,
+            &mut rng,
+        );
         let kept = mask_conv(&mut conv, 2);
         assert_eq!(kept.len(), 2);
         let x = Tensor::full(&[1, 1, 4, 4], 1.0);
@@ -241,7 +253,12 @@ mod tests {
     #[should_panic(expected = "keep 99 exceeds")]
     fn over_keep_panics() {
         let mut rng = SmallRng::seed(5);
-        let net = build_aux(&AUX_CHANNELS_UNPRUNED, GridSpec::GRID_2X2, (1, 48, 80), &mut rng);
+        let net = build_aux(
+            &AUX_CHANNELS_UNPRUNED,
+            GridSpec::GRID_2X2,
+            (1, 48, 80),
+            &mut rng,
+        );
         let _ = compact_aux(&net, (1, 48, 80), &[99, 16, 32, 64]);
     }
 }

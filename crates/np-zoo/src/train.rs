@@ -5,6 +5,7 @@ use np_nn::loss::accuracy;
 use np_nn::optim::{Adam, AdamConfig};
 use np_nn::trainer::{fit, EpochStats, LossKind, TrainConfig};
 use np_nn::Sequential;
+use np_tensor::parallel::Pool;
 
 /// Hyper-parameters for training a zoo model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,7 +27,8 @@ impl Default for TrainRecipe {
         TrainRecipe {
             epochs: 10,
             batch_size: 32,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            // Follow the shared execution context (honors NP_THREADS).
+            threads: Pool::global().threads(),
             lr: 2e-3,
             seed: 0,
         }
@@ -84,7 +86,12 @@ pub fn train_aux(
         lr: recipe.lr,
         ..AdamConfig::default()
     });
-    fit(model, &mut opt, &train, recipe.train_config(LossKind::CrossEntropy))
+    fit(
+        model,
+        &mut opt,
+        &train,
+        recipe.train_config(LossKind::CrossEntropy),
+    )
 }
 
 /// Predicted physical poses for the given frames (batched inference).
@@ -96,12 +103,7 @@ pub fn predict_poses(model: &mut Sequential, data: &PoseDataset, indices: &[usiz
         let y = model.forward(&x);
         let yv = y.as_slice();
         for bi in 0..chunk.len() {
-            out.push(scaler.unscale([
-                yv[bi * 4],
-                yv[bi * 4 + 1],
-                yv[bi * 4 + 2],
-                yv[bi * 4 + 3],
-            ]));
+            out.push(scaler.unscale([yv[bi * 4], yv[bi * 4 + 1], yv[bi * 4 + 2], yv[bi * 4 + 3]]));
         }
     }
     out

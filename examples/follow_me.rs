@@ -22,10 +22,7 @@ use np_nn::init::SmallRng;
 use np_zoo::ModelId;
 
 /// Perceives with additive noise scaled to a model's per-variable MAE.
-fn noisy_perception(
-    mae: [f32; 4],
-    seed: u64,
-) -> impl FnMut(&Pose) -> Pose {
+fn noisy_perception(mae: [f32; 4], seed: u64) -> impl FnMut(&Pose) -> Pose {
     let mut rng = SmallRng::seed(seed);
     // MAE of |N(0, sigma)| is sigma*sqrt(2/pi): invert to get sigma.
     let k = (std::f32::consts::PI / 2.0).sqrt();
@@ -50,16 +47,11 @@ fn main() {
 
     // Adaptive D2-OP at ~30% big-model invocations: iso-MAE with big,
     // latency = C_small + 0.3 * C_big (paper Eq. 2).
-    let adaptive_latency_s =
-        (small_plan.latency_ms() + 0.3 * big_plan.latency_ms()) / 1e3;
+    let adaptive_latency_s = (small_plan.latency_ms() + 0.3 * big_plan.latency_ms()) / 1e3;
 
     let configs = [
         ("perfect sensor", None, 0.005),
-        (
-            "static M1.0",
-            Some(big_mae),
-            big_plan.latency_ms() / 1e3,
-        ),
+        ("static M1.0", Some(big_mae), big_plan.latency_ms() / 1e3),
         ("adaptive D2+OP", Some(big_mae), adaptive_latency_s),
     ];
 

@@ -29,11 +29,23 @@ fn main() {
     let mut small = ModelId::F2.build_proxy(&mut rng);
     let mut big = ModelId::M10.build_proxy(&mut rng);
     let mut aux = ModelId::Aux(grid).build_proxy(&mut rng);
-    let recipe = TrainRecipe { epochs: 6, ..TrainRecipe::default() };
+    let recipe = TrainRecipe {
+        epochs: 6,
+        ..TrainRecipe::default()
+    };
     eprintln!("training D2 ensemble + aux...");
     train_regressor(&mut small, &data, &recipe);
     train_regressor(&mut big, &data, &recipe);
-    train_aux(&mut aux, &data, grid, &TrainRecipe { epochs: 8, lr: 1e-2, ..recipe });
+    train_aux(
+        &mut aux,
+        &data,
+        grid,
+        &TrainRecipe {
+            epochs: 8,
+            lr: 1e-2,
+            ..recipe
+        },
+    );
 
     let gap8 = Gap8Config::default();
     let costs = CostModel::new(

@@ -13,7 +13,7 @@ use nanopose::zoo::{train_regressor, ModelId, TrainRecipe};
 fn cnn_in_the_loop_keeps_subject_in_view() {
     // Train a quick F2 proxy.
     let data = PoseDataset::generate(&DatasetConfig {
-        n_sequences: 14,
+        n_sequences: 24,
         frames_per_seq: 30,
         ..DatasetConfig::known()
     });
@@ -50,12 +50,10 @@ fn cnn_in_the_loop_keeps_subject_in_view() {
         scaler.unscale([o[0], o[1], o[2], o[3]])
     });
 
+    eprintln!("closed-loop stats: {stats:?}");
     // A briefly-trained proxy is imprecise, but the Kalman + controller
     // stack must still keep the subject roughly in frame.
-    assert!(
-        stats.in_view_fraction > 0.5,
-        "lost the subject: {stats:?}"
-    );
+    assert!(stats.in_view_fraction > 0.5, "lost the subject: {stats:?}");
     assert!(stats.mean_distance_error < 1.5, "{stats:?}");
     assert!(stats.perception_updates > 100);
 }

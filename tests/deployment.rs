@@ -79,7 +79,11 @@ fn every_ensemble_fits_l2() {
     let aux = ModelId::Aux(GridSpec::GRID_8X6).paper_desc();
     // D1 with aux (3 networks resident) is the largest deployment of the
     // paper's Table II; it must fit 512 kB L2.
-    for nets in [vec![&f1, &m10, &aux], vec![&f2, &m10], vec![&f2, &m10, &aux]] {
+    for nets in [
+        vec![&f1, &m10, &aux],
+        vec![&f2, &m10],
+        vec![&f2, &m10, &aux],
+    ] {
         let bytes = ensemble_l2_bytes(&nets);
         assert!(bytes < cfg.l2_bytes, "ensemble needs {bytes} B");
     }

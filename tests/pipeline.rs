@@ -6,7 +6,9 @@
 use nanopose::adaptive::features::{Backend, EvalTable};
 use nanopose::adaptive::policy::AdaptivePolicy;
 use nanopose::adaptive::sweep::{pareto_front, sweep_op, sweep_random};
-use nanopose::adaptive::{evaluate_policy, CostModel, ErrorMap, OpPolicy, OraclePolicy, RandomPolicy};
+use nanopose::adaptive::{
+    evaluate_policy, CostModel, ErrorMap, OpPolicy, OraclePolicy, RandomPolicy,
+};
 use nanopose::dataset::{DatasetConfig, GridSpec, PoseDataset};
 use nanopose::dory::deploy;
 use nanopose::gap8::Gap8Config;

@@ -1,0 +1,124 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`Criterion::bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) as a plain wall-clock harness: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a short measurement window, and the mean time per iteration is
+//! printed. No statistics, plots, or baselines — just honest timings that
+//! work without crates.io access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimal benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let target = (self.measurement.as_secs_f64() / est.max(1e-9)).ceil() as u64;
+        let iters = target.clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = humanize(b.ns_per_iter);
+        println!("{name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            measurement: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

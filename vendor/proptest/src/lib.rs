@@ -1,0 +1,360 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this shim implements the
+//! subset of the proptest API the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map`, range strategies for the primitive
+//!   numeric types, and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike upstream proptest there is no shrinking and no persisted failure
+//! seeds: cases are drawn from a generator seeded deterministically from
+//! the test name, so every run explores the same inputs and failures
+//! reproduce exactly.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration: how many cases each property executes.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case (what `prop_assert!` produces).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic source of randomness for strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name so each property explores a
+    /// fixed, reproducible input set.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty strategy range");
+                (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let v = self.start as f64
+                    + (self.end as f64 - self.start as f64) * rng.unit_f64();
+                let v = v as $t;
+                if v >= self.end && self.start < self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.end > self.start, "empty size range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    /// Strategy generating vectors of `elem`-generated values.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports property suites expect.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property {} failed on case {}: {}", stringify!($name), case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {
+        match (&$lhs, &$rhs) {
+            (lhs, rhs) => {
+                $crate::prop_assert!(
+                    *lhs == *rhs,
+                    "assertion failed: {} == {} ({:?} vs {:?})",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    lhs,
+                    rhs
+                );
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {
+        match (&$lhs, &$rhs) {
+            (lhs, rhs) => {
+                $crate::prop_assert!(
+                    *lhs == *rhs,
+                    "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    lhs,
+                    rhs,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {
+        match (&$lhs, &$rhs) {
+            (lhs, rhs) => {
+                $crate::prop_assert!(
+                    *lhs != *rhs,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    lhs
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -2.0f32..2.0, n in 1usize..9) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in crate::collection::vec(0.0f32..1.0, 3),
+            w in crate::collection::vec(0u64..10, 2..5),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(w.len() >= 2 && w.len() < 5);
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0usize..5).prop_map(|v| v * 2)) {
+            prop_assert!(y % 2 == 0 && y < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

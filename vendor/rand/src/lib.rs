@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so this vendored shim
+//! provides the (small) subset of the `rand 0.9` API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `random_range`, `random_bool`, and `random`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the same
+//! stream as upstream `StdRng` (which is ChaCha12), but every consumer in
+//! this workspace only relies on determinism-given-seed, never on a
+//! specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    /// Deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_raw(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference code).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` (`hi` inclusive when `inclusive`).
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as u128;
+                let hi_w = hi as u128;
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty sample range");
+                (lo_w + (rng.next_raw() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut StdRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                // 53 uniform bits in [0, 1).
+                let unit = (rng.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = (lo as f64 + (hi as f64 - lo as f64) * unit) as $t;
+                if !inclusive && v >= hi && lo < hi {
+                    lo // rounding pushed us onto the open bound
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        T::sample(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample(rng, lo, hi, true)
+    }
+}
+
+/// Value types producible by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_raw()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_raw() >> 32) as u32
+    }
+}
+
+/// Sampling interface (the `random_*` subset of `rand::Rng`).
+pub trait Rng {
+    /// Uniform draw from a range (half-open or inclusive).
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool;
+
+    /// Draws a value of an inferred type.
+    fn random<T: Standard>(&mut self) -> T;
+}
+
+impl Rng for StdRng {
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_raw() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = r.random_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let i: usize = r.random_range(0..7usize);
+            assert!(i < 7);
+            let j: usize = r.random_range(0..=4usize);
+            assert!(j <= 4);
+        }
+    }
+
+    #[test]
+    fn bool_probability_plausible() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this shim supplies the
+//! names the workspace imports — the `Serialize`/`Deserialize` traits and
+//! (behind the `derive` feature) same-named no-op derive macros. Nothing
+//! in the workspace serializes through serde; all persisted formats are
+//! hand-written, so marker traits are sufficient.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
