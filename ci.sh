@@ -13,4 +13,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> benches compile"
+cargo bench --workspace --no-run
+
+echo "==> zero-allocation steady state"
+cargo test -q --test zero_alloc
+
 echo "==> ci.sh passed"

@@ -34,6 +34,7 @@ pub mod eval;
 pub mod extensions;
 pub mod features;
 pub mod policy;
+pub mod runner;
 pub mod sweep;
 
 pub use cost::{CostModel, EnsembleId};
@@ -44,4 +45,5 @@ pub use features::{EvalTable, FrameFeatures};
 pub use policy::{
     AdaptivePolicy, AuxHlcPolicy, AuxSmPolicy, Decision, OpPolicy, OraclePolicy, RandomPolicy,
 };
+pub use runner::{FrameResult, FrameRunner};
 pub use sweep::{pareto_front, OperatingPoint};

@@ -73,19 +73,12 @@ impl OpPolicy {
         let sum: f32 = small_scaled.iter().sum();
         (sum - prev_sum).abs()
     }
-}
 
-impl AdaptivePolicy for OpPolicy {
-    fn name(&self) -> String {
-        format!("OP(th={:.3})", self.th)
-    }
-
-    fn reset(&mut self) {
-        self.prev_sum = None;
-    }
-
-    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
-        let sum: f32 = frame.small_scaled.iter().sum();
+    /// Decides directly from the small model's scaled outputs — the live
+    /// streaming entry used by [`crate::runner::FrameRunner`], which has
+    /// no precomputed [`FrameFeatures`].
+    pub fn decide_scaled(&mut self, small_scaled: &[f32; 4]) -> Decision {
+        let sum: f32 = small_scaled.iter().sum();
         let decision = match self.prev_sum {
             None => Decision::Ensemble,
             Some(prev) => {
@@ -98,6 +91,20 @@ impl AdaptivePolicy for OpPolicy {
         };
         self.prev_sum = Some(sum);
         decision
+    }
+}
+
+impl AdaptivePolicy for OpPolicy {
+    fn name(&self) -> String {
+        format!("OP(th={:.3})", self.th)
+    }
+
+    fn reset(&mut self) {
+        self.prev_sum = None;
+    }
+
+    fn decide(&mut self, frame: &FrameFeatures) -> Decision {
+        self.decide_scaled(&frame.small_scaled)
     }
 }
 

@@ -1,0 +1,228 @@
+//! End-to-end inference benchmark emitting `BENCH_pipeline.json`.
+//!
+//! Measures what the plan-once/run-many runtime actually buys per frame:
+//!
+//! 1. **Alloc-per-frame vs prepacked** — `QuantizedNetwork::run_int_with`
+//!    (fresh `Vec`s for im2col scratch, accumulators and every layer
+//!    output) against `QuantizedProgram::run_int_prepacked` (planned
+//!    arena, packed weight panels) on the F1 / F2 / M1.0 proxies, with
+//!    wall time and heap-allocation counts from a counting global
+//!    allocator.
+//! 2. **Streaming ensembles** — the paper's D1 = (F1, M1.0) and
+//!    D2 = (F2, M1.0) adaptive loops driven by [`FrameRunner`] over a
+//!    synthetic frame stream, reporting per-frame latency, big-model
+//!    rate, and steady-state allocations (which must be zero).
+//!
+//! Numbers are machine-local; `cpus_available` is recorded so a reader
+//! can tell which regime a checked-in baseline came from.
+//!
+//! Usage: `cargo run --release -p np-bench --bin bench_pipeline [out.json]`
+
+use np_adaptive::FrameRunner;
+use np_nn::init::SmallRng;
+use np_quant::{QScratch, QuantizedNetwork};
+use np_tensor::parallel::Pool;
+use np_tensor::Tensor;
+use np_zoo::channels::PROXY_INPUT;
+use np_zoo::ModelId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP: usize = 3;
+const REPS: usize = 30;
+const STREAM_FRAMES: usize = 60;
+
+fn pseudo_frames(n: usize, seed: u64) -> Tensor {
+    let (c, h, w) = PROXY_INPUT;
+    let mut s = seed + 1;
+    let data: Vec<f32> = (0..n * c * h * w)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(&[n, c, h, w], data)
+}
+
+/// Best-of-`REPS` wall time of `f` in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+/// Heap allocations performed by one call of `f` (call after warm-up).
+fn allocs_of(mut f: impl FnMut()) -> usize {
+    f(); // warm-up: let scratch growth happen outside the measurement
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = Pool::serial();
+    let calib = pseudo_frames(4, 7);
+    let frame = pseudo_frames(1, 8);
+
+    let mut rng = SmallRng::seed(3);
+    let nets: Vec<(ModelId, QuantizedNetwork)> = [ModelId::F1, ModelId::F2, ModelId::M10]
+        .into_iter()
+        .map(|id| {
+            let net = id.build_proxy(&mut rng);
+            (id, QuantizedNetwork::quantize(&net, &calib))
+        })
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"cpus_available\": {cpus},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(
+        json,
+        "  \"input_chw\": [{}, {}, {}],",
+        PROXY_INPUT.0, PROXY_INPUT.1, PROXY_INPUT.2
+    );
+    json.push_str("  \"alloc_per_frame_vs_prepacked\": [\n");
+
+    let mut fast_enough = 0usize;
+    for (i, (id, qnet)) in nets.iter().enumerate() {
+        let program = qnet.compile(PROXY_INPUT);
+        let mut scratch = QScratch::for_program(&program);
+        let q = qnet.input_params().quantize_slice(frame.as_slice());
+
+        let alloc_ns = time_ns(|| {
+            black_box(qnet.run_int_with(pool, black_box(&q), PROXY_INPUT));
+        });
+        let prepacked_ns = time_ns(|| {
+            black_box(program.run_int_prepacked(pool, &mut scratch, black_box(&q)));
+        });
+        let allocs_per_frame = allocs_of(|| {
+            black_box(qnet.run_int_with(pool, black_box(&q), PROXY_INPUT));
+        });
+        let prepacked_allocs = allocs_of(|| {
+            black_box(program.run_int_prepacked(pool, &mut scratch, black_box(&q)));
+        });
+
+        let speedup = alloc_ns / prepacked_ns;
+        if speedup >= 1.3 {
+            fast_enough += 1;
+        }
+        eprintln!(
+            "[bench_pipeline] {}: alloc-path {:.0} ns ({} allocs), prepacked {:.0} ns \
+             ({} allocs), {:.2}x",
+            id.name(),
+            alloc_ns,
+            allocs_per_frame,
+            prepacked_ns,
+            prepacked_allocs,
+            speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"arena_bytes\": {}, \"packed_weight_bytes\": {}, \
+             \"alloc_path_ns\": {alloc_ns:.0}, \"alloc_path_allocs_per_frame\": {allocs_per_frame}, \
+             \"prepacked_ns\": {prepacked_ns:.0}, \"prepacked_allocs_per_frame\": {prepacked_allocs}, \
+             \"speedup\": {speedup:.3}}}{}",
+            id.name(),
+            program.arena_bytes(),
+            program.packed_weight_bytes(),
+            if i + 1 < nets.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"streaming_ensembles\": [\n");
+
+    // A stream with motion on every 4th frame so both policy paths run.
+    let still = pseudo_frames(1, 21);
+    let moving = pseudo_frames(1, 22);
+    let ensembles = [("D1", ModelId::F1), ("D2", ModelId::F2)];
+    for (i, (name, little_id)) in ensembles.iter().enumerate() {
+        let little = &nets.iter().find(|(id, _)| id == little_id).unwrap().1;
+        let big = &nets.iter().find(|(id, _)| *id == ModelId::M10).unwrap().1;
+        let mut runner = FrameRunner::new(little, big, PROXY_INPUT, 0.05, pool);
+
+        // Warm-up: first frame always runs the full ensemble.
+        let _ = runner.run_frame(still.as_slice());
+        let before_allocs = ALLOCS.load(Ordering::Relaxed);
+        let t = Instant::now();
+        let mut big_frames = 0usize;
+        for f in 0..STREAM_FRAMES {
+            let x = if f % 4 == 0 { &moving } else { &still };
+            let r = runner.run_frame(x.as_slice());
+            if r.decision.runs_big() {
+                big_frames += 1;
+            }
+            black_box(r.scaled);
+        }
+        let total_ns = t.elapsed().as_secs_f64() * 1e9;
+        let steady_allocs = ALLOCS.load(Ordering::Relaxed) - before_allocs;
+        let per_frame_ns = total_ns / STREAM_FRAMES as f64;
+        let big_rate = big_frames as f64 / STREAM_FRAMES as f64;
+        eprintln!(
+            "[bench_pipeline] {name}: {per_frame_ns:.0} ns/frame, big rate {big_rate:.2}, \
+             {steady_allocs} allocs over {STREAM_FRAMES} steady frames, arena {} B",
+            runner.arena_bytes()
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"ensemble\": \"{name}\", \"little\": \"{}\", \"big\": \"M1.0\", \
+             \"frames\": {STREAM_FRAMES}, \"per_frame_ns\": {per_frame_ns:.0}, \
+             \"big_rate\": {big_rate:.3}, \"steady_state_allocs\": {steady_allocs}, \
+             \"shared_arena_bytes\": {}}}{}",
+            little_id.name(),
+            runner.arena_bytes(),
+            if i + 1 < ensembles.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("{json}");
+    assert!(
+        fast_enough >= 2,
+        "prepacked path must be >= 1.3x faster on at least two of F1/F2/M1.0"
+    );
+    eprintln!("[bench_pipeline] wrote {out_path}");
+}

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod describe;
+pub mod fprogram;
 pub mod init;
 pub mod layer;
 pub mod layers;
@@ -49,6 +50,7 @@ pub mod serialize;
 pub mod trainer;
 
 pub use describe::{LayerDesc, LayerKind, NetworkDesc};
+pub use fprogram::{FScratch, FloatProgram};
 pub use layer::{Layer, Param};
 pub use sequential::Sequential;
 

@@ -110,6 +110,7 @@ pub fn qconv2d_with(
     let cols = oh * ow;
     let lowered = qim2col(input, h, w, in_zp, geo);
     let mut out = vec![0i8; geo.out_channels * cols];
+    let pool = pool.for_work(geo.out_channels * patch * cols);
     pool.for_each_chunk(&mut out, cols, |co, dst| {
         let mut acc = vec![0i32; cols];
         qgemm_row(
@@ -273,6 +274,7 @@ pub fn qdepthwise_conv2d_with(
     let pad = padding as isize;
     let mut out = vec![0i8; channels * oh * ow];
 
+    let pool = pool.for_work(channels * kernel * kernel * oh * ow);
     pool.for_each_chunk(&mut out, oh * ow, |c, dst| {
         let plane = &input[c * h * w..(c + 1) * h * w];
         let kern = &weight[c * kernel * kernel..(c + 1) * kernel * kernel];

@@ -41,11 +41,13 @@ pub mod calibrate;
 pub mod fold;
 pub mod kernels;
 pub mod lowering;
+pub mod program;
 pub mod qat;
 pub mod qnetwork;
 pub mod qparams;
 pub mod requant;
 
+pub use program::{QScratch, QuantizedProgram};
 pub use qnetwork::QuantizedNetwork;
 pub use qparams::{MinMaxObserver, QuantParams};
 

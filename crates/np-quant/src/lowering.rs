@@ -24,12 +24,39 @@ use crate::kernels::QConvGeometry;
 /// value is exactly zero). `x - in_zp` spans at most `[-255, 255]`, which
 /// fits i16 with room to spare.
 pub fn qim2col(input: &[i8], h: usize, w: usize, in_zp: i32, geo: QConvGeometry) -> Vec<i16> {
+    let (oh, ow) = geo.out_hw(h, w);
+    let mut lowered = vec![0i16; geo.in_channels * geo.kernel * geo.kernel * oh * ow];
+    qim2col_into(input, h, w, in_zp, geo, &mut lowered);
+    lowered
+}
+
+/// [`qim2col`] into a caller-provided buffer of exactly
+/// `C_in*K*K * H_out*W_out` i16 slots — no allocation, identical output.
+/// This is the entry the prepacked executor uses with planner-assigned
+/// scratch.
+///
+/// # Panics
+///
+/// Panics if `input` or `lowered` have the wrong length.
+pub fn qim2col_into(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    lowered: &mut [i16],
+) {
     assert_eq!(input.len(), geo.in_channels * h * w, "input size");
     let (oh, ow) = geo.out_hw(h, w);
     let k = geo.kernel;
     let pad = geo.padding as isize;
     let cols = oh * ow;
-    let mut lowered = vec![0i16; geo.in_channels * k * k * cols];
+    assert_eq!(
+        lowered.len(),
+        geo.in_channels * k * k * cols,
+        "lowered scratch size"
+    );
+    lowered.fill(0);
 
     for ci in 0..geo.in_channels {
         let plane = &input[ci * h * w..(ci + 1) * h * w];
@@ -53,7 +80,93 @@ pub fn qim2col(input: &[i8], h: usize, w: usize, in_zp: i32, geo: QConvGeometry)
             }
         }
     }
-    lowered
+}
+
+/// The transpose of [`qim2col_into`]: lowers one CHW i8 image into
+/// *patch-major* (im2row) layout, where output pixel `col = oy*W_out + ox`
+/// owns the contiguous slice `lowered[col*stride..col*stride + patch]`
+/// (with `stride = patch_stride(patch)`) holding its centered receptive
+/// field in `(ci, ky, kx)` order; the `stride - patch` tail slots stay
+/// zero.
+///
+/// Patch-major is the layout the prepacked executor wants: one output
+/// pixel's convolution becomes a dot product of two contiguous i16
+/// vectors (the pre-widened filter row and the patch), which LLVM lowers
+/// to widening multiply-accumulate (`pmaddwd` on x86) — the same
+/// `SumDotp` structure PULP-NN uses on GAP8. Rounding the stride up to
+/// [`patch_stride`] keeps every patch vector-aligned and lets the dot
+/// run without a scalar remainder loop: the padding lanes multiply
+/// zero-filled weight lanes, contributing nothing.
+///
+/// # Panics
+///
+/// Panics if `input` or `lowered` have the wrong length.
+pub fn qim2row_into(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    lowered: &mut [i16],
+) {
+    assert_eq!(input.len(), geo.in_channels * h * w, "input size");
+    let (oh, ow) = geo.out_hw(h, w);
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let patch = geo.in_channels * k * k;
+    let stride = patch_stride(patch);
+    assert_eq!(lowered.len(), oh * ow * stride, "lowered scratch size");
+    lowered.fill(0);
+
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let col = oy * ow + ox;
+            let dst = &mut lowered[col * stride..col * stride + patch];
+            for ci in 0..geo.in_channels {
+                let plane = &input[ci * h * w..(ci + 1) * h * w];
+                for ky in 0..k {
+                    let iy = oy as isize * geo.stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // padding row: stays zero
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    let drow = &mut dst[(ci * k + ky) * k..(ci * k + ky + 1) * k];
+                    for (kx, d) in drow.iter_mut().enumerate() {
+                        let ix = ox as isize * geo.stride as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            *d = (src_row[ix as usize] as i32 - in_zp) as i16;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The padded per-patch stride of the im2row layout: `patch` rounded up
+/// to a multiple of 8 i16 lanes, so every patch starts 16-byte aligned
+/// and dots have no scalar remainder.
+#[inline]
+pub fn patch_stride(patch: usize) -> usize {
+    patch.div_ceil(8) * 8
+}
+
+/// One dot product over pre-widened operands:
+/// `bias + sum_r w[r] * x[r]`, accumulating in `r`-ascending order.
+///
+/// Both slices are i16 — the filter is widened once at program-compile
+/// time — so the loop is a pure widening multiply-accumulate that LLVM
+/// vectorizes to `pmaddwd`-class instructions. Integer accumulation is
+/// exact, so the result is bit-identical to any other summation order of
+/// the same products.
+#[inline]
+pub fn qdot(w: &[i16], x: &[i16], bias: i32) -> i32 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut a = bias;
+    for (&wv, &xv) in w.iter().zip(x.iter()) {
+        a += wv as i32 * xv as i32;
+    }
+    a
 }
 
 /// One GEMM row: `acc[col] = bias + sum_r weight[r] * lowered[r][col]`.
@@ -73,6 +186,88 @@ pub fn qgemm_row(weight: &[i8], lowered: &[i16], bias: i32, acc: &mut [i32]) {
             *a += wv * x as i32;
         }
     }
+}
+
+/// Repacks a `C_out x patch` row-major weight matrix into panels of `nr`
+/// output channels, interleaved patch-major:
+///
+/// ```text
+/// packed[(p * patch + r) * nr + l] = weight[(p*nr + l) * patch + r]
+/// ```
+///
+/// so that [`qgemm_panel`] reads the `nr` weights of patch row `r` as one
+/// contiguous load and reuses each lowered-matrix row across all `nr`
+/// channels of the panel — one pass over the im2col matrix per panel
+/// instead of one per channel. Channels past `out_channels` (the last
+/// panel's padding) are zero filters, which contribute nothing.
+///
+/// This runs once at program-compile time; the hot loop never touches the
+/// original layout again.
+pub fn pack_weight_panels(weight: &[i8], out_channels: usize, patch: usize, nr: usize) -> Vec<i8> {
+    assert_eq!(weight.len(), out_channels * patch, "weight size");
+    assert!(nr > 0, "panel width must be positive");
+    let n_panels = out_channels.div_ceil(nr);
+    let mut packed = vec![0i8; n_panels * patch * nr];
+    for p in 0..n_panels {
+        for r in 0..patch {
+            for l in 0..nr {
+                let co = p * nr + l;
+                if co < out_channels {
+                    packed[(p * patch + r) * nr + l] = weight[co * patch + r];
+                }
+            }
+        }
+    }
+    packed
+}
+
+/// One panel GEMM: `acc[l][col] = biases[l] + sum_r panel[r][l] * lowered[r][col]`
+/// for the `nr = biases.len()` channels of one pre-packed weight panel
+/// (see [`pack_weight_panels`]).
+///
+/// Accumulation per output element is `r`-ascending, exactly like
+/// [`qgemm_row`], and all-integer — the results are bit-identical, the
+/// panel just amortizes each lowered-row load over `nr` channels.
+pub fn qgemm_panel(panel: &[i8], lowered: &[i16], biases: &[i32], acc: &mut [i32]) {
+    let nr = biases.len();
+    assert!(nr > 0, "empty panel");
+    let cols = acc.len() / nr;
+    assert_eq!(acc.len(), nr * cols, "acc size");
+    let rows = panel.len() / nr;
+    assert_eq!(panel.len(), rows * nr, "panel size");
+    assert_eq!(lowered.len(), rows * cols, "lowered size");
+    for (l, &b) in biases.iter().enumerate() {
+        acc[l * cols..(l + 1) * cols].fill(b);
+    }
+    for r in 0..rows {
+        let x_row = &lowered[r * cols..(r + 1) * cols];
+        let w_panel = &panel[r * nr..(r + 1) * nr];
+        for (l, &wv) in w_panel.iter().enumerate() {
+            let wv = wv as i32;
+            let a_row = &mut acc[l * cols..(l + 1) * cols];
+            for (a, &x) in a_row.iter_mut().zip(x_row.iter()) {
+                *a += wv * x as i32;
+            }
+        }
+    }
+}
+
+/// Widens a `C_out x patch` row-major i8 weight matrix to i16 rows laid
+/// out at [`patch_stride`] spacing — the compile-time counterpart of
+/// [`qim2row_into`]. Each filter row is then directly [`qdot`]-able
+/// against a lowered patch; the `stride - patch` tail lanes are zero and
+/// meet the equally-zero padding lanes of every patch, so the padded dot
+/// is exact.
+pub fn widen_weight_rows(weight: &[i8], out_channels: usize, patch: usize) -> Vec<i16> {
+    assert_eq!(weight.len(), out_channels * patch, "weight size");
+    let stride = patch_stride(patch);
+    let mut wide = vec![0i16; out_channels * stride];
+    for co in 0..out_channels {
+        for (r, &v) in weight[co * patch..(co + 1) * patch].iter().enumerate() {
+            wide[co * stride + r] = v as i16;
+        }
+    }
+    wide
 }
 
 #[cfg(test)]
@@ -116,5 +311,109 @@ mod tests {
         let mut acc = vec![0i32; 3];
         qgemm_row(&[2, -1], &lowered, 10, &mut acc);
         assert_eq!(acc, vec![10 + 2 - 4, 10 + 4 - 5, 10 + 6 - 6]);
+    }
+
+    #[test]
+    fn qim2col_into_matches_allocating_entry() {
+        let geo = QConvGeometry {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let input: Vec<i8> = (0..2 * 6 * 5).map(|i| (i * 7 % 251) as i8).collect();
+        let want = qim2col(&input, 6, 5, 3, geo);
+        // Pre-dirty the scratch to prove the fill is complete.
+        let mut got = vec![77i16; want.len()];
+        qim2col_into(&input, 6, 5, 3, geo, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn panel_gemm_matches_per_row_gemm() {
+        // 5 output channels (forces a padded panel at nr = 4), 6-row patch,
+        // 7 columns.
+        let (c_out, patch, cols, nr) = (5usize, 6usize, 7usize, 4usize);
+        let weight: Vec<i8> = (0..c_out * patch)
+            .map(|i| (i as i8).wrapping_mul(17))
+            .collect();
+        let lowered: Vec<i16> = (0..patch * cols)
+            .map(|i| (i as i16 * 31) % 257 - 128)
+            .collect();
+        let bias: Vec<i32> = (0..c_out as i32).map(|i| i * 13 - 20).collect();
+
+        let mut want = vec![0i32; c_out * cols];
+        for co in 0..c_out {
+            qgemm_row(
+                &weight[co * patch..(co + 1) * patch],
+                &lowered,
+                bias[co],
+                &mut want[co * cols..(co + 1) * cols],
+            );
+        }
+
+        let packed = pack_weight_panels(&weight, c_out, patch, nr);
+        let n_panels = c_out.div_ceil(nr);
+        let mut bias_padded = bias.clone();
+        bias_padded.resize(n_panels * nr, 0);
+        let mut acc = vec![0i32; n_panels * nr * cols];
+        for p in 0..n_panels {
+            qgemm_panel(
+                &packed[p * patch * nr..(p + 1) * patch * nr],
+                &lowered,
+                &bias_padded[p * nr..(p + 1) * nr],
+                &mut acc[p * nr * cols..(p + 1) * nr * cols],
+            );
+        }
+        assert_eq!(&acc[..c_out * cols], &want[..]);
+    }
+
+    #[test]
+    fn im2row_qdot_matches_im2col_gemm_row() {
+        // Odd patch (2*3*3 = 18 pads to 24) with stride-2 downsampling and
+        // padding, so both the alignment tail and the padding-lane zeros
+        // are exercised.
+        let geo = QConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let (h, w, in_zp) = (6usize, 5usize, 3i32);
+        let (oh, ow) = geo.out_hw(h, w);
+        let cols = oh * ow;
+        let patch = geo.in_channels * geo.kernel * geo.kernel;
+        let input: Vec<i8> = (0..2 * h * w).map(|i| (i * 7 % 251) as i8).collect();
+        let weight: Vec<i8> = (0..3 * patch).map(|i| (i as i8).wrapping_mul(23)).collect();
+
+        let lowered = qim2col(&input, h, w, in_zp, geo);
+        let mut want = vec![0i32; 3 * cols];
+        for co in 0..3 {
+            qgemm_row(
+                &weight[co * patch..(co + 1) * patch],
+                &lowered,
+                5 + co as i32,
+                &mut want[co * cols..(co + 1) * cols],
+            );
+        }
+
+        let ps = patch_stride(patch);
+        assert!(ps > patch, "test should exercise a padded tail");
+        // Pre-dirty the scratch to prove the fill is complete.
+        let mut lowrow = vec![99i16; cols * ps];
+        qim2row_into(&input, h, w, in_zp, geo, &mut lowrow);
+        let wide = widen_weight_rows(&weight, 3, patch);
+        for co in 0..3 {
+            for col in 0..cols {
+                let got = qdot(
+                    &wide[co * ps..(co + 1) * ps],
+                    &lowrow[col * ps..(col + 1) * ps],
+                    5 + co as i32,
+                );
+                assert_eq!(got, want[co * cols + col], "co {co}, col {col}");
+            }
+        }
     }
 }

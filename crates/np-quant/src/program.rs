@@ -1,0 +1,912 @@
+//! Plan-once, run-many execution of a [`QuantizedNetwork`].
+//!
+//! [`QuantizedNetwork::run_int`] allocates fresh `Vec`s for the im2col
+//! scratch, the i32 accumulators, and every layer output on every frame.
+//! That is fine for evaluation sweeps but wrong for the paper's actual
+//! runtime: DORY plans every GAP8 buffer statically before the first frame
+//! and the steady-state loop never touches an allocator.
+//!
+//! [`QuantizedProgram::compile`] performs the same split for a fixed input
+//! shape:
+//!
+//! * every intermediate gets a byte size and a live range, and the
+//!   [`np_tensor::arena`] planner bin-packs them into one arena with
+//!   offset reuse (ping-pong for chains — exactly DORY's L2 layout);
+//! * conv weights are widened to i16 once and laid out at the padded
+//!   [`patch_stride`] ([`widen_weight_rows`]), so each output pixel of
+//!   the hot loop is one contiguous i16×i16 dot over the im2row matrix
+//!   ([`qim2row_into`]) — the `SumDotp` structure PULP-NN uses on GAP8 —
+//!   with the requantize fused in while the accumulator is still in a
+//!   register;
+//! * linear biases are zero-point-folded (`b' = b - zp * Σw`), turning the
+//!   fully-connected hot loop into a plain integer dot product.
+//!
+//! [`QuantizedProgram::run_int_prepacked`] then executes the step list
+//! into a reusable [`QScratch`]: after the scratch is warm, a frame
+//! performs **zero heap allocations** (enforced by a counting-allocator
+//! test) and produces outputs bit-identical to `run_int` — integer
+//! arithmetic makes the restructured loops exact, not approximately equal.
+
+use crate::kernels::QConvGeometry;
+use crate::lowering::{patch_stride, qdot, qim2row_into, widen_weight_rows};
+use crate::qnetwork::{QLayer, QuantizedNetwork};
+use crate::qparams::QuantParams;
+use crate::requant::{requantize_to_i8, FixedMultiplier};
+use np_tensor::arena::{disjoint_pair, plan_arena, BufferReq};
+use np_tensor::parallel::Pool;
+
+/// Output channels per conv work chunk: each pool worker produces
+/// [`PANEL`] channel planes at a time, reusing every lowered patch across
+/// the panel's filter rows while the patch is hot in L1.
+pub const PANEL: usize = 4;
+
+/// One executable step. Buffers are referred to by id; the program maps
+/// ids to planner-assigned arena offsets.
+#[derive(Debug, Clone)]
+enum Step {
+    Conv {
+        geo: QConvGeometry,
+        h: usize,
+        w: usize,
+        in_zp: i32,
+        /// Pre-widened i16 filter rows at [`patch_stride`] spacing (see
+        /// [`widen_weight_rows`]).
+        packed: Vec<i16>,
+        bias: Vec<i32>,
+        mults: Vec<FixedMultiplier>,
+        out_zp: i32,
+        relu: bool,
+        input: usize,
+        output: usize,
+    },
+    Depthwise {
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        h: usize,
+        w: usize,
+        in_zp: i32,
+        weight: Vec<i8>,
+        bias: Vec<i32>,
+        mults: Vec<FixedMultiplier>,
+        out_zp: i32,
+        relu: bool,
+        input: usize,
+        output: usize,
+    },
+    Linear {
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<i8>,
+        /// `bias[j] - in_zp * Σ weight[j]`, folded at compile time so the
+        /// hot loop is a plain dot product (exact in i32).
+        folded_bias: Vec<i32>,
+        mults: Vec<FixedMultiplier>,
+        out_zp: i32,
+        relu: bool,
+        input: usize,
+        output: usize,
+    },
+    MaxPool {
+        channels: usize,
+        h: usize,
+        w: usize,
+        kernel: usize,
+        stride: usize,
+        input: usize,
+        output: usize,
+    },
+    AvgPool {
+        channels: usize,
+        h: usize,
+        w: usize,
+        kernel: usize,
+        stride: usize,
+        input: usize,
+        output: usize,
+    },
+    GlobalAvgPool {
+        channels: usize,
+        h: usize,
+        w: usize,
+        input: usize,
+        output: usize,
+    },
+    /// Standalone ReLU clamps in place — no new buffer.
+    ReluInPlace { zp: i32, buf: usize },
+}
+
+/// Buffer bookkeeping during compilation: sizes and live ranges of the
+/// activation chain, one logical time tick per executed step.
+struct Bufs {
+    sizes: Vec<usize>,
+    first: Vec<usize>,
+    last: Vec<usize>,
+    cur: usize,
+    time: usize,
+}
+
+impl Bufs {
+    fn new(input_len: usize) -> Self {
+        Bufs {
+            sizes: vec![input_len],
+            first: vec![0],
+            last: vec![0],
+            cur: 0,
+            time: 0,
+        }
+    }
+
+    /// A step consuming the current buffer and producing a fresh one.
+    /// Returns `(input_id, output_id)`.
+    fn advance(&mut self, out_len: usize) -> (usize, usize) {
+        self.time += 1;
+        self.last[self.cur] = self.time;
+        self.sizes.push(out_len);
+        self.first.push(self.time);
+        self.last.push(self.time);
+        let input = self.cur;
+        self.cur = self.sizes.len() - 1;
+        (input, self.cur)
+    }
+
+    /// An in-place step: extends the current buffer's live range.
+    fn touch(&mut self) -> usize {
+        self.time += 1;
+        self.last[self.cur] = self.time;
+        self.cur
+    }
+}
+
+/// Reusable execution scratch for [`QuantizedProgram`]: the planned
+/// activation arena plus the im2row buffer sized to the largest conv
+/// step. One scratch can serve several programs (e.g. the big and little
+/// members of an ensemble) — each run grows it to the required size once,
+/// after which execution never allocates.
+#[derive(Debug, Default)]
+pub struct QScratch {
+    arena: Vec<i8>,
+    lowered: Vec<i16>,
+    out_f32: Vec<f32>,
+}
+
+impl QScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        QScratch::default()
+    }
+
+    /// A scratch pre-sized for `program` — no allocation on any
+    /// subsequent run of it.
+    pub fn for_program(program: &QuantizedProgram) -> Self {
+        Self::for_programs(&[program])
+    }
+
+    /// A scratch pre-sized for every program in `programs` (sized to the
+    /// maximum of each requirement) — the ensemble case: one arena serves
+    /// the big and the little model because they never run concurrently.
+    pub fn for_programs(programs: &[&QuantizedProgram]) -> Self {
+        let mut s = QScratch::new();
+        for p in programs {
+            s.reserve(p);
+        }
+        s
+    }
+
+    /// Grows the buffers to `program`'s requirements (never shrinks).
+    pub fn reserve(&mut self, program: &QuantizedProgram) {
+        if self.arena.len() < program.arena_len {
+            self.arena.resize(program.arena_len, 0);
+        }
+        if self.lowered.len() < program.lowered_len {
+            self.lowered.resize(program.lowered_len, 0);
+        }
+        let out_len = program.buf_sizes[program.output_buf];
+        if self.out_f32.len() < out_len {
+            self.out_f32.resize(out_len, 0.0);
+        }
+    }
+}
+
+/// A [`QuantizedNetwork`] compiled for one input shape: static arena
+/// plan, pre-packed weights, and an allocation-free executor. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct QuantizedProgram {
+    name: String,
+    input_params: QuantParams,
+    output_params: QuantParams,
+    input_chw: (usize, usize, usize),
+    output_chw: (usize, usize, usize),
+    steps: Vec<Step>,
+    buf_offsets: Vec<usize>,
+    buf_sizes: Vec<usize>,
+    arena_len: usize,
+    lowered_len: usize,
+    output_buf: usize,
+}
+
+impl QuantizedProgram {
+    /// Compiles `net` for inputs of shape `chw`. All planning, packing,
+    /// and bias folding happens here, once.
+    pub fn compile(net: &QuantizedNetwork, chw: (usize, usize, usize)) -> Self {
+        let (mut c, mut h, mut w) = chw;
+        let mut zp = net.input_params().zero_point;
+        let mut bufs = Bufs::new(c * h * w);
+        let mut steps = Vec::with_capacity(net.qlayers().len());
+        let mut lowered_len = 0usize;
+
+        for layer in net.qlayers() {
+            match layer {
+                QLayer::Conv {
+                    geo,
+                    weight,
+                    bias,
+                    mults,
+                    out,
+                    relu,
+                } => {
+                    let (oh, ow) = geo.out_hw(h, w);
+                    let cols = oh * ow;
+                    let patch = geo.in_channels * geo.kernel * geo.kernel;
+                    lowered_len = lowered_len.max(cols * patch_stride(patch));
+                    let (input, output) = bufs.advance(geo.out_channels * cols);
+                    steps.push(Step::Conv {
+                        geo: *geo,
+                        h,
+                        w,
+                        in_zp: zp,
+                        packed: widen_weight_rows(weight, geo.out_channels, patch),
+                        bias: bias.clone(),
+                        mults: mults.clone(),
+                        out_zp: out.zero_point,
+                        relu: *relu,
+                        input,
+                        output,
+                    });
+                    c = geo.out_channels;
+                    h = oh;
+                    w = ow;
+                    zp = out.zero_point;
+                }
+                QLayer::Depthwise {
+                    channels,
+                    kernel,
+                    stride,
+                    padding,
+                    weight,
+                    bias,
+                    mults,
+                    out,
+                    relu,
+                } => {
+                    let oh = (h + 2 * padding - kernel) / stride + 1;
+                    let ow = (w + 2 * padding - kernel) / stride + 1;
+                    let (input, output) = bufs.advance(channels * oh * ow);
+                    steps.push(Step::Depthwise {
+                        channels: *channels,
+                        kernel: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                        h,
+                        w,
+                        in_zp: zp,
+                        weight: weight.clone(),
+                        bias: bias.clone(),
+                        mults: mults.clone(),
+                        out_zp: out.zero_point,
+                        relu: *relu,
+                        input,
+                        output,
+                    });
+                    h = oh;
+                    w = ow;
+                    zp = out.zero_point;
+                }
+                QLayer::Linear {
+                    out_features,
+                    weight,
+                    bias,
+                    mults,
+                    out,
+                    relu,
+                } => {
+                    let in_features = c * h * w;
+                    // Fold the input zero point into the bias: in i32,
+                    // Σ (x - zp) w == Σ x·w - zp·Σw exactly.
+                    let folded_bias: Vec<i32> = (0..*out_features)
+                        .map(|j| {
+                            let wrow = &weight[j * in_features..(j + 1) * in_features];
+                            let wsum: i32 = wrow.iter().map(|&v| v as i32).sum();
+                            bias[j] - zp * wsum
+                        })
+                        .collect();
+                    let (input, output) = bufs.advance(*out_features);
+                    steps.push(Step::Linear {
+                        in_features,
+                        out_features: *out_features,
+                        weight: weight.clone(),
+                        folded_bias,
+                        mults: mults.clone(),
+                        out_zp: out.zero_point,
+                        relu: *relu,
+                        input,
+                        output,
+                    });
+                    c = *out_features;
+                    h = 1;
+                    w = 1;
+                    zp = out.zero_point;
+                }
+                QLayer::MaxPool { kernel, stride } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let (input, output) = bufs.advance(c * oh * ow);
+                    steps.push(Step::MaxPool {
+                        channels: c,
+                        h,
+                        w,
+                        kernel: *kernel,
+                        stride: *stride,
+                        input,
+                        output,
+                    });
+                    h = oh;
+                    w = ow;
+                }
+                QLayer::AvgPool { kernel, stride } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let (input, output) = bufs.advance(c * oh * ow);
+                    steps.push(Step::AvgPool {
+                        channels: c,
+                        h,
+                        w,
+                        kernel: *kernel,
+                        stride: *stride,
+                        input,
+                        output,
+                    });
+                    h = oh;
+                    w = ow;
+                }
+                QLayer::GlobalAvgPool => {
+                    let (input, output) = bufs.advance(c);
+                    steps.push(Step::GlobalAvgPool {
+                        channels: c,
+                        h,
+                        w,
+                        input,
+                        output,
+                    });
+                    h = 1;
+                    w = 1;
+                }
+                QLayer::Relu => {
+                    let buf = bufs.touch();
+                    steps.push(Step::ReluInPlace { zp, buf });
+                }
+                QLayer::Flatten => {
+                    // Shape-only: the buffer is reinterpreted, not moved.
+                    c *= h * w;
+                    h = 1;
+                    w = 1;
+                }
+            }
+        }
+
+        let reqs: Vec<BufferReq> = bufs
+            .sizes
+            .iter()
+            .zip(bufs.first.iter().zip(bufs.last.iter()))
+            .map(|(&bytes, (&f, &l))| BufferReq::new(bytes, f, l))
+            .collect();
+        let plan = plan_arena(&reqs);
+
+        QuantizedProgram {
+            name: net.name().to_string(),
+            input_params: net.input_params(),
+            output_params: net.output_params(),
+            input_chw: chw,
+            output_chw: (c, h, w),
+            steps,
+            buf_offsets: plan.offsets,
+            buf_sizes: bufs.sizes,
+            arena_len: plan.arena_bytes,
+            lowered_len,
+            output_buf: bufs.cur,
+        }
+    }
+
+    /// Network name (inherited from the float model).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Quantization parameters of the program input.
+    pub fn input_params(&self) -> QuantParams {
+        self.input_params
+    }
+
+    /// Quantization parameters of the program output.
+    pub fn output_params(&self) -> QuantParams {
+        self.output_params
+    }
+
+    /// The fixed input shape the program was compiled for.
+    pub fn input_chw(&self) -> (usize, usize, usize) {
+        self.input_chw
+    }
+
+    /// The output shape every run produces.
+    pub fn output_chw(&self) -> (usize, usize, usize) {
+        self.output_chw
+    }
+
+    /// Flat output element count.
+    pub fn output_len(&self) -> usize {
+        self.buf_sizes[self.output_buf]
+    }
+
+    /// Planned activation arena size in bytes — directly comparable to
+    /// `np-dory`'s `activation_bytes` L2 bound (the program plan fuses
+    /// ReLU in place and aliases reshapes, so it is `<=` that bound).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Naive per-frame allocation footprint this plan replaces: the sum of
+    /// every intermediate buffer, with no offset reuse.
+    pub fn naive_activation_bytes(&self) -> usize {
+        self.buf_sizes.iter().sum()
+    }
+
+    /// Bytes of pre-packed weights/biases held by the program.
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Conv { packed, bias, .. } => 2 * packed.len() + 4 * bias.len(),
+                Step::Depthwise { weight, bias, .. } => weight.len() + 4 * bias.len(),
+                Step::Linear {
+                    weight,
+                    folded_bias,
+                    ..
+                } => weight.len() + 4 * folded_bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Runs the program on an already-quantized CHW image, writing every
+    /// intermediate into `scratch`'s planned arena. Returns the output
+    /// slice (borrowed from the scratch) and its shape.
+    ///
+    /// After `scratch` is warm (first call, or [`QScratch::for_program`])
+    /// this performs **zero heap allocations** when `pool` is serial; on a
+    /// wider pool only `std::thread::scope`'s per-region spawns allocate.
+    /// Outputs are bit-identical to [`QuantizedNetwork::run_int`] at any
+    /// pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the compiled input shape.
+    pub fn run_int_prepacked<'s>(
+        &self,
+        pool: Pool,
+        scratch: &'s mut QScratch,
+        input: &[i8],
+    ) -> (&'s [i8], (usize, usize, usize)) {
+        assert_eq!(input.len(), self.buf_sizes[0], "input size mismatch");
+        scratch.reserve(self);
+        let in_off = self.buf_offsets[0];
+        scratch.arena[in_off..in_off + input.len()].copy_from_slice(input);
+        self.exec_steps(pool, scratch);
+        let out_off = self.buf_offsets[self.output_buf];
+        let out_len = self.buf_sizes[self.output_buf];
+        (&scratch.arena[out_off..out_off + out_len], self.output_chw)
+    }
+
+    /// Float-in/float-out single-frame entry: quantizes `frame` straight
+    /// into the arena, runs the integer steps, and dequantizes the output
+    /// into the scratch's f32 buffer. Same allocation guarantees as
+    /// [`Self::run_int_prepacked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` does not match the compiled input shape.
+    pub fn forward_prepacked<'s>(
+        &self,
+        pool: Pool,
+        scratch: &'s mut QScratch,
+        frame: &[f32],
+    ) -> &'s [f32] {
+        assert_eq!(frame.len(), self.buf_sizes[0], "input size mismatch");
+        scratch.reserve(self);
+        let in_off = self.buf_offsets[0];
+        self.input_params
+            .quantize_into(frame, &mut scratch.arena[in_off..in_off + frame.len()]);
+        self.exec_steps(pool, scratch);
+        let out_off = self.buf_offsets[self.output_buf];
+        let out_len = self.buf_sizes[self.output_buf];
+        {
+            let QScratch { arena, out_f32, .. } = scratch;
+            self.output_params
+                .dequantize_into(&arena[out_off..out_off + out_len], &mut out_f32[..out_len]);
+        }
+        &scratch.out_f32[..out_len]
+    }
+
+    /// Executes the step list against a warm scratch. Allocation-free.
+    fn exec_steps(&self, pool: Pool, scratch: &mut QScratch) {
+        let QScratch { arena, lowered, .. } = scratch;
+        for step in &self.steps {
+            match step {
+                Step::Conv {
+                    geo,
+                    h,
+                    w,
+                    in_zp,
+                    packed,
+                    bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let (oh, ow) = geo.out_hw(*h, *w);
+                    let cols = oh * ow;
+                    let patch = geo.in_channels * geo.kernel * geo.kernel;
+                    let ps = patch_stride(patch);
+                    let (in_off, in_len) = self.buf_at(*input);
+                    qim2row_into(
+                        &arena[in_off..in_off + in_len],
+                        *h,
+                        *w,
+                        *in_zp,
+                        *geo,
+                        &mut lowered[..cols * ps],
+                    );
+                    let low: &[i16] = &lowered[..cols * ps];
+                    let (out_off, out_len) = self.buf_at(*output);
+                    let pool = pool.for_work(geo.out_channels * patch * cols);
+                    let relu_floor = (*out_zp).clamp(-128, 127) as i8;
+                    // Each worker owns PANEL output channel planes. Per
+                    // output pixel, the lowered patch is dotted against
+                    // the panel's filter rows while it sits in L1, and
+                    // each accumulator is requantized straight out of its
+                    // register — no i32 accumulator matrix, no second
+                    // pass. The last chunk is shorter when out_channels
+                    // is not a multiple of PANEL.
+                    pool.for_each_chunk(
+                        &mut arena[out_off..out_off + out_len],
+                        PANEL * cols,
+                        |p, out_panel| {
+                            let live = out_panel.len() / cols;
+                            for col in 0..cols {
+                                let xp = &low[col * ps..col * ps + ps];
+                                for l in 0..live {
+                                    let co = p * PANEL + l;
+                                    let a = qdot(&packed[co * ps..(co + 1) * ps], xp, bias[co]);
+                                    let q = requantize_to_i8(a, mults[co], *out_zp);
+                                    out_panel[l * cols + col] = if *relu && (q as i32) < *out_zp {
+                                        relu_floor
+                                    } else {
+                                        q
+                                    };
+                                }
+                            }
+                        },
+                    );
+                }
+                Step::Depthwise {
+                    channels,
+                    kernel,
+                    stride,
+                    padding,
+                    h,
+                    w,
+                    in_zp,
+                    weight,
+                    bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let oh = (h + 2 * padding - kernel) / stride + 1;
+                    let ow = (w + 2 * padding - kernel) / stride + 1;
+                    let pad = *padding as isize;
+                    let (inp, outp) =
+                        disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
+                    let pool = pool.for_work(channels * kernel * kernel * oh * ow);
+                    pool.for_each_chunk(outp, oh * ow, |ci, dst| {
+                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                        let kern = &weight[ci * kernel * kernel..(ci + 1) * kernel * kernel];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut a = bias[ci];
+                                for ky in 0..*kernel {
+                                    let iy = oy as isize * *stride as isize + ky as isize - pad;
+                                    if iy < 0 || iy >= *h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..*kernel {
+                                        let ix = ox as isize * *stride as isize + kx as isize - pad;
+                                        if ix >= 0 && ix < *w as isize {
+                                            let x =
+                                                plane[iy as usize * w + ix as usize] as i32 - in_zp;
+                                            a += x * kern[ky * kernel + kx] as i32;
+                                        }
+                                    }
+                                }
+                                let mut q = requantize_to_i8(a, mults[ci], *out_zp);
+                                if *relu && (q as i32) < *out_zp {
+                                    q = (*out_zp).clamp(-128, 127) as i8;
+                                }
+                                dst[oy * ow + ox] = q;
+                            }
+                        }
+                    });
+                }
+                Step::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    folded_bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let (inp, outp) =
+                        disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
+                    for j in 0..*out_features {
+                        let wrow = &weight[j * in_features..(j + 1) * in_features];
+                        let mut a = folded_bias[j];
+                        for (&x, &wv) in inp.iter().zip(wrow.iter()) {
+                            a += x as i32 * wv as i32;
+                        }
+                        let mut q = requantize_to_i8(a, mults[j], *out_zp);
+                        if *relu && (q as i32) < *out_zp {
+                            q = (*out_zp).clamp(-128, 127) as i8;
+                        }
+                        outp[j] = q;
+                    }
+                }
+                Step::MaxPool {
+                    channels,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    input,
+                    output,
+                } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let (inp, outp) =
+                        disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
+                    for ci in 0..*channels {
+                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = i8::MIN;
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        best = best
+                                            .max(plane[(oy * stride + ky) * w + ox * stride + kx]);
+                                    }
+                                }
+                                outp[ci * oh * ow + oy * ow + ox] = best;
+                            }
+                        }
+                    }
+                }
+                Step::AvgPool {
+                    channels,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    input,
+                    output,
+                } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let div = (kernel * kernel) as i32;
+                    let (inp, outp) =
+                        disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
+                    for ci in 0..*channels {
+                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut a = 0i32;
+                                for ky in 0..*kernel {
+                                    for kx in 0..*kernel {
+                                        a +=
+                                            plane[(oy * stride + ky) * w + ox * stride + kx] as i32;
+                                    }
+                                }
+                                let rounded = if a >= 0 {
+                                    (a + div / 2) / div
+                                } else {
+                                    (a - div / 2) / div
+                                };
+                                outp[ci * oh * ow + oy * ow + ox] = rounded.clamp(-128, 127) as i8;
+                            }
+                        }
+                    }
+                }
+                Step::GlobalAvgPool {
+                    channels,
+                    h,
+                    w,
+                    input,
+                    output,
+                } => {
+                    let div = (h * w) as i32;
+                    let (inp, outp) =
+                        disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
+                    for (ci, o) in outp.iter_mut().enumerate().take(*channels) {
+                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                        let sum: i32 = plane.iter().map(|&v| v as i32).sum();
+                        let rounded = if sum >= 0 {
+                            (sum + div / 2) / div
+                        } else {
+                            (sum - div / 2) / div
+                        };
+                        *o = rounded.clamp(-128, 127) as i8;
+                    }
+                }
+                Step::ReluInPlace { zp, buf } => {
+                    let (off, len) = self.buf_at(*buf);
+                    let floor = (*zp).clamp(-128, 127) as i8;
+                    for v in &mut arena[off..off + len] {
+                        if (*v as i32) < *zp {
+                            *v = floor;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn buf_at(&self, id: usize) -> (usize, usize) {
+        (self.buf_offsets[id], self.buf_sizes[id])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_nn::init::{Initializer, SmallRng};
+    use np_nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, MaxPool2d, Relu};
+    use np_nn::Sequential;
+    use np_tensor::Tensor;
+
+    /// Conv/BN/ReLU/depthwise/pool/linear mix sized for `side x side`
+    /// inputs (`side` must be a multiple of 8).
+    fn mixed_net(rng: &mut SmallRng, side: usize) -> Sequential {
+        let pooled = side / 4;
+        Sequential::with_name(
+            "mini-mixed",
+            vec![
+                Box::new(Conv2d::new(1, 5, 3, 2, 1, Initializer::KaimingUniform, rng)),
+                Box::new(BatchNorm2d::new(5)),
+                Box::new(Relu::new()),
+                Box::new(DepthwiseConv2d::new(
+                    5,
+                    3,
+                    1,
+                    1,
+                    Initializer::KaimingUniform,
+                    rng,
+                )),
+                Box::new(Relu::new()),
+                Box::new(MaxPool2d::new(2, 2)),
+                Box::new(Conv2d::new(5, 6, 3, 1, 1, Initializer::KaimingUniform, rng)),
+                Box::new(Relu::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(
+                    6 * pooled * pooled,
+                    3,
+                    Initializer::KaimingUniform,
+                    rng,
+                )),
+            ],
+        )
+    }
+
+    fn calib_batch(rng: &mut SmallRng, n: usize, side: usize) -> Tensor {
+        let data: Vec<f32> = (0..n * side * side)
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
+        Tensor::from_vec(&[n, 1, side, side], data)
+    }
+
+    #[test]
+    fn prepacked_matches_run_int_exactly() {
+        let mut rng = SmallRng::seed(42);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 8, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile((1, 16, 16));
+        let mut scratch = QScratch::for_program(&program);
+
+        for seed in 0..5u64 {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let input: Vec<i8> = (0..256)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as i8
+                })
+                .collect();
+            let (want, want_shape) = qnet.run_int_with(Pool::serial(), &input, (1, 16, 16));
+            for threads in [1, 2, 4] {
+                let (got, got_shape) =
+                    program.run_int_prepacked(Pool::new(threads), &mut scratch, &input);
+                assert_eq!(got_shape, want_shape);
+                assert_eq!(got, &want[..], "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_prepacked_matches_forward() {
+        let mut rng = SmallRng::seed(43);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 8, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile((1, 16, 16));
+        let mut scratch = QScratch::new();
+
+        let frame = calib_batch(&mut rng, 1, 16);
+        let want = qnet.forward_with(Pool::serial(), &frame);
+        let got = program.forward_prepacked(Pool::serial(), &mut scratch, frame.as_slice());
+        assert_eq!(got, want.as_slice());
+    }
+
+    #[test]
+    fn arena_is_smaller_than_naive_sum_and_output_survives() {
+        let mut rng = SmallRng::seed(44);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 4, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile((1, 16, 16));
+        assert!(program.arena_bytes() < program.naive_activation_bytes());
+        assert_eq!(program.output_chw(), (3, 1, 1));
+        assert_eq!(program.output_len(), 3);
+        assert!(program.packed_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_is_shareable_across_programs() {
+        let mut rng = SmallRng::seed(45);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 4, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let p16 = qnet.compile((1, 16, 16));
+        // A second, larger program shares the scratch.
+        let net32 = mixed_net(&mut SmallRng::seed(42), 32);
+        let qnet32 = QuantizedNetwork::quantize(&net32, &calib_batch(&mut rng, 4, 32));
+        let p32 = qnet32.compile((1, 32, 32));
+        let mut scratch = QScratch::for_programs(&[&p16, &p32]);
+
+        let x16 = vec![7i8; 256];
+        let x32 = vec![-3i8; 1024];
+        let (want16, _) = qnet.run_int_with(Pool::serial(), &x16, (1, 16, 16));
+        let (want32, _) = qnet32.run_int_with(Pool::serial(), &x32, (1, 32, 32));
+        let (got16, _) = p16.run_int_prepacked(Pool::serial(), &mut scratch, &x16);
+        assert_eq!(got16, &want16[..]);
+        let (got32, _) = p32.run_int_prepacked(Pool::serial(), &mut scratch, &x32);
+        assert_eq!(got32, &want32[..]);
+        // And interleaved again: stale arena contents must not leak.
+        let (got16b, _) = p16.run_int_prepacked(Pool::serial(), &mut scratch, &x16);
+        assert_eq!(got16b, &want16[..]);
+    }
+}

@@ -16,7 +16,7 @@ use np_tensor::Tensor;
 
 /// One operator of a quantized network.
 #[derive(Debug, Clone)]
-enum QLayer {
+pub(crate) enum QLayer {
     Conv {
         geo: QConvGeometry,
         weight: Vec<i8>,
@@ -194,6 +194,22 @@ impl QuantizedNetwork {
     /// Network name (inherited from the float model).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The lowered operator sequence (for the program compiler).
+    pub(crate) fn qlayers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Compiles this network for a fixed input shape into a
+    /// [`crate::QuantizedProgram`]: weights pre-packed into im2col-ready
+    /// panels, linear biases zero-point-folded, and every intermediate
+    /// assigned a static offset in one planned arena. The program's
+    /// [`run_int_prepacked`](crate::QuantizedProgram::run_int_prepacked)
+    /// produces bit-identical outputs to [`Self::run_int`] without
+    /// allocating.
+    pub fn compile(&self, chw: (usize, usize, usize)) -> crate::program::QuantizedProgram {
+        crate::program::QuantizedProgram::compile(self, chw)
     }
 
     /// Quantization parameters of the network input.

@@ -66,6 +66,31 @@ impl QuantParams {
     pub fn dequantize_slice(&self, qs: &[i8]) -> Vec<f32> {
         qs.iter().map(|&q| self.dequantize(q)).collect()
     }
+
+    /// [`Self::quantize_slice`] into a caller-provided buffer — the
+    /// allocation-free entry the prepacked executors use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn quantize_into(&self, xs: &[f32], out: &mut [i8]) {
+        assert_eq!(xs.len(), out.len(), "quantize_into length mismatch");
+        for (o, &x) in out.iter_mut().zip(xs.iter()) {
+            *o = self.quantize(x);
+        }
+    }
+
+    /// [`Self::dequantize_slice`] into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dequantize_into(&self, qs: &[i8], out: &mut [f32]) {
+        assert_eq!(qs.len(), out.len(), "dequantize_into length mismatch");
+        for (o, &q) in out.iter_mut().zip(qs.iter()) {
+            *o = self.dequantize(q);
+        }
+    }
 }
 
 /// Running min/max observer used during calibration.

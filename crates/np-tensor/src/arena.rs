@@ -1,0 +1,323 @@
+//! Static arena planner for intermediate buffers.
+//!
+//! Given the byte size and live range (first and last step at which the
+//! buffer's contents matter) of every intermediate in a computation, the
+//! planner assigns each buffer a fixed offset in one flat arena such that
+//! no two buffers with overlapping live ranges overlap in memory. The
+//! arena is sized once at compile time; steady-state execution then runs
+//! without a single heap allocation.
+//!
+//! This mirrors what DORY does for GAP8's L2 before the first frame ever
+//! runs: activation tensors of a layer chain ping-pong between the two
+//! ends of a fixed region whose size is the largest input+output pair.
+//! The planner reproduces that bound exactly for chain-shaped graphs and
+//! falls back to a greedy interval packing for general live ranges:
+//!
+//! * **Chain layout** (every buffer overlaps only its immediate
+//!   neighbours): buffers alternate between offset 0 and the top of the
+//!   arena. Adjacent pair `(i, i+1)` fits by construction because the
+//!   arena is sized to the maximum overlapping pair sum, which is also a
+//!   lower bound (both buffers of the peak pair are live at once) — so
+//!   this layout is optimal.
+//! * **Greedy best-effort** (general case): buffers are placed in
+//!   decreasing size order, each at the lowest offset that does not
+//!   collide with an already-placed, live-range-overlapping buffer
+//!   (the TFLM "greedy by size" strategy).
+//!
+//! The planner computes both candidates when applicable and returns the
+//! tighter one.
+
+/// One intermediate buffer: how many bytes it needs and the inclusive
+/// step interval during which it must stay resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferReq {
+    /// Size in bytes (may be zero for empty tensors).
+    pub bytes: usize,
+    /// First step at which the buffer is written or read.
+    pub first_use: usize,
+    /// Last step at which the buffer is written or read (inclusive).
+    pub last_use: usize,
+}
+
+impl BufferReq {
+    /// A buffer of `bytes` live over the inclusive interval
+    /// `[first_use, last_use]`. Panics if the interval is inverted.
+    pub fn new(bytes: usize, first_use: usize, last_use: usize) -> Self {
+        assert!(
+            first_use <= last_use,
+            "inverted live range [{first_use}, {last_use}]"
+        );
+        BufferReq {
+            bytes,
+            first_use,
+            last_use,
+        }
+    }
+
+    fn overlaps(&self, other: &BufferReq) -> bool {
+        self.first_use <= other.last_use && other.first_use <= self.last_use
+    }
+}
+
+/// The planner's output: one offset per input buffer plus the total
+/// arena size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaPlan {
+    /// Byte offset of each buffer, parallel to the input slice.
+    pub offsets: Vec<usize>,
+    /// Total arena size in bytes (the peak of `offset + bytes`).
+    pub arena_bytes: usize,
+}
+
+impl ArenaPlan {
+    fn from_offsets(reqs: &[BufferReq], offsets: Vec<usize>) -> Self {
+        let arena_bytes = reqs
+            .iter()
+            .zip(&offsets)
+            .map(|(r, &o)| o + r.bytes)
+            .max()
+            .unwrap_or(0);
+        ArenaPlan {
+            offsets,
+            arena_bytes,
+        }
+    }
+
+    /// Panics if any two buffers with overlapping live ranges also
+    /// overlap in arena offsets. Used by tests and debug assertions.
+    pub fn validate(&self, reqs: &[BufferReq]) {
+        assert_eq!(self.offsets.len(), reqs.len());
+        for i in 0..reqs.len() {
+            for j in (i + 1)..reqs.len() {
+                if !reqs[i].overlaps(&reqs[j]) || reqs[i].bytes == 0 || reqs[j].bytes == 0 {
+                    continue;
+                }
+                let (ai, bi) = (self.offsets[i], self.offsets[i] + reqs[i].bytes);
+                let (aj, bj) = (self.offsets[j], self.offsets[j] + reqs[j].bytes);
+                assert!(
+                    bi <= aj || bj <= ai,
+                    "buffers {i} [{ai}, {bi}) and {j} [{aj}, {bj}) alias while both live"
+                );
+            }
+        }
+    }
+}
+
+/// Plans arena offsets for `reqs`, minimizing (best-effort) the total
+/// arena size. The returned plan never aliases two buffers whose live
+/// ranges overlap, and its `arena_bytes` never exceeds the naive
+/// sum-of-all-buffers bound.
+pub fn plan_arena(reqs: &[BufferReq]) -> ArenaPlan {
+    if reqs.is_empty() {
+        return ArenaPlan {
+            offsets: Vec::new(),
+            arena_bytes: 0,
+        };
+    }
+    let greedy = greedy_by_size(reqs);
+    match chain_ping_pong(reqs) {
+        Some(chain) if chain.arena_bytes < greedy.arena_bytes => chain,
+        _ => greedy,
+    }
+}
+
+/// Greedy interval packing: place buffers in decreasing size order, each
+/// at the lowest offset that clears every already-placed buffer whose
+/// live range overlaps. Deterministic (ties break on index).
+fn greedy_by_size(reqs: &[BufferReq]) -> ArenaPlan {
+    let mut order: Vec<usize> = (0..reqs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(reqs[i].bytes), i));
+
+    let mut offsets = vec![0usize; reqs.len()];
+    let mut placed: Vec<usize> = Vec::with_capacity(reqs.len());
+    for &i in &order {
+        // Occupied intervals that are live at the same time as buffer i,
+        // sorted by offset; walk them to find the first gap that fits.
+        let mut busy: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|&&j| reqs[i].overlaps(&reqs[j]) && reqs[j].bytes > 0)
+            .map(|&j| (offsets[j], offsets[j] + reqs[j].bytes))
+            .collect();
+        busy.sort_unstable();
+        let mut cursor = 0usize;
+        for (start, end) in busy {
+            if cursor + reqs[i].bytes <= start {
+                break;
+            }
+            cursor = cursor.max(end);
+        }
+        offsets[i] = cursor;
+        placed.push(i);
+    }
+    ArenaPlan::from_offsets(reqs, offsets)
+}
+
+/// Optimal layout for chain-shaped graphs: if every overlap is between
+/// buffers `i` and `i+1`, alternate buffers between the bottom and the
+/// top of an arena sized to the largest overlapping adjacent pair. That
+/// size is also a lower bound (the peak pair is simultaneously live), so
+/// the layout is optimal. Returns `None` when the graph is not a chain.
+fn chain_ping_pong(reqs: &[BufferReq]) -> Option<ArenaPlan> {
+    for i in 0..reqs.len() {
+        for j in (i + 2)..reqs.len() {
+            if reqs[i].overlaps(&reqs[j]) {
+                return None;
+            }
+        }
+    }
+    let single = reqs.iter().map(|r| r.bytes).max().unwrap_or(0);
+    let pair = reqs
+        .windows(2)
+        .filter(|w| w[0].overlaps(&w[1]))
+        .map(|w| w[0].bytes + w[1].bytes)
+        .max()
+        .unwrap_or(0);
+    let arena = single.max(pair);
+    let offsets = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| if i % 2 == 0 { 0 } else { arena - r.bytes })
+        .collect();
+    let plan = ArenaPlan::from_offsets(reqs, offsets);
+    debug_assert_eq!(plan.arena_bytes, arena);
+    Some(plan)
+}
+
+/// Splits one arena into a shared read slice and a mutable write slice at
+/// planner-assigned `(offset, len)` positions. This is how an executor
+/// reads a step's input while writing its output into the same arena.
+///
+/// # Panics
+///
+/// Panics if the two regions overlap — the planner guarantees they never
+/// do for buffers that are simultaneously live, so a panic here means a
+/// planning bug, not a recoverable condition.
+pub fn disjoint_pair<T>(
+    data: &mut [T],
+    read: (usize, usize),
+    write: (usize, usize),
+) -> (&[T], &mut [T]) {
+    let (r_off, r_len) = read;
+    let (w_off, w_len) = write;
+    if r_off + r_len <= w_off {
+        let (lo, hi) = data.split_at_mut(w_off);
+        (&lo[r_off..r_off + r_len], &mut hi[..w_len])
+    } else {
+        assert!(
+            w_off + w_len <= r_off,
+            "arena read [{r_off}; {r_len}] and write [{w_off}; {w_len}] regions alias"
+        );
+        let (lo, hi) = data.split_at_mut(r_off);
+        (&hi[..r_len], &mut lo[w_off..w_off + w_len])
+    }
+}
+
+/// Live ranges for a straight layer chain: buffer `i` is produced at
+/// step `i` and consumed at step `i + 1` (the final buffer is read out
+/// at a virtual last step). This is the shape `Sequential` /
+/// `QuantizedNetwork` executions produce.
+pub fn chain_reqs(sizes: &[usize]) -> Vec<BufferReq> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| BufferReq::new(b, i, i + 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peak_pair(sizes: &[usize]) -> usize {
+        let single = sizes.iter().copied().max().unwrap_or(0);
+        let pair = sizes.windows(2).map(|w| w[0] + w[1]).max().unwrap_or(0);
+        single.max(pair)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = plan_arena(&[]);
+        assert_eq!(plan.arena_bytes, 0);
+        assert!(plan.offsets.is_empty());
+    }
+
+    #[test]
+    fn single_buffer_takes_its_own_size() {
+        let reqs = [BufferReq::new(40, 0, 3)];
+        let plan = plan_arena(&reqs);
+        plan.validate(&reqs);
+        assert_eq!(plan.arena_bytes, 40);
+        assert_eq!(plan.offsets, vec![0]);
+    }
+
+    #[test]
+    fn chains_hit_the_adjacent_pair_bound() {
+        for sizes in [
+            vec![10, 8, 6],
+            vec![6, 10, 8],
+            vec![4, 10, 6],
+            vec![10, 9, 8, 9],
+            vec![4, 10, 4, 6],
+            vec![1, 1, 1, 1, 1],
+            vec![64, 0, 64],
+            vec![7],
+        ] {
+            let reqs = chain_reqs(&sizes);
+            let plan = plan_arena(&reqs);
+            plan.validate(&reqs);
+            assert_eq!(
+                plan.arena_bytes,
+                peak_pair(&sizes),
+                "chain {sizes:?} missed the pair bound"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_never_exceeds_naive_sum() {
+        let reqs = [
+            BufferReq::new(10, 0, 2),
+            BufferReq::new(20, 1, 4),
+            BufferReq::new(5, 2, 3),
+            BufferReq::new(30, 0, 4),
+        ];
+        let plan = plan_arena(&reqs);
+        plan.validate(&reqs);
+        let naive: usize = reqs.iter().map(|r| r.bytes).sum();
+        assert!(plan.arena_bytes <= naive);
+        // All four overlap at step 2, so the peak is at least their sum.
+        assert_eq!(plan.arena_bytes, 65);
+    }
+
+    #[test]
+    fn disjoint_buffers_share_offsets() {
+        let reqs = [BufferReq::new(100, 0, 1), BufferReq::new(100, 2, 3)];
+        let plan = plan_arena(&reqs);
+        plan.validate(&reqs);
+        assert_eq!(plan.arena_bytes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted live range")]
+    fn inverted_range_panics() {
+        BufferReq::new(1, 3, 2);
+    }
+
+    #[test]
+    fn disjoint_pair_splits_either_order() {
+        let mut data: Vec<u8> = (0..10).collect();
+        let (r, w) = disjoint_pair(&mut data, (0, 3), (5, 4));
+        assert_eq!(r, &[0, 1, 2]);
+        assert_eq!(w, &mut [5, 6, 7, 8]);
+        let (r, w) = disjoint_pair(&mut data, (6, 4), (1, 5));
+        assert_eq!(r, &[6, 7, 8, 9]);
+        assert_eq!(w, &mut [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alias")]
+    fn disjoint_pair_rejects_overlap() {
+        let mut data = [0u8; 8];
+        let _ = disjoint_pair(&mut data, (0, 4), (3, 4));
+    }
+}

@@ -52,6 +52,20 @@ impl Im2colSpec {
 ///
 /// Panics if `input.len() != channels * height * width`.
 pub fn im2col(input: &[f32], spec: Im2colSpec) -> Vec<f32> {
+    let mut out = vec![0.0; spec.rows() * spec.cols()];
+    im2col_into(input, spec, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided buffer of exactly
+/// `spec.rows() * spec.cols()` elements — no allocation, bitwise-identical
+/// output. This is the hot-path entry the prepacked executors use with
+/// planner-assigned scratch.
+///
+/// # Panics
+///
+/// Panics if `input` or `out` have the wrong length.
+pub fn im2col_into(input: &[f32], spec: Im2colSpec, out: &mut [f32]) {
     assert_eq!(
         input.len(),
         spec.channels * spec.height * spec.width,
@@ -59,7 +73,8 @@ pub fn im2col(input: &[f32], spec: Im2colSpec) -> Vec<f32> {
     );
     let (oh, ow) = (spec.out_height(), spec.out_width());
     let cols = oh * ow;
-    let mut out = vec![0.0; spec.rows() * cols];
+    assert_eq!(out.len(), spec.rows() * cols, "scratch size mismatch");
+    out.fill(0.0);
     let pad = spec.padding as isize;
 
     let mut row = 0;
@@ -86,7 +101,6 @@ pub fn im2col(input: &[f32], spec: Im2colSpec) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`im2col`]: scatters a `rows x cols` matrix back into a CHW

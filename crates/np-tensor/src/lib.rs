@@ -29,6 +29,7 @@
 //! assert_eq!(out.shape(), &[1, 4, 8, 8]);
 //! ```
 
+pub mod arena;
 pub mod conv;
 pub mod im2col;
 pub mod matmul;

@@ -10,17 +10,15 @@
 //! [`Pool`]. Parallelism is over disjoint row blocks of the output, and the
 //! per-row accumulation order is identical no matter how rows are
 //! partitioned — results are bitwise-identical across pool sizes (see the
-//! `parallel` module docs).
+//! `parallel` module docs). Each entry point clamps its pool with
+//! [`Pool::for_work`], so small products (or single-CPU machines) run
+//! inline instead of paying thread-spawn overhead.
 
 use crate::parallel::Pool;
 
 /// Rows of `c` per parallel work item. Fixed (never derived from the thread
 /// count) so partitioning is a pure function of the problem shape.
 const ROW_CHUNK: usize = 8;
-
-/// Below this many multiply-adds the fan-out overhead outweighs the work
-/// and the `*_with` entry points run inline on the calling thread.
-const PAR_THRESHOLD: usize = 1 << 15;
 
 /// `c[m][n] += a[m][k] * b[k][n]` for row-major slices.
 ///
@@ -50,7 +48,8 @@ pub fn matmul_acc_with(
     if n == 0 {
         return;
     }
-    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+    let pool = pool.for_work(m * k * n);
+    if pool.threads() == 1 {
         acc_rows(a, b, c, 0, k, n);
         return;
     }
@@ -151,7 +150,8 @@ pub fn matmul_at_b_with(
     if n == 0 {
         return;
     }
-    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+    let pool = pool.for_work(m * k * n);
+    if pool.threads() == 1 {
         at_b_rows(a, b, c, 0, m, k, n);
         return;
     }
@@ -206,7 +206,8 @@ pub fn matmul_a_bt_with(
     if n == 0 {
         return;
     }
-    if pool.threads() == 1 || m * k * n < PAR_THRESHOLD {
+    let pool = pool.for_work(m * k * n);
+    if pool.threads() == 1 {
         a_bt_rows(a, b, c, 0, k, n);
         return;
     }

@@ -78,6 +78,46 @@ impl Pool {
         self.threads
     }
 
+    /// Scalar operations (e.g. multiply-adds) each worker must have
+    /// before fanning out pays for the per-region thread spawns.
+    ///
+    /// Measured on the kernel bench: below roughly this many MACs per
+    /// worker, `std::thread::scope` setup dominates and threads=2/4 run
+    /// *slower* than serial (see `BENCH_kernels.json`).
+    pub const MIN_WORK_PER_THREAD: usize = 1 << 15;
+
+    /// Clamps the pool for a kernel invocation totalling `work` scalar
+    /// operations: runs serial when the machine only has one CPU (fanning
+    /// out can never win — the workers time-slice one core) and otherwise
+    /// caps the worker count so each has at least
+    /// [`Pool::MIN_WORK_PER_THREAD`] operations.
+    ///
+    /// Determinism is unaffected: the clamp is a pure function of the
+    /// problem size and the machine, never of the thread count, and the
+    /// kernels' chunk partitions don't depend on pool width anyway.
+    pub fn for_work(self, work: usize) -> Pool {
+        if self.threads == 1 {
+            return self;
+        }
+        if cpus_available() == 1 {
+            return Pool::serial();
+        }
+        let max_useful = (work / Self::MIN_WORK_PER_THREAD).max(1);
+        Pool::new(self.threads.min(max_useful))
+    }
+}
+
+/// CPUs actually available to the process, cached once.
+///
+/// Distinct from [`Pool::global`]'s size: `NP_THREADS` can request more
+/// workers than cores, and kernels still want to know when the machine
+/// is genuinely single-core so they can skip fan-out entirely.
+pub fn cpus_available() -> usize {
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+impl Pool {
     /// Runs `task(i)` for every `i in 0..n_tasks`, distributing indices
     /// across the pool with an atomic work-stealing counter. The calling
     /// thread participates, so a 1-thread pool (or `n_tasks <= 1`) runs
@@ -144,6 +184,65 @@ impl Pool {
         });
     }
 
+    /// Splits two buffers into the same number of paired consecutive
+    /// chunks (`a` by `a_chunk_len`, `b` by `b_chunk_len`; the last pair
+    /// may be shorter) and runs `body(chunk_index, a_chunk, b_chunk)` for
+    /// each pair, distributed across the pool. Used by fused kernels that
+    /// stage into a scratch chunk and finish into an output chunk while
+    /// both are cache-hot. Chunk boundaries depend only on buffer lengths,
+    /// never on the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two buffers do not split into the same number of
+    /// chunks.
+    pub fn for_each_chunk_pair<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        a_chunk_len: usize,
+        b: &mut [B],
+        b_chunk_len: usize,
+        body: impl Fn(usize, &mut [A], &mut [B]) + Sync,
+    ) {
+        let a_chunk_len = a_chunk_len.max(1);
+        let b_chunk_len = b_chunk_len.max(1);
+        let n_chunks = a.len().div_ceil(a_chunk_len);
+        assert_eq!(
+            n_chunks,
+            b.len().div_ceil(b_chunk_len),
+            "paired buffers must split into the same number of chunks"
+        );
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            for (idx, (ca, cb)) in a
+                .chunks_mut(a_chunk_len)
+                .zip(b.chunks_mut(b_chunk_len))
+                .enumerate()
+            {
+                body(idx, ca, cb);
+            }
+            return;
+        }
+        let queue = Mutex::new(
+            a.chunks_mut(a_chunk_len)
+                .zip(b.chunks_mut(b_chunk_len))
+                .enumerate(),
+        );
+        let work = || loop {
+            let item = queue.lock().expect("chunk queue poisoned").next();
+            match item {
+                Some((idx, (ca, cb))) => body(idx, ca, cb),
+                None => break,
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+
     /// Maps `f` over `0..n` in parallel, returning results in index order.
     pub fn map<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
@@ -193,6 +292,36 @@ mod tests {
     }
 
     #[test]
+    fn for_each_chunk_pair_pairs_corresponding_chunks() {
+        for threads in [1, 2, 5] {
+            let pool = Pool::new(threads);
+            // 3 chunks on both sides: 11 by 4 and 5 by 2.
+            let mut a = vec![0u32; 11];
+            let mut b = vec![0u8; 5];
+            pool.for_each_chunk_pair(&mut a, 4, &mut b, 2, |idx, ca, cb| {
+                for v in ca.iter_mut() {
+                    *v = idx as u32 + 1;
+                }
+                for v in cb.iter_mut() {
+                    *v = ca.len() as u8;
+                }
+            });
+            let expect_a: Vec<u32> = (0..11).map(|i| i as u32 / 4 + 1).collect();
+            assert_eq!(a, expect_a);
+            // Chunks of a have lengths 4, 4, 3; b pairs see those lengths.
+            assert_eq!(b, vec![4, 4, 4, 4, 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of chunks")]
+    fn for_each_chunk_pair_rejects_mismatched_counts() {
+        let mut a = vec![0u32; 8];
+        let mut b = vec![0u32; 3];
+        Pool::serial().for_each_chunk_pair(&mut a, 4, &mut b, 1, |_, _, _| {});
+    }
+
+    #[test]
     fn map_preserves_index_order() {
         for threads in [1, 4] {
             let out = Pool::new(threads).map(17, |i| i * i);
@@ -213,6 +342,27 @@ mod tests {
     fn zero_thread_request_clamps_to_one() {
         assert_eq!(Pool::new(0).threads(), 1);
         assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn for_work_keeps_serial_serial() {
+        assert_eq!(Pool::serial().for_work(usize::MAX).threads(), 1);
+    }
+
+    #[test]
+    fn for_work_clamps_by_machine_and_size() {
+        let wide = Pool::new(8);
+        if cpus_available() == 1 {
+            // Single-CPU machine: every clamp lands on serial.
+            assert_eq!(wide.for_work(usize::MAX).threads(), 1);
+        } else {
+            // Tiny problems run inline, huge ones keep the full pool.
+            assert_eq!(wide.for_work(Pool::MIN_WORK_PER_THREAD - 1).threads(), 1);
+            assert_eq!(wide.for_work(usize::MAX).threads(), 8);
+            // Mid-size problems get proportionally fewer workers.
+            let two = wide.for_work(2 * Pool::MIN_WORK_PER_THREAD).threads();
+            assert_eq!(two, 2);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property-based tests over the tensor substrate.
 
+use crate::arena::{chain_reqs, plan_arena, BufferReq};
 use crate::conv::{conv2d, conv2d_reference, conv2d_with, depthwise_conv2d_with, Conv2dSpec};
 use crate::im2col::{col2im, im2col, Im2colSpec};
 use crate::matmul::{matmul_a_bt_with, matmul_acc_with, matmul_at_b_with};
@@ -187,6 +188,45 @@ proptest! {
             let got = depthwise_conv2d_with(Pool::new(threads), &input, &weight, Some(&bias), spec);
             prop_assert_eq!(&got, &serial);
         }
+    }
+
+    #[test]
+    fn arena_chain_plans_hit_the_pair_bound(
+        sizes in proptest::collection::vec(0usize..64, 1..12),
+    ) {
+        let reqs = chain_reqs(&sizes);
+        let plan = plan_arena(&reqs);
+        plan.validate(&reqs);
+        let single = sizes.iter().copied().max().unwrap_or(0);
+        let pair = sizes.windows(2).map(|w| w[0] + w[1]).max().unwrap_or(0);
+        prop_assert_eq!(plan.arena_bytes, single.max(pair));
+    }
+
+    #[test]
+    fn arena_random_intervals_never_alias(
+        sizes in proptest::collection::vec(0usize..64, 1..10),
+        starts in proptest::collection::vec(0usize..8, 1..10),
+        lens in proptest::collection::vec(0usize..4, 1..10),
+    ) {
+        let n = sizes.len().min(starts.len()).min(lens.len());
+        let reqs: Vec<BufferReq> = (0..n)
+            .map(|i| BufferReq::new(sizes[i], starts[i], starts[i] + lens[i]))
+            .collect();
+        let plan = plan_arena(&reqs);
+        plan.validate(&reqs);
+        let naive: usize = sizes[..n].iter().sum();
+        prop_assert!(plan.arena_bytes <= naive);
+        // Lower bound: at every step the live buffers must fit at once.
+        let live_peak = (0..16usize)
+            .map(|t| {
+                reqs.iter()
+                    .filter(|r| r.first_use <= t && t <= r.last_use)
+                    .map(|r| r.bytes)
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(plan.arena_bytes >= live_peak);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Exact-parity checks between the plan-once/run-many compiled programs
+//! and the reference per-call execution paths, on the real paper networks
+//! (proxy resolution). Integer arithmetic must be *bitwise* identical on
+//! any thread count; the float program must be bitwise identical because
+//! it replicates the reference operation order exactly.
+
+use nanopose::nn::init::SmallRng;
+use nanopose::nn::{FScratch, FloatProgram};
+use nanopose::quant::{QScratch, QuantizedNetwork};
+use nanopose::tensor::parallel::Pool;
+use nanopose::tensor::Tensor;
+use nanopose::zoo::channels::PROXY_INPUT;
+use nanopose::zoo::ModelId;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn frames(n: usize, seed: u64) -> Tensor {
+    let (c, h, w) = PROXY_INPUT;
+    let mut s = seed;
+    let data: Vec<f32> = (0..n * c * h * w)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(&[n, c, h, w], data)
+}
+
+#[test]
+fn run_int_prepacked_is_bitwise_equal_on_zoo_networks() {
+    let calib = frames(4, 9);
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10] {
+        let mut rng = SmallRng::seed(17);
+        let net = id.build_proxy(&mut rng);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile(PROXY_INPUT);
+        let mut scratch = QScratch::for_program(&program);
+
+        for frame_seed in [1u64, 2, 3] {
+            let frame = frames(1, frame_seed);
+            let q = qnet.input_params().quantize_slice(frame.as_slice());
+            let (want, want_shape) = qnet.run_int_with(Pool::serial(), &q, PROXY_INPUT);
+            for threads in THREADS {
+                let pool = Pool::new(threads);
+                let (got, got_shape) = program.run_int_prepacked(pool, &mut scratch, &q);
+                assert_eq!(got_shape, want_shape, "{} shape", id.name());
+                assert_eq!(got, want.as_slice(), "{} t={threads}", id.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_prepacked_is_bitwise_equal_on_zoo_networks() {
+    let calib = frames(4, 23);
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10] {
+        let mut rng = SmallRng::seed(29);
+        let net = id.build_proxy(&mut rng);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile(PROXY_INPUT);
+        let mut scratch = QScratch::for_program(&program);
+
+        let frame = frames(1, 6);
+        let want = qnet.forward_with(Pool::serial(), &frame);
+        for threads in THREADS {
+            let got = program.forward_prepacked(Pool::new(threads), &mut scratch, frame.as_slice());
+            assert_eq!(got, want.as_slice(), "{} t={threads}", id.name());
+        }
+    }
+}
+
+#[test]
+fn float_program_is_bitwise_equal_on_zoo_networks() {
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10] {
+        let mut rng = SmallRng::seed(31);
+        let mut net = id.build_proxy(&mut rng);
+        // Populate BatchNorm running statistics before eval-mode parity.
+        for seed in [40u64, 41] {
+            let _ = net.forward_train(&frames(2, seed));
+        }
+        let program = FloatProgram::compile(&net, PROXY_INPUT);
+        let mut scratch = FScratch::for_program(&program);
+
+        let frame = frames(1, 8);
+        for threads in THREADS {
+            let pool = Pool::new(threads);
+            let want = net.forward_with(pool, &frame);
+            let got = program.forward_prepacked(pool, &mut scratch, frame.as_slice());
+            assert_eq!(got, want.as_slice(), "{} t={threads}", id.name());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Proof of the "zero-allocation steady state" claim: a counting global
+//! allocator wraps the system allocator, and after one warm-up frame the
+//! compiled programs (and the streaming [`FrameRunner`]) must perform
+//! exactly zero heap allocations per frame on a serial pool.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nanopose::adaptive::FrameRunner;
+use nanopose::nn::init::SmallRng;
+use nanopose::nn::{FScratch, FloatProgram};
+use nanopose::quant::{QScratch, QuantizedNetwork};
+use nanopose::tensor::parallel::Pool;
+use nanopose::tensor::Tensor;
+use nanopose::zoo::channels::PROXY_INPUT;
+use nanopose::zoo::ModelId;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let r = f();
+    (ALLOCS.load(Ordering::SeqCst) - before, r)
+}
+
+fn frames(n: usize, seed: u64) -> Tensor {
+    let (c, h, w) = PROXY_INPUT;
+    let mut s = seed;
+    let data: Vec<f32> = (0..n * c * h * w)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(&[n, c, h, w], data)
+}
+
+#[test]
+fn steady_state_frames_do_not_allocate() {
+    let pool = Pool::serial();
+    let calib = frames(3, 50);
+    let mut rng = SmallRng::seed(77);
+
+    // --- Quantized program: int8 entry and float entry -------------------
+    let net = ModelId::F1.build_proxy(&mut rng);
+    let qnet = QuantizedNetwork::quantize(&net, &calib);
+    let program = qnet.compile(PROXY_INPUT);
+    let mut scratch = QScratch::new();
+    let frame = frames(1, 51);
+    let q = qnet.input_params().quantize_slice(frame.as_slice());
+
+    // Warm-up grows the scratch to the program's planned sizes.
+    let _ = program.run_int_prepacked(pool, &mut scratch, &q);
+    for _ in 0..3 {
+        let (n, _) = allocs_during(|| {
+            let (out, _) = program.run_int_prepacked(pool, &mut scratch, &q);
+            out[0]
+        });
+        assert_eq!(n, 0, "run_int_prepacked allocated in steady state");
+    }
+
+    let _ = program.forward_prepacked(pool, &mut scratch, frame.as_slice());
+    for _ in 0..3 {
+        let (n, _) =
+            allocs_during(|| program.forward_prepacked(pool, &mut scratch, frame.as_slice())[0]);
+        assert_eq!(n, 0, "forward_prepacked allocated in steady state");
+    }
+
+    // --- Float program ---------------------------------------------------
+    let mut fnet = ModelId::F1.build_proxy(&mut rng);
+    let _ = fnet.forward_train(&calib);
+    let fprogram = FloatProgram::compile(&fnet, PROXY_INPUT);
+    let mut fscratch = FScratch::new();
+    let _ = fprogram.forward_prepacked(pool, &mut fscratch, frame.as_slice());
+    for _ in 0..3 {
+        let (n, _) =
+            allocs_during(|| fprogram.forward_prepacked(pool, &mut fscratch, frame.as_slice())[0]);
+        assert_eq!(
+            n, 0,
+            "FloatProgram::forward_prepacked allocated in steady state"
+        );
+    }
+
+    // --- Streaming runner: both the ensemble and the small-only path -----
+    let big = ModelId::M10.build_proxy(&mut rng);
+    let qbig = QuantizedNetwork::quantize(&big, &calib);
+    let mut runner = FrameRunner::new(&qnet, &qbig, PROXY_INPUT, 0.5, pool);
+    let _ = runner.run_frame(frame.as_slice()); // first frame: ensemble warm-up
+    let moved = frames(1, 52);
+    let (n, r) = allocs_during(|| runner.run_frame(moved.as_slice()));
+    assert_eq!(
+        n, 0,
+        "FrameRunner frame allocated (decision {:?})",
+        r.decision
+    );
+    let (n, r) = allocs_during(|| runner.run_frame(moved.as_slice()));
+    assert_eq!(
+        n, 0,
+        "FrameRunner frame allocated (decision {:?})",
+        r.decision
+    );
+    assert!(!r.decision.runs_big(), "identical frame should stay small");
+}
