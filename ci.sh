@@ -19,4 +19,17 @@ cargo bench --workspace --no-run
 echo "==> zero-allocation steady state"
 cargo test -q --test zero_alloc
 
+echo "==> kernel exactness proptests (release: optimizer must not change results)"
+cargo test -q --release -p np-quant -- \
+    microkernel_matches_qgemm_row_at_ragged_shapes \
+    depthwise_fast_path_matches_reference_at_ragged_shapes \
+    lowered_qconv2d_equals_reference_exactly \
+    qdepthwise_pool_parity_is_exact
+
+echo "==> benchmark regression check (warn-only)"
+cargo run --release -q -p np-bench --bin bench_kernels /tmp/BENCH_kernels.fresh.json \
+    >/dev/null
+cargo run --release -q -p np-bench --bin bench_compare \
+    BENCH_kernels.json /tmp/BENCH_kernels.fresh.json
+
 echo "==> ci.sh passed"

@@ -130,6 +130,22 @@ impl FrameRunner {
     pub fn arena_bytes(&self) -> usize {
         self.little.arena_bytes().max(self.big.arena_bytes())
     }
+
+    /// Total steady-state scratch bytes backing the runner (activation
+    /// arena + im2row matrix + f32 output staging), as sized for the
+    /// larger of the two programs. Together with
+    /// [`Self::packed_weight_bytes`] this is the runner's whole
+    /// steady-state memory footprint.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
+    }
+
+    /// Bytes of pre-packed weights held by both compiled programs
+    /// (panel-padded conv filters included — the microkernel pads channel
+    /// counts up to whole panels).
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.little.packed_weight_bytes() + self.big.packed_weight_bytes()
+    }
 }
 
 fn run4(program: &QuantizedProgram, pool: Pool, scratch: &mut QScratch, frame: &[f32]) -> [f32; 4] {
@@ -230,5 +246,9 @@ mod tests {
                 .max(runner.big().arena_bytes())
         );
         assert!(runner.arena_bytes() > 0);
+        // The scratch backs the arena plus the lowering/output staging, so
+        // it can never be smaller than the shared arena itself.
+        assert!(runner.scratch_bytes() >= runner.arena_bytes());
+        assert!(runner.packed_weight_bytes() > 0);
     }
 }

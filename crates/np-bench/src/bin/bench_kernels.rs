@@ -178,6 +178,23 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // On a single-CPU container every pool width degrades to the serial
+    // path, so t2/t4 rows would all read 1.00x and say nothing about
+    // scaling — skip them and record that we did, instead of checking in
+    // numbers that look like a (non-)result.
+    let thread_widths: &[usize] = if cpus == 1 { &[1] } else { &[1, 2, 4] };
+    let _ = writeln!(
+        json,
+        "  \"gemm_threads_skipped_single_cpu\": {},",
+        cpus == 1
+    );
+    if cpus == 1 {
+        eprintln!(
+            "[bench_kernels] single CPU: skipping gemm pool widths 2 and 4 \
+             (rows would be meaningless 1.00x serial reruns)"
+        );
+    }
     json.push_str("  \"gemm_by_pool_width\": [\n");
 
     for (i, (label, geo, h, w)) in PAPER_SHAPES.iter().enumerate() {
@@ -193,7 +210,7 @@ fn main() {
         let gb = pseudo_f32(k * n, 14);
         let mut base_ns = 0.0;
         let mut entries = String::new();
-        for threads in [1usize, 2, 4] {
+        for &threads in thread_widths {
             let pool = Pool::new(threads);
             let ns = time_ns(|| {
                 let mut gc = vec![0.0f32; m * n];
@@ -214,7 +231,11 @@ fn main() {
                 "      {{\"threads\": {threads}, \"ns\": {ns:.0}, \
                  \"mac_per_s\": {:.0}, \"speedup_vs_serial\": {speedup:.3}}}{}",
                 mac_per_s(macs, ns),
-                if threads != 4 { "," } else { "" },
+                if threads != *thread_widths.last().expect("non-empty widths") {
+                    ","
+                } else {
+                    ""
+                },
             );
         }
         let _ = writeln!(

@@ -2,13 +2,20 @@
 //! fixed-point requantization. These mirror the PULP-NN kernels DORY emits
 //! for the GAP8 cluster.
 //!
-//! Standard convolution runs im2col-lowered (see [`crate::lowering`]) and
-//! parallelizes over output channels on an explicit [`Pool`]; the original
-//! direct six-loop walk is kept as [`qconv2d_reference`] and pinned to the
-//! fast path by exact-equality tests — integer arithmetic is associative,
-//! so the two agree bit for bit.
+//! Standard convolution runs im2row-lowered through the register-blocked
+//! microkernel (see [`crate::microkernel`]) and parallelizes over output
+//! channel panels on an explicit [`Pool`]; the original direct six-loop
+//! walk is kept as [`qconv2d_reference`] and pinned to the fast path by
+//! exact-equality tests — integer arithmetic is exact, so the two agree
+//! bit for bit. Depthwise convolution has a direct fast path that splits
+//! each plane into an interior (all taps in bounds: no branches, zero
+//! point folded into the bias, per-channel filter held in a register
+//! array) and guarded edges; the old guarded loop survives as
+//! [`qdepthwise_conv2d_reference`].
 
-use crate::lowering::{qgemm_row, qim2col};
+use crate::lowering::{patch_stride, qim2row_into};
+use crate::microkernel::{pack_conv_panels, qconv_panels_into};
+use crate::qparams::fold_zero_point;
 use crate::requant::{requantize_to_i8, FixedMultiplier};
 use np_tensor::parallel::Pool;
 
@@ -77,11 +84,13 @@ pub fn qconv2d(
     )
 }
 
-/// [`qconv2d`] on an explicit pool, parallel over output channels.
+/// [`qconv2d`] on an explicit pool: im2row lowering followed by the
+/// register-blocked [`qconv_panels_into`] microkernel, parallel over
+/// output channel panels.
 ///
-/// Each worker requantizes one channel's [`qgemm_row`] accumulator into its
-/// disjoint slice of the output; integer math makes the result identical
-/// for every pool size.
+/// This convenience entry packs the weights per call; the prepacked
+/// program path packs once at compile time and reuses the panels every
+/// frame. Integer math makes the result identical for every pool size.
 ///
 /// # Panics
 ///
@@ -108,27 +117,14 @@ pub fn qconv2d_with(
 
     let (oh, ow) = geo.out_hw(h, w);
     let cols = oh * ow;
-    let lowered = qim2col(input, h, w, in_zp, geo);
+    let mut lowered = vec![0i16; cols * patch_stride(patch)];
+    qim2row_into(input, h, w, in_zp, geo, &mut lowered);
+    let packed = pack_conv_panels(weight, geo.out_channels, patch);
     let mut out = vec![0i8; geo.out_channels * cols];
     let pool = pool.for_work(geo.out_channels * patch * cols);
-    pool.for_each_chunk(&mut out, cols, |co, dst| {
-        let mut acc = vec![0i32; cols];
-        qgemm_row(
-            &weight[co * patch..(co + 1) * patch],
-            &lowered,
-            bias[co],
-            &mut acc,
-        );
-        let relu_floor = out_zp.clamp(-128, 127) as i8;
-        for (o, &a) in dst.iter_mut().zip(acc.iter()) {
-            let q = requantize_to_i8(a, mults[co], out_zp);
-            *o = if relu && (q as i32) < out_zp {
-                relu_floor
-            } else {
-                q
-            };
-        }
-    });
+    qconv_panels_into(
+        pool, &packed, patch, &lowered, bias, mults, out_zp, relu, &mut out,
+    );
     out
 }
 
@@ -240,9 +236,11 @@ pub fn qdepthwise_conv2d(
     )
 }
 
-/// [`qdepthwise_conv2d`] on an explicit pool, parallel over channels (each
-/// channel is an independent plane, exactly the per-core split DORY uses
-/// for depthwise layers on the GAP8 cluster).
+/// [`qdepthwise_conv2d`] on an explicit pool, parallel over channel groups
+/// (each channel is an independent plane, exactly the per-core split DORY
+/// uses for depthwise layers on the GAP8 cluster). Each plane runs the
+/// interior/edge fast path of [`qdw_plane`]; results are bit-identical to
+/// [`qdepthwise_conv2d_reference`] at any pool width.
 ///
 /// # Panics
 ///
@@ -271,38 +269,359 @@ pub fn qdepthwise_conv2d_with(
 
     let oh = (h + 2 * padding - kernel) / stride + 1;
     let ow = (w + 2 * padding - kernel) / stride + 1;
-    let pad = padding as isize;
     let mut out = vec![0i8; channels * oh * ow];
 
     let pool = pool.for_work(channels * kernel * kernel * oh * ow);
-    pool.for_each_chunk(&mut out, oh * ow, |c, dst| {
-        let plane = &input[c * h * w..(c + 1) * h * w];
-        let kern = &weight[c * kernel * kernel..(c + 1) * kernel * kernel];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = bias[c];
-                for ky in 0..kernel {
+    let chunk_len = pool.chunk_len_for(channels, oh * ow);
+    let ch_per_chunk = chunk_len / (oh * ow).max(1);
+    pool.for_each_chunk(&mut out, chunk_len, |idx, chunk| {
+        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+            let c = idx * ch_per_chunk + j;
+            qdw_plane(
+                &input[c * h * w..(c + 1) * h * w],
+                h,
+                w,
+                in_zp,
+                kernel,
+                stride,
+                padding,
+                &weight[c * kernel * kernel..(c + 1) * kernel * kernel],
+                bias[c],
+                mults[c],
+                out_zp,
+                relu,
+                dst,
+                oh,
+                ow,
+            );
+        }
+    });
+    out
+}
+
+/// The original guarded depthwise loop, kept as the obviously-correct
+/// reference for the interior/edge fast path. Serial; same conventions
+/// and bit-identical results as [`qdepthwise_conv2d`].
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qdepthwise_conv2d_reference(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: &[i8],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+) -> Vec<i8> {
+    assert_eq!(input.len(), channels * h * w, "input size");
+    assert_eq!(weight.len(), channels * kernel * kernel, "weight size");
+    assert_eq!(bias.len(), channels, "bias size");
+    assert_eq!(mults.len(), channels, "multiplier count");
+
+    let oh = (h + 2 * padding - kernel) / stride + 1;
+    let ow = (w + 2 * padding - kernel) / stride + 1;
+    let mut out = vec![0i8; channels * oh * ow];
+    for c in 0..channels {
+        qdw_plane_reference(
+            &input[c * h * w..(c + 1) * h * w],
+            h,
+            w,
+            in_zp,
+            kernel,
+            stride,
+            padding,
+            &weight[c * kernel * kernel..(c + 1) * kernel * kernel],
+            bias[c],
+            mults[c],
+            out_zp,
+            relu,
+            &mut out[c * oh * ow..(c + 1) * oh * ow],
+            oh,
+            ow,
+        );
+    }
+    out
+}
+
+/// One depthwise output plane, dispatched to the const-generic fast path
+/// for the kernel sizes real networks use (the MobileNet members are all
+/// 3×3; 1/5/7 cover the common alternatives) and to the guarded reference
+/// loop otherwise. On x86-64 with AVX2 available the whole plane is
+/// compiled a second time with the wider vector ISA (see
+/// [`crate::microkernel`]); integer results are identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qdw_plane(
+    plane: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    kern: &[i8],
+    bias: i32,
+    mult: FixedMultiplier,
+    out_zp: i32,
+    relu: bool,
+    dst: &mut [i8],
+    oh: usize,
+    ow: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::microkernel::avx2_available() {
+        // SAFETY: AVX2 support verified; the body is safe Rust.
+        unsafe {
+            qdw_plane_avx2(
+                plane, h, w, in_zp, kernel, stride, padding, kern, bias, mult, out_zp, relu, dst,
+                oh, ow,
+            )
+        };
+        return;
+    }
+    qdw_plane_select(
+        plane, h, w, in_zp, kernel, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+    );
+}
+
+/// [`qdw_plane_select`] recompiled with AVX2 enabled.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn qdw_plane_avx2(
+    plane: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    kern: &[i8],
+    bias: i32,
+    mult: FixedMultiplier,
+    out_zp: i32,
+    relu: bool,
+    dst: &mut [i8],
+    oh: usize,
+    ow: usize,
+) {
+    qdw_plane_select(
+        plane, h, w, in_zp, kernel, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+    );
+}
+
+/// Kernel-size dispatch, `inline(always)` so the `target_feature` wrapper
+/// above recompiles the selected plane loop with the wider ISA.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn qdw_plane_select(
+    plane: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    kern: &[i8],
+    bias: i32,
+    mult: FixedMultiplier,
+    out_zp: i32,
+    relu: bool,
+    dst: &mut [i8],
+    oh: usize,
+    ow: usize,
+) {
+    match kernel {
+        1 => qdw_plane_fast::<1>(
+            plane, h, w, in_zp, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+        ),
+        3 => qdw_plane_fast::<3>(
+            plane, h, w, in_zp, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+        ),
+        5 => qdw_plane_fast::<5>(
+            plane, h, w, in_zp, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+        ),
+        7 => qdw_plane_fast::<7>(
+            plane, h, w, in_zp, stride, padding, kern, bias, mult, out_zp, relu, dst, oh, ow,
+        ),
+        _ => qdw_plane_reference(
+            plane, h, w, in_zp, kernel, stride, padding, kern, bias, mult, out_zp, relu, dst, oh,
+            ow,
+        ),
+    }
+}
+
+/// Guarded per-plane depthwise loop: bounds check per tap, original bias,
+/// taps accumulated in `(ky, kx)` order. This is both the fallback for
+/// unusual kernel sizes and the edge-pixel path of [`qdw_plane_fast`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn qdw_plane_reference(
+    plane: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    kern: &[i8],
+    bias: i32,
+    mult: FixedMultiplier,
+    out_zp: i32,
+    relu: bool,
+    dst: &mut [i8],
+    oh: usize,
+    ow: usize,
+) {
+    let pad = padding as isize;
+    let relu_floor = out_zp.clamp(-128, 127) as i8;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = bias;
+            for ky in 0..kernel {
+                let iy = oy as isize * stride as isize + ky as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kernel {
+                    let ix = ox as isize * stride as isize + kx as isize - pad;
+                    if ix >= 0 && ix < w as isize {
+                        let x = plane[iy as usize * w + ix as usize] as i32 - in_zp;
+                        acc += x * kern[ky * kernel + kx] as i32;
+                    }
+                }
+            }
+            let q = requantize_to_i8(acc, mult, out_zp);
+            dst[oy * ow + ox] = if relu && (q as i32) < out_zp {
+                relu_floor
+            } else {
+                q
+            };
+        }
+    }
+}
+
+/// Interior/edge depthwise fast path for a `K`×`K` filter.
+///
+/// Output pixels whose full receptive field lies inside the plane (the
+/// interior rectangle `y0..y1 × x0..x1`) run a branch-free row loop: the
+/// filter sits in a local i32 array, the input zero point is folded into
+/// the bias ([`fold_zero_point`] — exact because every tap is a real
+/// input), and each output reads `K` contiguous `K`-tap rows. Edge pixels
+/// (any tap in padding) reuse the guarded reference loop with the
+/// *unfolded* bias, since padding taps contribute zero, not `-zp·w`.
+///
+/// Integer accumulation is exact, so both regions are bit-identical to
+/// [`qdw_plane_reference`] over the whole plane.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn qdw_plane_fast<const K: usize>(
+    plane: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    stride: usize,
+    padding: usize,
+    kern: &[i8],
+    bias: i32,
+    mult: FixedMultiplier,
+    out_zp: i32,
+    relu: bool,
+    dst: &mut [i8],
+    oh: usize,
+    ow: usize,
+) {
+    // Interior bounds: oy*stride - padding >= 0 and
+    // oy*stride - padding + K <= h (same for x).
+    let y0 = padding.div_ceil(stride).min(oh);
+    let y1 = if h + padding >= K {
+        ((h + padding - K) / stride + 1).min(oh)
+    } else {
+        0
+    }
+    .max(y0);
+    let x0 = padding.div_ceil(stride).min(ow);
+    let x1 = if w + padding >= K {
+        ((w + padding - K) / stride + 1).min(ow)
+    } else {
+        0
+    }
+    .max(x0);
+
+    let mut kw = [[0i32; K]; K];
+    for ky in 0..K {
+        for kx in 0..K {
+            kw[ky][kx] = kern[ky * K + kx] as i32;
+        }
+    }
+    let folded = fold_zero_point(bias, kern, in_zp);
+    let relu_floor = out_zp.clamp(-128, 127) as i8;
+
+    // Edge bands through the guarded loop (top, bottom, then the left and
+    // right flanks of each interior row).
+    let guarded_rows = |dst: &mut [i8], ys: std::ops::Range<usize>, xs: std::ops::Range<usize>| {
+        let pad = padding as isize;
+        for oy in ys {
+            for ox in xs.clone() {
+                let mut acc = bias;
+                for (ky, kwrow) in kw.iter().enumerate() {
                     let iy = oy as isize * stride as isize + ky as isize - pad;
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    for kx in 0..kernel {
+                    for (kx, &kv) in kwrow.iter().enumerate() {
                         let ix = ox as isize * stride as isize + kx as isize - pad;
                         if ix >= 0 && ix < w as isize {
                             let x = plane[iy as usize * w + ix as usize] as i32 - in_zp;
-                            acc += x * kern[ky * kernel + kx] as i32;
+                            acc += x * kv;
                         }
                     }
                 }
-                let mut q = requantize_to_i8(acc, mults[c], out_zp);
-                if relu && (q as i32) < out_zp {
-                    q = out_zp.clamp(-128, 127) as i8;
-                }
-                dst[oy * ow + ox] = q;
+                let q = requantize_to_i8(acc, mult, out_zp);
+                dst[oy * ow + ox] = if relu && (q as i32) < out_zp {
+                    relu_floor
+                } else {
+                    q
+                };
             }
         }
-    });
-    out
+    };
+    guarded_rows(&mut *dst, 0..y0, 0..ow);
+    guarded_rows(&mut *dst, y1..oh, 0..ow);
+    for oy in y0..y1 {
+        guarded_rows(&mut *dst, oy..oy + 1, 0..x0);
+        guarded_rows(&mut *dst, oy..oy + 1, x1..ow);
+        let iy = oy * stride - padding;
+        let drow = &mut dst[oy * ow..(oy + 1) * ow];
+        for (d, ox) in drow[x0..x1].iter_mut().zip(x0..) {
+            let ix = ox * stride - padding;
+            let mut acc = folded;
+            for (ky, kwrow) in kw.iter().enumerate() {
+                let srow = &plane[(iy + ky) * w + ix..(iy + ky) * w + ix + K];
+                for (&s, &kv) in srow.iter().zip(kwrow.iter()) {
+                    acc += s as i32 * kv;
+                }
+            }
+            let q = requantize_to_i8(acc, mult, out_zp);
+            *d = if relu && (q as i32) < out_zp {
+                relu_floor
+            } else {
+                q
+            };
+        }
+    }
 }
 
 /// Integer fully-connected layer over one flattened input.

@@ -41,6 +41,7 @@ pub mod calibrate;
 pub mod fold;
 pub mod kernels;
 pub mod lowering;
+pub mod microkernel;
 pub mod program;
 pub mod qat;
 pub mod qnetwork;

@@ -118,6 +118,19 @@ pub fn qim2row_into(
     assert_eq!(lowered.len(), oh * ow * stride, "lowered scratch size");
     lowered.fill(0);
 
+    // Pointwise fast path: a 1x1/s1/p0 "patch" is just the pixel's channel
+    // fiber, so the lowering is a strided transpose of the CHW input with
+    // no bounds checks at all. This is the dominant conv shape in the
+    // MobileNet members (every block ends in a pointwise conv).
+    if k == 1 && geo.stride == 1 && geo.padding == 0 {
+        for (ci, plane) in input.chunks_exact(h * w).enumerate() {
+            for (col, &v) in plane.iter().enumerate() {
+                lowered[col * stride + ci] = (v as i32 - in_zp) as i16;
+            }
+        }
+        return;
+    }
+
     for oy in 0..oh {
         for ox in 0..ow {
             let col = oy * ow + ox;
@@ -144,11 +157,11 @@ pub fn qim2row_into(
 }
 
 /// The padded per-patch stride of the im2row layout: `patch` rounded up
-/// to a multiple of 8 i16 lanes, so every patch starts 16-byte aligned
-/// and dots have no scalar remainder.
+/// to a whole number of [`np_tensor::im2col::I16_LANES`] i16 lanes, so
+/// every patch starts 16-byte aligned and dots have no scalar remainder.
 #[inline]
 pub fn patch_stride(patch: usize) -> usize {
-    patch.div_ceil(8) * 8
+    np_tensor::im2col::pad_to_i16_lanes(patch)
 }
 
 /// One dot product over pre-widened operands:
@@ -184,70 +197,6 @@ pub fn qgemm_row(weight: &[i8], lowered: &[i16], bias: i32, acc: &mut [i32]) {
         let row = &lowered[r * cols..(r + 1) * cols];
         for (a, &x) in acc.iter_mut().zip(row.iter()) {
             *a += wv * x as i32;
-        }
-    }
-}
-
-/// Repacks a `C_out x patch` row-major weight matrix into panels of `nr`
-/// output channels, interleaved patch-major:
-///
-/// ```text
-/// packed[(p * patch + r) * nr + l] = weight[(p*nr + l) * patch + r]
-/// ```
-///
-/// so that [`qgemm_panel`] reads the `nr` weights of patch row `r` as one
-/// contiguous load and reuses each lowered-matrix row across all `nr`
-/// channels of the panel — one pass over the im2col matrix per panel
-/// instead of one per channel. Channels past `out_channels` (the last
-/// panel's padding) are zero filters, which contribute nothing.
-///
-/// This runs once at program-compile time; the hot loop never touches the
-/// original layout again.
-pub fn pack_weight_panels(weight: &[i8], out_channels: usize, patch: usize, nr: usize) -> Vec<i8> {
-    assert_eq!(weight.len(), out_channels * patch, "weight size");
-    assert!(nr > 0, "panel width must be positive");
-    let n_panels = out_channels.div_ceil(nr);
-    let mut packed = vec![0i8; n_panels * patch * nr];
-    for p in 0..n_panels {
-        for r in 0..patch {
-            for l in 0..nr {
-                let co = p * nr + l;
-                if co < out_channels {
-                    packed[(p * patch + r) * nr + l] = weight[co * patch + r];
-                }
-            }
-        }
-    }
-    packed
-}
-
-/// One panel GEMM: `acc[l][col] = biases[l] + sum_r panel[r][l] * lowered[r][col]`
-/// for the `nr = biases.len()` channels of one pre-packed weight panel
-/// (see [`pack_weight_panels`]).
-///
-/// Accumulation per output element is `r`-ascending, exactly like
-/// [`qgemm_row`], and all-integer — the results are bit-identical, the
-/// panel just amortizes each lowered-row load over `nr` channels.
-pub fn qgemm_panel(panel: &[i8], lowered: &[i16], biases: &[i32], acc: &mut [i32]) {
-    let nr = biases.len();
-    assert!(nr > 0, "empty panel");
-    let cols = acc.len() / nr;
-    assert_eq!(acc.len(), nr * cols, "acc size");
-    let rows = panel.len() / nr;
-    assert_eq!(panel.len(), rows * nr, "panel size");
-    assert_eq!(lowered.len(), rows * cols, "lowered size");
-    for (l, &b) in biases.iter().enumerate() {
-        acc[l * cols..(l + 1) * cols].fill(b);
-    }
-    for r in 0..rows {
-        let x_row = &lowered[r * cols..(r + 1) * cols];
-        let w_panel = &panel[r * nr..(r + 1) * nr];
-        for (l, &wv) in w_panel.iter().enumerate() {
-            let wv = wv as i32;
-            let a_row = &mut acc[l * cols..(l + 1) * cols];
-            for (a, &x) in a_row.iter_mut().zip(x_row.iter()) {
-                *a += wv * x as i32;
-            }
         }
     }
 }
@@ -331,42 +280,33 @@ mod tests {
     }
 
     #[test]
-    fn panel_gemm_matches_per_row_gemm() {
-        // 5 output channels (forces a padded panel at nr = 4), 6-row patch,
-        // 7 columns.
-        let (c_out, patch, cols, nr) = (5usize, 6usize, 7usize, 4usize);
-        let weight: Vec<i8> = (0..c_out * patch)
-            .map(|i| (i as i8).wrapping_mul(17))
-            .collect();
-        let lowered: Vec<i16> = (0..patch * cols)
-            .map(|i| (i as i16 * 31) % 257 - 128)
-            .collect();
-        let bias: Vec<i32> = (0..c_out as i32).map(|i| i * 13 - 20).collect();
-
-        let mut want = vec![0i32; c_out * cols];
-        for co in 0..c_out {
-            qgemm_row(
-                &weight[co * patch..(co + 1) * patch],
-                &lowered,
-                bias[co],
-                &mut want[co * cols..(co + 1) * cols],
-            );
+    fn pointwise_im2row_fast_path_matches_general_layout() {
+        // The 1x1/s1/p0 specialization must write exactly what the general
+        // triple loop writes: pixel-major channel fibers at patch_stride
+        // spacing with zero tail lanes.
+        let geo = QConvGeometry {
+            in_channels: 5, // pads 5 -> 8: tail lanes exercised
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let (h, w, in_zp) = (4usize, 6usize, -7i32);
+        let input: Vec<i8> = (0..5 * h * w).map(|i| (i * 11 % 251) as i8).collect();
+        let ps = patch_stride(5);
+        let mut got = vec![55i16; h * w * ps];
+        qim2row_into(&input, h, w, in_zp, geo, &mut got);
+        for col in 0..h * w {
+            for ci in 0..5 {
+                assert_eq!(
+                    got[col * ps + ci],
+                    (input[ci * h * w + col] as i32 - in_zp) as i16
+                );
+            }
+            for lane in 5..ps {
+                assert_eq!(got[col * ps + lane], 0, "tail lane must stay zero");
+            }
         }
-
-        let packed = pack_weight_panels(&weight, c_out, patch, nr);
-        let n_panels = c_out.div_ceil(nr);
-        let mut bias_padded = bias.clone();
-        bias_padded.resize(n_panels * nr, 0);
-        let mut acc = vec![0i32; n_panels * nr * cols];
-        for p in 0..n_panels {
-            qgemm_panel(
-                &packed[p * patch * nr..(p + 1) * patch * nr],
-                &lowered,
-                &bias_padded[p * nr..(p + 1) * nr],
-                &mut acc[p * nr * cols..(p + 1) * nr * cols],
-            );
-        }
-        assert_eq!(&acc[..c_out * cols], &want[..]);
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! * every intermediate gets a byte size and a live range, and the
 //!   [`np_tensor::arena`] planner bin-packs them into one arena with
 //!   offset reuse (ping-pong for chains — exactly DORY's L2 layout);
-//! * conv weights are widened to i16 once and laid out at the padded
-//!   [`patch_stride`] ([`widen_weight_rows`]), so each output pixel of
-//!   the hot loop is one contiguous i16×i16 dot over the im2row matrix
-//!   ([`qim2row_into`]) — the `SumDotp` structure PULP-NN uses on GAP8 —
-//!   with the requantize fused in while the accumulator is still in a
-//!   register;
+//! * conv weights are widened to i16 and packed into [`MR`]-row panels at
+//!   the padded [`patch_stride`] ([`pack_conv_panels`]), so execution is
+//!   the register-blocked [`qconv_panels_into`] microkernel over the
+//!   im2row matrix ([`qim2row_into`]) — the `SumDotp` structure PULP-NN
+//!   uses on GAP8, blocked MR×NR so eight accumulator chains share every
+//!   operand load — with the requantize fused in while the accumulators
+//!   are still in registers;
+//! * depthwise steps run the interior/edge fast path (`qdw_plane`): no
+//!   im2col materialization, the per-channel filter in a register array,
+//!   the zero point folded away on interior pixels, requantize fused;
 //! * linear biases are zero-point-folded (`b' = b - zp * Σw`), turning the
 //!   fully-connected hot loop into a plain integer dot product.
 //!
@@ -26,19 +30,17 @@
 //! performs **zero heap allocations** (enforced by a counting-allocator
 //! test) and produces outputs bit-identical to `run_int` — integer
 //! arithmetic makes the restructured loops exact, not approximately equal.
+//!
+//! [`MR`]: crate::microkernel::MR
 
-use crate::kernels::QConvGeometry;
-use crate::lowering::{patch_stride, qdot, qim2row_into, widen_weight_rows};
+use crate::kernels::{qdw_plane, QConvGeometry};
+use crate::lowering::{patch_stride, qim2row_into};
+use crate::microkernel::{pack_conv_panels, qconv_panels_into};
 use crate::qnetwork::{QLayer, QuantizedNetwork};
-use crate::qparams::QuantParams;
+use crate::qparams::{fold_zero_point, QuantParams};
 use crate::requant::{requantize_to_i8, FixedMultiplier};
 use np_tensor::arena::{disjoint_pair, plan_arena, BufferReq};
 use np_tensor::parallel::Pool;
-
-/// Output channels per conv work chunk: each pool worker produces
-/// [`PANEL`] channel planes at a time, reusing every lowered patch across
-/// the panel's filter rows while the patch is hot in L1.
-pub const PANEL: usize = 4;
 
 /// One executable step. Buffers are referred to by id; the program maps
 /// ids to planner-assigned arena offsets.
@@ -49,8 +51,8 @@ enum Step {
         h: usize,
         w: usize,
         in_zp: i32,
-        /// Pre-widened i16 filter rows at [`patch_stride`] spacing (see
-        /// [`widen_weight_rows`]).
+        /// Pre-widened i16 filter rows at [`patch_stride`] spacing, padded
+        /// to whole microkernel panels (see [`pack_conv_panels`]).
         packed: Vec<i16>,
         bias: Vec<i32>,
         mults: Vec<FixedMultiplier>,
@@ -207,6 +209,13 @@ impl QScratch {
             self.out_f32.resize(out_len, 0.0);
         }
     }
+
+    /// Total bytes currently held by the scratch buffers (activation
+    /// arena + im2row matrix + dequantized output) — the steady-state
+    /// working-set counterpart of [`QuantizedProgram::arena_bytes`].
+    pub fn bytes(&self) -> usize {
+        self.arena.len() + 2 * self.lowered.len() + 4 * self.out_f32.len()
+    }
 }
 
 /// A [`QuantizedNetwork`] compiled for one input shape: static arena
@@ -257,7 +266,7 @@ impl QuantizedProgram {
                         h,
                         w,
                         in_zp: zp,
-                        packed: widen_weight_rows(weight, geo.out_channels, patch),
+                        packed: pack_conv_panels(weight, geo.out_channels, patch),
                         bias: bias.clone(),
                         mults: mults.clone(),
                         out_zp: out.zero_point,
@@ -318,8 +327,7 @@ impl QuantizedProgram {
                     let folded_bias: Vec<i32> = (0..*out_features)
                         .map(|j| {
                             let wrow = &weight[j * in_features..(j + 1) * in_features];
-                            let wsum: i32 = wrow.iter().map(|&v| v as i32).sum();
-                            bias[j] - zp * wsum
+                            fold_zero_point(bias[j], wrow, zp)
                         })
                         .collect();
                     let (input, output) = bufs.advance(*out_features);
@@ -569,36 +577,18 @@ impl QuantizedProgram {
                         *geo,
                         &mut lowered[..cols * ps],
                     );
-                    let low: &[i16] = &lowered[..cols * ps];
                     let (out_off, out_len) = self.buf_at(*output);
                     let pool = pool.for_work(geo.out_channels * patch * cols);
-                    let relu_floor = (*out_zp).clamp(-128, 127) as i8;
-                    // Each worker owns PANEL output channel planes. Per
-                    // output pixel, the lowered patch is dotted against
-                    // the panel's filter rows while it sits in L1, and
-                    // each accumulator is requantized straight out of its
-                    // register — no i32 accumulator matrix, no second
-                    // pass. The last chunk is shorter when out_channels
-                    // is not a multiple of PANEL.
-                    pool.for_each_chunk(
+                    qconv_panels_into(
+                        pool,
+                        packed,
+                        patch,
+                        &lowered[..cols * ps],
+                        bias,
+                        mults,
+                        *out_zp,
+                        *relu,
                         &mut arena[out_off..out_off + out_len],
-                        PANEL * cols,
-                        |p, out_panel| {
-                            let live = out_panel.len() / cols;
-                            for col in 0..cols {
-                                let xp = &low[col * ps..col * ps + ps];
-                                for l in 0..live {
-                                    let co = p * PANEL + l;
-                                    let a = qdot(&packed[co * ps..(co + 1) * ps], xp, bias[co]);
-                                    let q = requantize_to_i8(a, mults[co], *out_zp);
-                                    out_panel[l * cols + col] = if *relu && (q as i32) < *out_zp {
-                                        relu_floor
-                                    } else {
-                                        q
-                                    };
-                                }
-                            }
-                        },
                     );
                 }
                 Step::Depthwise {
@@ -619,36 +609,31 @@ impl QuantizedProgram {
                 } => {
                     let oh = (h + 2 * padding - kernel) / stride + 1;
                     let ow = (w + 2 * padding - kernel) / stride + 1;
-                    let pad = *padding as isize;
                     let (inp, outp) =
                         disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
                     let pool = pool.for_work(channels * kernel * kernel * oh * ow);
-                    pool.for_each_chunk(outp, oh * ow, |ci, dst| {
-                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
-                        let kern = &weight[ci * kernel * kernel..(ci + 1) * kernel * kernel];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut a = bias[ci];
-                                for ky in 0..*kernel {
-                                    let iy = oy as isize * *stride as isize + ky as isize - pad;
-                                    if iy < 0 || iy >= *h as isize {
-                                        continue;
-                                    }
-                                    for kx in 0..*kernel {
-                                        let ix = ox as isize * *stride as isize + kx as isize - pad;
-                                        if ix >= 0 && ix < *w as isize {
-                                            let x =
-                                                plane[iy as usize * w + ix as usize] as i32 - in_zp;
-                                            a += x * kern[ky * kernel + kx] as i32;
-                                        }
-                                    }
-                                }
-                                let mut q = requantize_to_i8(a, mults[ci], *out_zp);
-                                if *relu && (q as i32) < *out_zp {
-                                    q = (*out_zp).clamp(-128, 127) as i8;
-                                }
-                                dst[oy * ow + ox] = q;
-                            }
+                    let chunk_len = pool.chunk_len_for(*channels, oh * ow);
+                    let ch_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let ci = idx * ch_per_chunk + j;
+                            qdw_plane(
+                                &inp[ci * h * w..(ci + 1) * h * w],
+                                *h,
+                                *w,
+                                *in_zp,
+                                *kernel,
+                                *stride,
+                                *padding,
+                                &weight[ci * kernel * kernel..(ci + 1) * kernel * kernel],
+                                bias[ci],
+                                mults[ci],
+                                *out_zp,
+                                *relu,
+                                dst,
+                                oh,
+                                ow,
+                            );
                         }
                     });
                 }
@@ -691,21 +676,28 @@ impl QuantizedProgram {
                     let ow = (w - kernel) / stride + 1;
                     let (inp, outp) =
                         disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
-                    for ci in 0..*channels {
-                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut best = i8::MIN;
-                                for ky in 0..*kernel {
-                                    for kx in 0..*kernel {
-                                        best = best
-                                            .max(plane[(oy * stride + ky) * w + ox * stride + kx]);
+                    let pool = pool.for_work(channels * kernel * kernel * oh * ow);
+                    let chunk_len = pool.chunk_len_for(*channels, oh * ow);
+                    let ch_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let ci = idx * ch_per_chunk + j;
+                            let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut best = i8::MIN;
+                                    for ky in 0..*kernel {
+                                        for kx in 0..*kernel {
+                                            best = best.max(
+                                                plane[(oy * stride + ky) * w + ox * stride + kx],
+                                            );
+                                        }
                                     }
+                                    dst[oy * ow + ox] = best;
                                 }
-                                outp[ci * oh * ow + oy * ow + ox] = best;
                             }
                         }
-                    }
+                    });
                 }
                 Step::AvgPool {
                     channels,
@@ -721,26 +713,32 @@ impl QuantizedProgram {
                     let div = (kernel * kernel) as i32;
                     let (inp, outp) =
                         disjoint_pair(arena, self.buf_at(*input), self.buf_at(*output));
-                    for ci in 0..*channels {
-                        let plane = &inp[ci * h * w..(ci + 1) * h * w];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut a = 0i32;
-                                for ky in 0..*kernel {
-                                    for kx in 0..*kernel {
-                                        a +=
-                                            plane[(oy * stride + ky) * w + ox * stride + kx] as i32;
+                    let pool = pool.for_work(channels * kernel * kernel * oh * ow);
+                    let chunk_len = pool.chunk_len_for(*channels, oh * ow);
+                    let ch_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let ci = idx * ch_per_chunk + j;
+                            let plane = &inp[ci * h * w..(ci + 1) * h * w];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut a = 0i32;
+                                    for ky in 0..*kernel {
+                                        for kx in 0..*kernel {
+                                            a += plane[(oy * stride + ky) * w + ox * stride + kx]
+                                                as i32;
+                                        }
                                     }
+                                    let rounded = if a >= 0 {
+                                        (a + div / 2) / div
+                                    } else {
+                                        (a - div / 2) / div
+                                    };
+                                    dst[oy * ow + ox] = rounded.clamp(-128, 127) as i8;
                                 }
-                                let rounded = if a >= 0 {
-                                    (a + div / 2) / div
-                                } else {
-                                    (a - div / 2) / div
-                                };
-                                outp[ci * oh * ow + oy * ow + ox] = rounded.clamp(-128, 127) as i8;
                             }
                         }
-                    }
+                    });
                 }
                 Step::GlobalAvgPool {
                     channels,

@@ -6,9 +6,12 @@
 //! edge cases, and across every pool width.
 
 use crate::kernels::{
-    qconv2d_reference, qconv2d_with, qdepthwise_conv2d, qdepthwise_conv2d_with, QConvGeometry,
+    qconv2d_reference, qconv2d_with, qdepthwise_conv2d, qdepthwise_conv2d_reference,
+    qdepthwise_conv2d_with, QConvGeometry,
 };
-use crate::requant::FixedMultiplier;
+use crate::lowering::{patch_stride, qgemm_row};
+use crate::microkernel::{pack_conv_panels, qconv_panels_into};
+use crate::requant::{requantize_to_i8, FixedMultiplier};
 use np_tensor::parallel::Pool;
 use proptest::prelude::*;
 
@@ -96,6 +99,104 @@ proptest! {
                 &weight, &bias, &mults, out_zp, relu,
             );
             prop_assert_eq!(&got, &serial, "threads {}", threads);
+        }
+    }
+
+    /// The register-blocked MR×NR microkernel against per-channel
+    /// [`qgemm_row`] + requantize, at deliberately ragged shapes: the drawn
+    /// ranges cover C_out % MR != 0, pixel counts % NR != 0, and patches
+    /// that are not a multiple of the 8-lane pad — plus every pool width an
+    /// `NP_THREADS=1..8` run would resolve to.
+    #[test]
+    fn microkernel_matches_qgemm_row_at_ragged_shapes(
+        out_channels in 1usize..13,
+        cols in 1usize..48,
+        patch in 1usize..36,
+        out_zp in -20i32..20,
+        relu_sel in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let relu = relu_sel == 1;
+        let weight = seeded_i8("mk-w", seed, out_channels * patch);
+        let bias = seeded_bias("mk-b", seed, out_channels);
+        let mults = seeded_mults("mk-m", seed, out_channels);
+        // The same centered activations in both layouts: patch-major with
+        // zero tail lanes for the microkernel, row-major for the reference.
+        let vals = seeded_i8("mk-x", seed, cols * patch);
+        let ps = patch_stride(patch);
+        let mut low = vec![0i16; cols * ps];
+        let mut low_cm = vec![0i16; patch * cols];
+        for col in 0..cols {
+            for r in 0..patch {
+                let v = vals[col * patch + r] as i16;
+                low[col * ps + r] = v;
+                low_cm[r * cols + col] = v;
+            }
+        }
+
+        let mut want = vec![0i8; out_channels * cols];
+        let mut acc = vec![0i32; cols];
+        for co in 0..out_channels {
+            qgemm_row(&weight[co * patch..(co + 1) * patch], &low_cm, bias[co], &mut acc);
+            for (o, &a) in want[co * cols..(co + 1) * cols].iter_mut().zip(acc.iter()) {
+                let q = requantize_to_i8(a, mults[co], out_zp);
+                *o = if relu && (q as i32) < out_zp {
+                    out_zp.clamp(-128, 127) as i8
+                } else {
+                    q
+                };
+            }
+        }
+
+        let packed = pack_conv_panels(&weight, out_channels, patch);
+        for threads in 1usize..=8 {
+            let mut got = vec![0i8; out_channels * cols];
+            qconv_panels_into(
+                Pool::new(threads),
+                &packed, patch, &low, &bias, &mults, out_zp, relu, &mut got,
+            );
+            prop_assert_eq!(&got, &want, "threads {}", threads);
+        }
+    }
+
+    /// The depthwise interior/edge fast path against the retained guarded
+    /// reference. Kernel sizes 1..8 hit every const-generic specialization
+    /// (1/3/5/7) and the fallback sizes; small planes with large padding
+    /// produce empty or degenerate interiors.
+    #[test]
+    fn depthwise_fast_path_matches_reference_at_ragged_shapes(
+        channels in 1usize..7,
+        kernel in 1usize..8,
+        stride in 1usize..4,
+        padding in 0usize..4,
+        h_extra in 0usize..11,
+        w_extra in 0usize..11,
+        in_zp in -20i32..20,
+        out_zp in -20i32..20,
+        relu_sel in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        // Derive valid plane sizes instead of rejecting draws: the padded
+        // extent must cover at least one kernel placement.
+        let h = kernel.saturating_sub(2 * padding).max(1) + h_extra;
+        let w = kernel.saturating_sub(2 * padding).max(1) + w_extra;
+        let relu = relu_sel == 1;
+        let input = seeded_i8("dwf-x", seed, channels * h * w);
+        let weight = seeded_i8("dwf-w", seed, channels * kernel * kernel);
+        let bias = seeded_bias("dwf-b", seed, channels);
+        let mults = seeded_mults("dwf-m", seed, channels);
+
+        let reference = qdepthwise_conv2d_reference(
+            &input, h, w, in_zp, channels, kernel, stride, padding,
+            &weight, &bias, &mults, out_zp, relu,
+        );
+        for threads in 1usize..=8 {
+            let got = qdepthwise_conv2d_with(
+                Pool::new(threads),
+                &input, h, w, in_zp, channels, kernel, stride, padding,
+                &weight, &bias, &mults, out_zp, relu,
+            );
+            prop_assert_eq!(&got, &reference, "threads {}", threads);
         }
     }
 }

@@ -93,6 +93,19 @@ impl QuantParams {
     }
 }
 
+/// Folds an input zero point into a bias term: `b - zp * Σw`.
+///
+/// In i32, `Σ (x - zp)·w == Σ x·w - zp·Σw` exactly, so a kernel using the
+/// folded bias can accumulate raw `x·w` products with no per-tap centering
+/// — the compile-time fold the linear step and the depthwise interior fast
+/// path both rely on. Only valid when *every* tap of the reduction is a
+/// real input value; taps that fall in padding must keep the unfolded form
+/// (padding contributes `(zp - zp)·w = 0`, not `-zp·w`).
+pub fn fold_zero_point(bias: i32, weight: &[i8], zp: i32) -> i32 {
+    let wsum: i32 = weight.iter().map(|&v| v as i32).sum();
+    bias - zp * wsum
+}
+
 /// Running min/max observer used during calibration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MinMaxObserver {
@@ -199,5 +212,23 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_observer_panics() {
         MinMaxObserver::new().range();
+    }
+
+    #[test]
+    fn zero_point_fold_matches_centered_sum() {
+        let weight = [3i8, -7, 127, -128, 0];
+        let x = [10i8, -4, 2, 100, -50];
+        let (bias, zp) = (1234i32, -9i32);
+        let centered: i32 = bias
+            + x.iter()
+                .zip(weight.iter())
+                .map(|(&xv, &wv)| (xv as i32 - zp) * wv as i32)
+                .sum::<i32>();
+        let raw: i32 = x
+            .iter()
+            .zip(weight.iter())
+            .map(|(&xv, &wv)| xv as i32 * wv as i32)
+            .sum();
+        assert_eq!(fold_zero_point(bias, &weight, zp) + raw, centered);
     }
 }

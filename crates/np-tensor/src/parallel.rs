@@ -105,6 +105,21 @@ impl Pool {
         let max_useful = (work / Self::MIN_WORK_PER_THREAD).max(1);
         Pool::new(self.threads.min(max_useful))
     }
+
+    /// Chunk length (in elements) for [`Pool::for_each_chunk`] over
+    /// `n_items` work items of `item_len` elements each: always a whole
+    /// number of items, aiming for about two chunks per worker so the
+    /// shared queue can balance uneven chunk costs without paying a lock
+    /// round-trip per item.
+    ///
+    /// Grouping items into chunks never changes results here: every
+    /// kernel using this helper computes each item with the same code
+    /// path regardless of which chunk it lands in, so outputs stay
+    /// bitwise-identical across pool widths.
+    pub fn chunk_len_for(&self, n_items: usize, item_len: usize) -> usize {
+        let target_chunks = (2 * self.threads).clamp(1, n_items.max(1));
+        item_len.max(1) * n_items.div_ceil(target_chunks).max(1)
+    }
 }
 
 /// CPUs actually available to the process, cached once.
@@ -363,6 +378,25 @@ mod tests {
             let two = wide.for_work(2 * Pool::MIN_WORK_PER_THREAD).threads();
             assert_eq!(two, 2);
         }
+    }
+
+    #[test]
+    fn chunk_len_is_whole_items_and_covers_all() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            for n_items in [1usize, 3, 7, 16, 33] {
+                for item_len in [1usize, 5, 240] {
+                    let len = pool.chunk_len_for(n_items, item_len);
+                    assert_eq!(len % item_len, 0, "chunks must hold whole items");
+                    assert!(len >= item_len);
+                    // At most ~2 chunks per worker.
+                    let n_chunks = (n_items * item_len).div_ceil(len);
+                    assert!(n_chunks <= 2 * threads.max(1));
+                }
+            }
+        }
+        // Degenerate inputs stay positive.
+        assert!(Pool::serial().chunk_len_for(0, 0) >= 1);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! any thread count; the float program must be bitwise identical because
 //! it replicates the reference operation order exactly.
 
-use nanopose::nn::init::SmallRng;
-use nanopose::nn::{FScratch, FloatProgram};
+use nanopose::nn::init::{Initializer, SmallRng};
+use nanopose::nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
+use nanopose::nn::{FScratch, FloatProgram, Sequential};
 use nanopose::quant::{QScratch, QuantizedNetwork};
 use nanopose::tensor::parallel::Pool;
 use nanopose::tensor::Tensor;
@@ -24,6 +25,36 @@ fn frames(n: usize, seed: u64) -> Tensor {
         })
         .collect();
     Tensor::from_vec(&[n, c, h, w], data)
+}
+
+/// A depthwise-heavy MobileNet-ish network at proxy resolution whose
+/// channel counts (5, 9, 11) are deliberately *not* multiples of the conv
+/// microkernel's panel height, so every pointwise layer exercises the
+/// ragged last panel, and whose depthwise stack covers kernel sizes 5 and
+/// 3 at strides 1 and 2 (both the interior fast loop and the padded edge
+/// bands).
+fn build_dw_heavy(rng: &mut SmallRng) -> Sequential {
+    let k = Initializer::KaimingUniform;
+    Sequential::with_name(
+        "dw-heavy-ragged",
+        vec![
+            Box::new(Conv2d::new(1, 5, 3, 2, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(5, 5, 1, 2, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(5, 9, 1, 1, 0, k, rng)),
+            Box::new(BatchNorm2d::new(9)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(9, 3, 2, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(9, 11, 1, 1, 0, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(11, 3, 1, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(11 * 12 * 20, 4, k, rng)),
+        ],
+    )
 }
 
 #[test]
@@ -65,6 +96,33 @@ fn forward_prepacked_is_bitwise_equal_on_zoo_networks() {
         for threads in THREADS {
             let got = program.forward_prepacked(Pool::new(threads), &mut scratch, frame.as_slice());
             assert_eq!(got, want.as_slice(), "{} t={threads}", id.name());
+        }
+    }
+}
+
+#[test]
+fn prepacked_is_bitwise_equal_on_dw_heavy_ragged_network() {
+    let calib = frames(4, 61);
+    let mut rng = SmallRng::seed(43);
+    let mut net = build_dw_heavy(&mut rng);
+    // Populate BN running stats so folding has something real to fold.
+    let _ = net.forward_train(&frames(2, 62));
+    let qnet = QuantizedNetwork::quantize(&net, &calib);
+    let program = qnet.compile(PROXY_INPUT);
+    let mut scratch = QScratch::for_program(&program);
+
+    for frame_seed in [11u64, 12, 13] {
+        let frame = frames(1, frame_seed);
+        let q = qnet.input_params().quantize_slice(frame.as_slice());
+        let (want, want_shape) = qnet.run_int_with(Pool::serial(), &q, PROXY_INPUT);
+        let want_f = qnet.forward_with(Pool::serial(), &frame);
+        for threads in THREADS {
+            let pool = Pool::new(threads);
+            let (got, got_shape) = program.run_int_prepacked(pool, &mut scratch, &q);
+            assert_eq!(got_shape, want_shape, "dw-heavy shape");
+            assert_eq!(got, want.as_slice(), "dw-heavy int t={threads}");
+            let got_f = program.forward_prepacked(pool, &mut scratch, frame.as_slice());
+            assert_eq!(got_f, want_f.as_slice(), "dw-heavy float t={threads}");
         }
     }
 }

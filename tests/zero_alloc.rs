@@ -10,8 +10,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nanopose::adaptive::FrameRunner;
-use nanopose::nn::init::SmallRng;
-use nanopose::nn::{FScratch, FloatProgram};
+use nanopose::nn::init::{Initializer, SmallRng};
+use nanopose::nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
+use nanopose::nn::{FScratch, FloatProgram, Sequential};
 use nanopose::quant::{QScratch, QuantizedNetwork};
 use nanopose::tensor::parallel::Pool;
 use nanopose::tensor::Tensor;
@@ -65,6 +66,34 @@ fn frames(n: usize, seed: u64) -> Tensor {
     Tensor::from_vec(&[n, c, h, w], data)
 }
 
+/// Depthwise-heavy network with ragged channel counts (5, 9, 11): every
+/// pointwise conv ends on a partial microkernel panel and the depthwise
+/// fast path handles both the interior loop and padded edges. Mirrors the
+/// parity network in `tests/prepacked.rs`.
+fn build_dw_heavy(rng: &mut SmallRng) -> Sequential {
+    let k = Initializer::KaimingUniform;
+    Sequential::with_name(
+        "dw-heavy-ragged",
+        vec![
+            Box::new(Conv2d::new(1, 5, 3, 2, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(5, 5, 1, 2, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(5, 9, 1, 1, 0, k, rng)),
+            Box::new(BatchNorm2d::new(9)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(9, 3, 2, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(9, 11, 1, 1, 0, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(DepthwiseConv2d::new(11, 3, 1, 1, k, rng)),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(11 * 12 * 20, 4, k, rng)),
+        ],
+    )
+}
+
 #[test]
 fn steady_state_frames_do_not_allocate() {
     let pool = Pool::serial();
@@ -94,6 +123,24 @@ fn steady_state_frames_do_not_allocate() {
         let (n, _) =
             allocs_during(|| program.forward_prepacked(pool, &mut scratch, frame.as_slice())[0]);
         assert_eq!(n, 0, "forward_prepacked allocated in steady state");
+    }
+
+    // --- Depthwise-heavy ragged-channel network --------------------------
+    // The microkernel's ragged-panel tails and the depthwise interior/edge
+    // split must also run without touching the heap.
+    let mut dwnet = build_dw_heavy(&mut rng);
+    let _ = dwnet.forward_train(&calib);
+    let qdw = QuantizedNetwork::quantize(&dwnet, &calib);
+    let dwprogram = qdw.compile(PROXY_INPUT);
+    let mut dwscratch = QScratch::for_program(&dwprogram);
+    let qdw_in = qdw.input_params().quantize_slice(frame.as_slice());
+    let _ = dwprogram.run_int_prepacked(pool, &mut dwscratch, &qdw_in);
+    for _ in 0..3 {
+        let (n, _) = allocs_during(|| {
+            let (out, _) = dwprogram.run_int_prepacked(pool, &mut dwscratch, &qdw_in);
+            out[0]
+        });
+        assert_eq!(n, 0, "dw-heavy run_int_prepacked allocated in steady state");
     }
 
     // --- Float program ---------------------------------------------------
