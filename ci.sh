@@ -19,6 +19,15 @@ cargo bench --workspace --no-run
 echo "==> zero-allocation steady state"
 cargo test -q --test zero_alloc
 
+echo "==> trace feature: build, lints, instrumented zero-alloc"
+cargo build --release --features trace
+cargo clippy --workspace --all-targets --features trace -- -D warnings
+cargo test -q --features trace --test zero_alloc
+
+echo "==> trace_report: layer profiles, drift, <=5% overhead gate"
+cargo run --release -q -p np-bench --features trace --bin trace_report \
+    BENCH_trace.json /tmp/BENCH_trace_events.json >/dev/null
+
 echo "==> kernel exactness proptests (release: optimizer must not change results)"
 cargo test -q --release -p np-quant -- \
     microkernel_matches_qgemm_row_at_ragged_shapes \

@@ -74,6 +74,18 @@ impl OpPolicy {
         (sum - prev_sum).abs()
     }
 
+    /// The decision threshold in scaled-output units.
+    pub fn threshold(&self) -> f32 {
+        self.th
+    }
+
+    /// The OP score the next [`Self::decide_scaled`] call would compare
+    /// against the threshold, without advancing policy state. `None` on
+    /// the first frame of a sequence (no predecessor to diff against).
+    pub fn pending_score(&self, small_scaled: &[f32; 4]) -> Option<f32> {
+        self.prev_sum.map(|prev| Self::score(prev, small_scaled))
+    }
+
     /// Decides directly from the small model's scaled outputs — the live
     /// streaming entry used by [`crate::runner::FrameRunner`], which has
     /// no precomputed [`FrameFeatures`].

@@ -45,6 +45,15 @@ pub struct FrameRunner {
     policy: OpPolicy,
     scratch: QScratch,
     pool: Pool,
+    /// Spans covering the little/big inferences of one streamed frame,
+    /// registered at construction so `run_frame` never touches the span
+    /// registry.
+    little_span: np_trace::SpanId,
+    big_span: np_trace::SpanId,
+    /// Frames streamed since construction (survives `reset`).
+    frames: u64,
+    /// Frames on which the big model ran.
+    big_frames: u64,
 }
 
 impl FrameRunner {
@@ -71,12 +80,18 @@ impl FrameRunner {
         );
         assert_eq!(big.output_len(), 4, "big model must regress 4 outputs");
         let scratch = QScratch::for_programs(&[&little, &big]);
+        let little_span = np_trace::register_span(&format!("runner/{}", little.name()));
+        let big_span = np_trace::register_span(&format!("runner/{}", big.name()));
         FrameRunner {
             little,
             big,
             policy: OpPolicy::new(th),
             scratch,
             pool,
+            little_span,
+            big_span,
+            frames: 0,
+            big_frames: 0,
         }
     }
 
@@ -84,35 +99,83 @@ impl FrameRunner {
     /// always, the big one only when the OP policy fires, averaging scaled
     /// outputs when both ran (paper Eq. 1–2).
     pub fn run_frame(&mut self, frame: &[f32]) -> FrameResult {
+        let t_little = np_trace::start();
         let little_scaled = run4(&self.little, self.pool, &mut self.scratch, frame);
+        let little_ns = np_trace::finish(self.little_span, t_little, 0);
+        // Score before decide_scaled advances the policy's history; NaN
+        // marks the first frame of a sequence (no predecessor).
+        let op_score = self
+            .policy
+            .pending_score(&little_scaled)
+            .unwrap_or(f32::NAN);
         let decision = self.policy.decide_scaled(&little_scaled);
-        if !decision.runs_big() {
-            return FrameResult {
+        let mut big_ns = 0;
+        let result = if !decision.runs_big() {
+            FrameResult {
                 decision,
                 scaled: little_scaled,
                 little_scaled,
                 big_scaled: None,
-            };
+            }
+        } else {
+            let t_big = np_trace::start();
+            let big_scaled = run4(&self.big, self.pool, &mut self.scratch, frame);
+            big_ns = np_trace::finish(self.big_span, t_big, 0);
+            let scaled = [
+                (little_scaled[0] + big_scaled[0]) / 2.0,
+                (little_scaled[1] + big_scaled[1]) / 2.0,
+                (little_scaled[2] + big_scaled[2]) / 2.0,
+                (little_scaled[3] + big_scaled[3]) / 2.0,
+            ];
+            FrameResult {
+                decision,
+                scaled,
+                little_scaled,
+                big_scaled: Some(big_scaled),
+            }
+        };
+        np_trace::counter_add(np_trace::Counter::FramesTotal, 1);
+        self.frames += 1;
+        if decision.runs_big() {
+            np_trace::counter_add(np_trace::Counter::FramesBig, 1);
+            self.big_frames += 1;
         }
-        let big_scaled = run4(&self.big, self.pool, &mut self.scratch, frame);
-        let scaled = [
-            (little_scaled[0] + big_scaled[0]) / 2.0,
-            (little_scaled[1] + big_scaled[1]) / 2.0,
-            (little_scaled[2] + big_scaled[2]) / 2.0,
-            (little_scaled[3] + big_scaled[3]) / 2.0,
-        ];
-        FrameResult {
-            decision,
-            scaled,
-            little_scaled,
-            big_scaled: Some(big_scaled),
-        }
+        np_trace::record_frame(np_trace::FrameEvent {
+            frame: self.frames - 1,
+            decision: match decision {
+                Decision::Small => np_trace::FrameDecision::Small,
+                Decision::Big => np_trace::FrameDecision::Big,
+                Decision::Ensemble => np_trace::FrameDecision::Ensemble,
+            },
+            op_score,
+            threshold: self.policy.threshold(),
+            little_ns,
+            big_ns,
+        });
+        result
     }
 
     /// Resets the policy at a sequence boundary (the next frame runs the
-    /// full ensemble again).
+    /// full ensemble again). Frame statistics keep accumulating — they
+    /// describe the runner's whole lifetime, not one sequence.
     pub fn reset(&mut self) {
         self.policy.reset();
+    }
+
+    /// Frames streamed since construction.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Fraction of streamed frames on which the big model ran — the
+    /// running `frac_big` the paper's cost model (Eq. 2) prices. `0.0`
+    /// before any frame has run.
+    pub fn frac_big(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.big_frames as f64 / self.frames as f64
+        }
     }
 
     /// The compiled little program.
@@ -232,6 +295,21 @@ mod tests {
             runner.run_frame(frame.as_slice()).decision,
             Decision::Ensemble
         );
+    }
+
+    #[test]
+    fn frac_big_tracks_decisions() {
+        let (ql, qb) = quantized_pair();
+        let mut runner = FrameRunner::new(&ql, &qb, CHW, 0.5, Pool::serial());
+        assert_eq!(runner.frames(), 0);
+        assert_eq!(runner.frac_big(), 0.0);
+        let frame = calib(1, 9);
+        // Frame 0 is always Ensemble, identical follow-ups settle to Small.
+        for _ in 0..4 {
+            let _ = runner.run_frame(frame.as_slice());
+        }
+        assert_eq!(runner.frames(), 4);
+        assert_eq!(runner.frac_big(), 0.25);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Instrumented profiling run: per-layer latency profiles, cycle-model drift
+//! and per-frame adaptive-policy telemetry, exported as `BENCH_trace.json`
+//! plus a Chrome `chrome://tracing` event file.
+//!
+//! Requires the `trace` feature (enforced via `required-features`).
+
+fn main() {
+    np_bench::trace_report::main();
+}

@@ -68,21 +68,21 @@ pub fn run_policy_comparison(exp: &mut Experiment, figure: &str, dataset: &str) 
             .cloned()
             .collect();
         let front = pareto_front(&all);
-        eprintln!("[{figure}] {ens}: {} adaptive pareto points", front.len());
+        np_trace::info!("[{figure}] {ens}: {} adaptive pareto points", front.len());
         if let Some(p) = cheapest_at_mae(&all, big_mae) {
-            eprintln!(
+            np_trace::info!(
                 "[{figure}] {ens} iso-MAE ({:.3} <= {big_mae:.3}): cycles -{:.2}% via {} (paper D2: -28.03%)",
                 p.result.mae_sum,
                 100.0 * (1.0 - p.result.mean_cycles / big_cycles),
                 p.result.policy,
             );
         } else {
-            eprintln!(
+            np_trace::info!(
                 "[{figure}] {ens}: no adaptive point reaches the big model's MAE {big_mae:.3}"
             );
         }
         if let Some(p) = best_at_cycles(&all, big_cycles) {
-            eprintln!(
+            np_trace::info!(
                 "[{figure}] {ens} iso-latency: MAE {:.3} vs big {:.3} ({:+.2}%) via {} (paper D2: -3.15%)",
                 p.result.mae_sum,
                 big_mae,
@@ -93,7 +93,7 @@ pub fn run_policy_comparison(exp: &mut Experiment, figure: &str, dataset: &str) 
     }
 
     if let Some((name, mae)) = best_overall {
-        eprintln!(
+        np_trace::info!(
             "[{figure}] best overall MAE {mae:.3} via {name} ({:+.2}% vs big {big_mae:.3}; paper: -6.13%)",
             100.0 * (mae / big_mae - 1.0)
         );

@@ -20,6 +20,8 @@
 //! datasets, more epochs) or `fast` (small datasets for smoke runs).
 
 pub mod figures;
+#[cfg(feature = "trace")]
+pub mod trace_report;
 
 use np_adaptive::features::Backend;
 use np_adaptive::{CostModel, EnsembleId, ErrorMap, EvalTable};
@@ -161,7 +163,7 @@ impl Experiment {
     /// does not fit GAP8 and is a bug, not an operational error.
     pub fn prepare(env: Environment, scale: Scale) -> Experiment {
         let cfg = scale.dataset_config(env);
-        eprintln!(
+        np_trace::info!(
             "[np-bench] generating {} dataset ({} sequences x {} frames)...",
             env_tag(env),
             cfg.n_sequences,
@@ -179,10 +181,10 @@ impl Experiment {
                 &key(&name.replace('.', "")),
                 || id.build_proxy(&mut SmallRng::seed(100)),
                 |m| {
-                    eprintln!("[np-bench] training {name} ({} params)...", m.num_params());
+                    np_trace::info!("[np-bench] training {name} ({} params)...", m.num_params());
                     let stats = train_regressor(m, &data, &recipe);
                     if let Some(last) = stats.last() {
-                        eprintln!("[np-bench]   final train L1 loss {:.4}", last.loss);
+                        np_trace::info!("[np-bench]   final train L1 loss {:.4}", last.loss);
                     }
                 },
             )
@@ -199,7 +201,7 @@ impl Experiment {
                     &key(&id.name()),
                     || id.build_proxy(&mut SmallRng::seed(200)),
                     |m| {
-                        eprintln!("[np-bench] training {}...", id.name());
+                        np_trace::info!("[np-bench] training {}...", id.name());
                         train_aux(m, &data, grid, &aux_recipe);
                     },
                 );

@@ -1,0 +1,287 @@
+//! Implementation of the `trace_report` binary: an instrumented profiling
+//! run over the F1 / F2 / M1.0 proxies and the D1 streaming ensemble.
+//!
+//! Emits `BENCH_trace.json` with
+//!
+//! 1. **Overhead gate** — per-frame M1.0 latency with the recorder off vs
+//!    on in the same instrumented binary; the run *fails* if enabling
+//!    recording costs more than [`MAX_OVERHEAD_PCT`] percent.
+//! 2. **Per-layer profiles** — p50/p95/p99/max per program step over
+//!    [`PROFILE_FRAMES`] frames, from the span histograms.
+//! 3. **Cycle-model drift** — each model's measured step p50s fitted
+//!    against the np-dory/np-gap8 cycle predictions for the same proxy
+//!    topology ([`np_trace::drift`]).
+//! 4. **Stream telemetry** — the D1 = (F1, M1.0) ensemble over a
+//!    [`STREAM_FRAMES`]-frame synthetic stream: per-frame decision, OP
+//!    score vs threshold, little/big latency split, running `frac_big`,
+//!    and the process-wide pool/frame counters.
+//!
+//! A second output file holds the stream's span events in Chrome trace
+//! format for `chrome://tracing` / Perfetto.
+
+use np_adaptive::FrameRunner;
+use np_dory::deploy;
+use np_gap8::Gap8Config;
+use np_nn::init::SmallRng;
+use np_quant::{QScratch, QuantizedNetwork};
+use np_tensor::parallel::Pool;
+use np_tensor::Tensor;
+use np_trace::export::{chrome_trace_json, json_f32, summary_json};
+use np_trace::SpanSummary;
+use np_zoo::channels::PROXY_INPUT;
+use np_zoo::ModelId;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Frames per model for the layer-profiling section.
+const PROFILE_FRAMES: usize = 30;
+/// Frames streamed through the D1 ensemble.
+const STREAM_FRAMES: usize = 120;
+/// Reps for the best-of overhead timing.
+const OVERHEAD_REPS: usize = 30;
+/// Gate: enabling the recorder may not cost more than this per frame.
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+fn pseudo_frames(n: usize, seed: u64) -> Tensor {
+    let (c, h, w) = PROXY_INPUT;
+    let mut s = seed + 1;
+    let data: Vec<f32> = (0..n * c * h * w)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(&[n, c, h, w], data)
+}
+
+/// Best-of-`OVERHEAD_REPS` wall time of `f` in nanoseconds.
+fn best_ns(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+/// True for the per-step spans of `model` that np-dory also prices:
+/// excludes the whole-frame span and in-place ReLU steps (free at
+/// deployment granularity, filtered by dory's `matters`).
+fn is_compute_step(name: &str, model: &str) -> bool {
+    let Some(rest) = name.strip_prefix(model) else {
+        return false;
+    };
+    let Some(rest) = rest.strip_prefix('/') else {
+        return false;
+    };
+    rest != "frame" && !rest.ends_with("-relu")
+}
+
+/// Entry point for the `trace_report` binary.
+pub fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let chrome_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_trace_events.json".to_string());
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = Pool::serial();
+
+    np_trace::install(np_trace::TraceConfig::default());
+
+    let calib = pseudo_frames(4, 7);
+    let frame = pseudo_frames(1, 8);
+    let mut rng = SmallRng::seed(3);
+    let models: Vec<(ModelId, np_nn::Sequential, QuantizedNetwork)> =
+        [ModelId::F1, ModelId::F2, ModelId::M10]
+            .into_iter()
+            .map(|id| {
+                let net = id.build_proxy(&mut rng);
+                let qnet = QuantizedNetwork::quantize(&net, &calib);
+                (id, net, qnet)
+            })
+            .collect();
+
+    // --- 1. Overhead gate: recorder off vs on, same binary, M1.0 --------
+    let (_, _, qm10) = models
+        .iter()
+        .find(|(id, _, _)| *id == ModelId::M10)
+        .unwrap();
+    let program = qm10.compile(PROXY_INPUT);
+    let mut scratch = QScratch::for_program(&program);
+    let q = qm10.input_params().quantize_slice(frame.as_slice());
+
+    np_trace::disable();
+    let off_ns = best_ns(|| {
+        black_box(program.run_int_prepacked(pool, &mut scratch, black_box(&q)));
+    });
+    np_trace::enable();
+    let on_ns = best_ns(|| {
+        black_box(program.run_int_prepacked(pool, &mut scratch, black_box(&q)));
+    });
+    let overhead_pct = 100.0 * (on_ns / off_ns - 1.0);
+    np_trace::info!(
+        "[trace_report] M1.0 per-frame: recorder off {off_ns:.0} ns, \
+         on {on_ns:.0} ns ({overhead_pct:+.2}% overhead, gate {MAX_OVERHEAD_PCT}%)"
+    );
+    np_trace::reset(); // drop the overhead-measurement events
+
+    // --- 2 + 3. Per-layer profiles and cycle-model drift ----------------
+    for (_, _, qnet) in &models {
+        let program = qnet.compile(PROXY_INPUT);
+        let mut scratch = QScratch::for_program(&program);
+        let q = qnet.input_params().quantize_slice(frame.as_slice());
+        for _ in 0..PROFILE_FRAMES {
+            black_box(program.run_int_prepacked(pool, &mut scratch, black_box(&q)));
+        }
+    }
+    let profile: Vec<SpanSummary> = np_trace::summary()
+        .into_iter()
+        .filter(|s| s.count > 0)
+        .collect();
+
+    let gap8 = Gap8Config::default();
+    let mut model_sections = Vec::new();
+    for (id, net, _) in &models {
+        let name = id.name();
+        let layers: Vec<SpanSummary> = profile
+            .iter()
+            .filter(|s| s.name.starts_with(&format!("{name}/")))
+            .cloned()
+            .collect();
+        let steps: Vec<&SpanSummary> = layers
+            .iter()
+            .filter(|s| is_compute_step(&s.name, &name))
+            .collect();
+        let plan = deploy(&net.describe(PROXY_INPUT), &gap8).expect("proxy model must fit GAP8");
+        assert_eq!(
+            steps.len(),
+            plan.layers.len(),
+            "{name}: program compute steps must align 1:1 with dory plan layers"
+        );
+        let triples: Vec<(String, f64, f64)> = steps
+            .iter()
+            .zip(&plan.layers)
+            .map(|(s, l)| (s.name.clone(), s.p50_ns as f64, l.cycles.total() as f64))
+            .collect();
+        let drift = np_trace::drift::drift_report(&triples);
+        np_trace::info!(
+            "[trace_report] {name}: {} steps, drift mean |{:.1}|% max |{:.1}|% \
+             (scale {:.3} ns/cycle)",
+            steps.len(),
+            drift.mean_abs_drift_pct,
+            drift.max_abs_drift_pct,
+            drift.scale_ns_per_cycle
+        );
+        model_sections.push((name, layers, drift));
+    }
+    np_trace::reset(); // stream section gets a clean event log
+
+    // --- 4. D1 streaming ensemble ----------------------------------------
+    let little = &models
+        .iter()
+        .find(|(id, _, _)| *id == ModelId::F1)
+        .unwrap()
+        .2;
+    let big = &models
+        .iter()
+        .find(|(id, _, _)| *id == ModelId::M10)
+        .unwrap()
+        .2;
+    const TH: f32 = 0.05;
+    let mut runner = FrameRunner::new(little, big, PROXY_INPUT, TH, pool);
+    let still = pseudo_frames(1, 21);
+    let moving = pseudo_frames(1, 22);
+    for f in 0..STREAM_FRAMES {
+        let x = if f % 4 == 0 { &moving } else { &still };
+        black_box(runner.run_frame(x.as_slice()));
+    }
+    let frame_events = np_trace::frame_events();
+    let counters = np_trace::counters();
+    let chrome = chrome_trace_json(&np_trace::span_events(), &np_trace::span_names());
+    np_trace::info!(
+        "[trace_report] D1 stream: {} frames, frac_big {:.3}",
+        runner.frames(),
+        runner.frac_big()
+    );
+
+    // --- Assemble BENCH_trace.json ---------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"cpus_available\": {cpus},");
+    let _ = writeln!(json, "  \"profile_frames\": {PROFILE_FRAMES},");
+    let _ = writeln!(
+        json,
+        "  \"input_chw\": [{}, {}, {}],",
+        PROXY_INPUT.0, PROXY_INPUT.1, PROXY_INPUT.2
+    );
+    let _ = writeln!(
+        json,
+        "  \"overhead\": {{\"recorder_off_ns\": {off_ns:.0}, \"recorder_on_ns\": {on_ns:.0}, \
+         \"overhead_pct\": {overhead_pct:.3}, \"max_overhead_pct\": {MAX_OVERHEAD_PCT}}},"
+    );
+    json.push_str("  \"models\": [\n");
+    let n_models = model_sections.len();
+    for (i, (name, layers, drift)) in model_sections.iter().enumerate() {
+        let _ = writeln!(json, "    {{\"model\": \"{name}\",");
+        let _ = writeln!(json, "     \"layers\": {},", summary_json(layers, 5));
+        let _ = writeln!(json, "     \"drift\": {}", drift.to_json(5));
+        let _ = writeln!(json, "    }}{}", if i + 1 < n_models { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"stream\": {{");
+    let _ = writeln!(
+        json,
+        "    \"ensemble\": \"D1\", \"little\": \"F1\", \"big\": \"M1.0\", \
+         \"threshold\": {TH}, \"frames\": {STREAM_FRAMES}, \"frac_big\": {:.4},",
+        runner.frac_big()
+    );
+    json.push_str("    \"frame_events\": [\n");
+    let mut big_so_far = 0u64;
+    for (i, e) in frame_events.iter().enumerate() {
+        big_so_far += u64::from(e.decision.runs_big());
+        let _ = write!(
+            json,
+            "      {{\"frame\": {}, \"decision\": \"{}\", \"op_score\": {}, \
+             \"threshold\": {}, \"little_ns\": {}, \"big_ns\": {}, \"frac_big\": {:.4}}}",
+            e.frame,
+            e.decision.name(),
+            json_f32(e.op_score),
+            json_f32(e.threshold),
+            e.little_ns,
+            e.big_ns,
+            big_so_far as f64 / (i + 1) as f64
+        );
+        json.push_str(if i + 1 < frame_events.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"counters\": {");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let _ = write!(
+            json,
+            "\"{name}\": {value}{}",
+            if i + 1 < counters.len() { ", " } else { "" }
+        );
+    }
+    json.push_str("}\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write trace json");
+    std::fs::write(&chrome_path, &chrome).expect("write chrome trace");
+    println!("{json}");
+    np_trace::info!("[trace_report] wrote {out_path} and {chrome_path}");
+    assert!(
+        overhead_pct <= MAX_OVERHEAD_PCT,
+        "instrumentation overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% gate"
+    );
+}

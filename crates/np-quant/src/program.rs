@@ -119,6 +119,39 @@ enum Step {
     ReluInPlace { zp: i32, buf: usize },
 }
 
+impl Step {
+    /// Short kind tag used in span names (`model/03-conv` etc.).
+    fn kind(&self) -> &'static str {
+        match self {
+            Step::Conv { .. } => "conv",
+            Step::Depthwise { .. } => "dw",
+            Step::Linear { .. } => "linear",
+            Step::MaxPool { .. } => "maxpool",
+            Step::AvgPool { .. } => "avgpool",
+            Step::GlobalAvgPool { .. } => "gap",
+            Step::ReluInPlace { .. } => "relu",
+        }
+    }
+
+    /// Arena traffic of the step in bytes (activation read + write; i8
+    /// buffers, so element counts are byte counts). Weight bytes are
+    /// excluded — they are a compile-time constant per program, not
+    /// per-frame traffic.
+    fn io_bytes(&self, buf_sizes: &[usize]) -> u64 {
+        match *self {
+            Step::Conv { input, output, .. }
+            | Step::Depthwise { input, output, .. }
+            | Step::Linear { input, output, .. }
+            | Step::MaxPool { input, output, .. }
+            | Step::AvgPool { input, output, .. }
+            | Step::GlobalAvgPool { input, output, .. } => {
+                (buf_sizes[input] + buf_sizes[output]) as u64
+            }
+            Step::ReluInPlace { buf, .. } => 2 * buf_sizes[buf] as u64,
+        }
+    }
+}
+
 /// Buffer bookkeeping during compilation: sizes and live ranges of the
 /// activation chain, one logical time tick per executed step.
 struct Bufs {
@@ -234,6 +267,14 @@ pub struct QuantizedProgram {
     arena_len: usize,
     lowered_len: usize,
     output_buf: usize,
+    /// One np-trace span per step, registered at compile time so the
+    /// executor's hot path never touches the span registry. All-INACTIVE
+    /// when the `trace` feature is off.
+    step_spans: Vec<np_trace::SpanId>,
+    /// Arena bytes each step reads + writes, precomputed for telemetry.
+    step_bytes: Vec<u64>,
+    /// Span covering one whole `exec_steps` pass.
+    frame_span: np_trace::SpanId,
 }
 
 impl QuantizedProgram {
@@ -412,6 +453,14 @@ impl QuantizedProgram {
             .collect();
         let plan = plan_arena(&reqs);
 
+        let step_spans = steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| np_trace::register_span(&format!("{}/{i:02}-{}", net.name(), s.kind())))
+            .collect();
+        let step_bytes = steps.iter().map(|s| s.io_bytes(&bufs.sizes)).collect();
+        let frame_span = np_trace::register_span(&format!("{}/frame", net.name()));
+
         QuantizedProgram {
             name: net.name().to_string(),
             input_params: net.input_params(),
@@ -424,6 +473,9 @@ impl QuantizedProgram {
             arena_len: plan.arena_bytes,
             lowered_len,
             output_buf: bufs.cur,
+            step_spans,
+            step_bytes,
+            frame_span,
         }
     }
 
@@ -546,10 +598,14 @@ impl QuantizedProgram {
         &scratch.out_f32[..out_len]
     }
 
-    /// Executes the step list against a warm scratch. Allocation-free.
+    /// Executes the step list against a warm scratch. Allocation-free,
+    /// including the np-trace probes (spans were registered at compile
+    /// time; recording writes into preallocated rings).
     fn exec_steps(&self, pool: Pool, scratch: &mut QScratch) {
         let QScratch { arena, lowered, .. } = scratch;
-        for step in &self.steps {
+        let frame_start = np_trace::start();
+        for (step_idx, step) in self.steps.iter().enumerate() {
+            let step_start = np_trace::start();
             match step {
                 Step::Conv {
                     geo,
@@ -771,7 +827,13 @@ impl QuantizedProgram {
                     }
                 }
             }
+            np_trace::finish(
+                self.step_spans[step_idx],
+                step_start,
+                self.step_bytes[step_idx],
+            );
         }
+        np_trace::finish(self.frame_span, frame_start, 0);
     }
 
     fn buf_at(&self, id: usize) -> (usize, usize) {

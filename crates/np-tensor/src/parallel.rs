@@ -62,13 +62,19 @@ impl Pool {
     pub fn global() -> Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         *GLOBAL.get_or_init(|| {
-            let threads = std::env::var("NP_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
-                });
+            let raw = std::env::var("NP_THREADS").ok();
+            let threads = match parse_np_threads(raw.as_deref()) {
+                Ok(Some(n)) => n,
+                Ok(None) => default_threads(),
+                Err(raw) => {
+                    np_trace::warn!(
+                        "ignoring NP_THREADS={raw:?}: expected a positive integer, \
+                         using {} threads",
+                        default_threads()
+                    );
+                    default_threads()
+                }
+            };
             Pool::new(threads)
         })
     }
@@ -122,6 +128,44 @@ impl Pool {
     }
 }
 
+/// Bumps the pool-utilization counters for one parallel region.
+///
+/// A no-op unless the `trace` feature is compiled in *and* a recorder is
+/// enabled; the hot path then pays one relaxed atomic load plus a few
+/// relaxed adds — no locks, no allocation.
+#[inline]
+fn record_region(workers: usize, items: usize) {
+    use np_trace::Counter;
+    np_trace::counter_add(Counter::PoolRegions, 1);
+    if workers <= 1 {
+        np_trace::counter_add(Counter::PoolInlineRegions, 1);
+    } else {
+        np_trace::counter_add(Counter::PoolWorkerSpawns, workers as u64 - 1);
+    }
+    np_trace::counter_add(Counter::PoolItems, items as u64);
+}
+
+/// Default worker count when `NP_THREADS` is absent: available
+/// parallelism capped at 8 (the kernels here saturate memory bandwidth
+/// quickly; more workers than that just adds scheduling noise).
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Parses an `NP_THREADS` environment value.
+///
+/// `Ok(None)` — variable unset; `Ok(Some(n))` — a positive integer
+/// (surrounding whitespace tolerated); `Err(raw)` — set but not a
+/// positive integer (`0`, `abc`, `-2`, empty, …), which [`Pool::global`]
+/// reports once through the log facade instead of silently ignoring.
+fn parse_np_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(raw.to_string()),
+    }
+}
+
 /// CPUs actually available to the process, cached once.
 ///
 /// Distinct from [`Pool::global`]'s size: `NP_THREADS` can request more
@@ -139,6 +183,7 @@ impl Pool {
     /// everything inline. Returns after all tasks complete.
     pub fn run(&self, n_tasks: usize, task: impl Fn(usize) + Sync) {
         let workers = self.threads.min(n_tasks);
+        record_region(workers, n_tasks);
         if workers <= 1 {
             for i in 0..n_tasks {
                 task(i);
@@ -174,6 +219,7 @@ impl Pool {
         let chunk_len = chunk_len.max(1);
         let n_chunks = data.len().div_ceil(chunk_len);
         let workers = self.threads.min(n_chunks);
+        record_region(workers, n_chunks);
         if workers <= 1 {
             for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 body(idx, chunk);
@@ -228,6 +274,7 @@ impl Pool {
             "paired buffers must split into the same number of chunks"
         );
         let workers = self.threads.min(n_chunks);
+        record_region(workers, n_chunks);
         if workers <= 1 {
             for (idx, (ca, cb)) in a
                 .chunks_mut(a_chunk_len)
@@ -403,5 +450,22 @@ mod tests {
     fn global_pool_is_stable() {
         assert_eq!(Pool::global(), Pool::global());
         assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn np_threads_parse_accepts_positive_integers() {
+        assert_eq!(parse_np_threads(None), Ok(None));
+        assert_eq!(parse_np_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_np_threads(Some("8")), Ok(Some(8)));
+        assert_eq!(parse_np_threads(Some("  4\n")), Ok(Some(4)));
+    }
+
+    #[test]
+    fn np_threads_parse_rejects_garbage_with_original_value() {
+        // These all used to fall through *silently* to the default; the
+        // parser now surfaces the rejected value so global() can warn.
+        for bad in ["abc", "", "0", "-2", "4.5", "2 cores"] {
+            assert_eq!(parse_np_threads(Some(bad)), Err(bad.to_string()));
+        }
     }
 }

@@ -1,0 +1,220 @@
+//! Measured-vs-model drift tracking.
+//!
+//! The np-gap8 cycle model is the *proxy* every policy sweep prices
+//! against; the host runtime is what actually executes. Their absolute
+//! scales differ (GAP8 cycles at 170 MHz vs host nanoseconds), but the
+//! model's job is to get the *relative* per-layer cost right — that is
+//! what tiling choices and adaptive-policy cost models consume. A
+//! [`DriftReport`] makes the calibration error continuously visible: it
+//! fits the single least-squares scale `k` (ns per cycle) between the
+//! measured layer times and the predicted layer cycles, then reports each
+//! layer's residual from that shared scale. A layer with `drift_pct`
+//! +30% is 30% more expensive on the host than the cycle model predicts
+//! relative to its peers — exactly the signal that the model's throughput
+//! class for that kernel needs recalibration.
+
+use std::fmt::Write as _;
+
+/// One layer's measured-vs-predicted comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftEntry {
+    /// Layer label (span name or plan layer name).
+    pub name: String,
+    /// Measured time on the host, nanoseconds (typically the span p50).
+    pub measured_ns: f64,
+    /// Cycle-model prediction for the layer, cycles.
+    pub predicted_cycles: f64,
+    /// The prediction rescaled into host nanoseconds via the fitted
+    /// common scale.
+    pub predicted_ns: f64,
+    /// Signed relative residual in percent:
+    /// `100 * (measured - predicted_ns) / predicted_ns`.
+    pub drift_pct: f64,
+}
+
+/// Per-layer drift of a measured profile against a cycle-model
+/// prediction, under one fitted scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Least-squares scale in host nanoseconds per modeled cycle.
+    pub scale_ns_per_cycle: f64,
+    /// Per-layer residuals.
+    pub entries: Vec<DriftEntry>,
+    /// Mean of `|drift_pct|` across layers — the headline calibration
+    /// error of the cycle model on this network.
+    pub mean_abs_drift_pct: f64,
+    /// Largest `|drift_pct|` across layers.
+    pub max_abs_drift_pct: f64,
+}
+
+/// Builds a [`DriftReport`] from `(name, measured_ns, predicted_cycles)`
+/// triples. Layers with a non-positive prediction or measurement are
+/// skipped (they carry no calibration signal). Returns a report with no
+/// entries when nothing is comparable.
+pub fn drift_report(layers: &[(String, f64, f64)]) -> DriftReport {
+    let usable: Vec<&(String, f64, f64)> = layers
+        .iter()
+        .filter(|(_, m, p)| *m > 0.0 && *p > 0.0)
+        .collect();
+    // Least squares for measured ~= k * predicted: k = Σ m·p / Σ p².
+    let dot: f64 = usable.iter().map(|(_, m, p)| m * p).sum();
+    let norm: f64 = usable.iter().map(|(_, _, p)| p * p).sum();
+    let scale = if norm > 0.0 { dot / norm } else { 0.0 };
+
+    let entries: Vec<DriftEntry> = usable
+        .iter()
+        .map(|(name, m, p)| {
+            let predicted_ns = scale * p;
+            DriftEntry {
+                name: name.clone(),
+                measured_ns: *m,
+                predicted_cycles: *p,
+                predicted_ns,
+                drift_pct: if predicted_ns > 0.0 {
+                    100.0 * (m - predicted_ns) / predicted_ns
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    let (mean, max) = if entries.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let mean = entries.iter().map(|e| e.drift_pct.abs()).sum::<f64>() / entries.len() as f64;
+        let max = entries
+            .iter()
+            .map(|e| e.drift_pct.abs())
+            .fold(0.0f64, f64::max);
+        (mean, max)
+    };
+
+    DriftReport {
+        scale_ns_per_cycle: scale,
+        entries,
+        mean_abs_drift_pct: mean,
+        max_abs_drift_pct: max,
+    }
+}
+
+impl DriftReport {
+    /// Renders the report as a JSON object, `indent` spaces deep.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::from("{\n");
+        let _ = writeln!(
+            out,
+            "{pad}  \"scale_ns_per_cycle\": {:.6},",
+            self.scale_ns_per_cycle
+        );
+        let _ = writeln!(
+            out,
+            "{pad}  \"mean_abs_drift_pct\": {:.3},",
+            self.mean_abs_drift_pct
+        );
+        let _ = writeln!(
+            out,
+            "{pad}  \"max_abs_drift_pct\": {:.3},",
+            self.max_abs_drift_pct
+        );
+        let _ = writeln!(out, "{pad}  \"layers\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{pad}    {{\"name\": \"{}\", \"measured_ns\": {:.0}, \
+                 \"predicted_cycles\": {:.0}, \"predicted_ns\": {:.0}, \"drift_pct\": {:.2}}}",
+                crate::export::json_escape(&e.name),
+                e.measured_ns,
+                e.predicted_cycles,
+                e.predicted_ns,
+                e.drift_pct
+            );
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = writeln!(out, "{pad}  ]");
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, m: f64, p: f64) -> (String, f64, f64) {
+        (name.to_string(), m, p)
+    }
+
+    #[test]
+    fn perfectly_proportional_profile_has_zero_drift() {
+        // measured = 2.5 ns/cycle everywhere: the fit recovers the scale
+        // and every residual vanishes.
+        let report = drift_report(&[
+            layer("conv0", 2500.0, 1000.0),
+            layer("conv1", 5000.0, 2000.0),
+            layer("fc", 250.0, 100.0),
+        ]);
+        assert!((report.scale_ns_per_cycle - 2.5).abs() < 1e-9);
+        assert!(report.mean_abs_drift_pct < 1e-9);
+        assert!(report.max_abs_drift_pct < 1e-9);
+        for e in &report.entries {
+            assert!((e.predicted_ns - e.measured_ns).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn underpredicted_layer_shows_positive_drift() {
+        // Two layers follow scale 2 exactly and dominate the fit; the
+        // depthwise layer takes 4 ns/cycle — about twice the fitted
+        // scale, i.e. the model underprices it by ~100%.
+        let report = drift_report(&[
+            layer("conv0", 20_000.0, 10_000.0),
+            layer("conv1", 40_000.0, 20_000.0),
+            layer("dw", 400.0, 100.0),
+        ]);
+        let dw = report.entries.iter().find(|e| e.name == "dw").unwrap();
+        assert!(
+            dw.drift_pct > 90.0 && dw.drift_pct < 110.0,
+            "{}",
+            dw.drift_pct
+        );
+        // The big, well-predicted layers stay near zero.
+        let conv = report.entries.iter().find(|e| e.name == "conv0").unwrap();
+        assert!(conv.drift_pct.abs() < 5.0, "{}", conv.drift_pct);
+        assert!(report.max_abs_drift_pct >= dw.drift_pct.abs());
+    }
+
+    #[test]
+    fn non_positive_layers_are_skipped() {
+        let report = drift_report(&[
+            layer("ok", 100.0, 50.0),
+            layer("zero-pred", 100.0, 0.0),
+            layer("zero-meas", 0.0, 50.0),
+        ]);
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].name, "ok");
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let report = drift_report(&[]);
+        assert_eq!(report.scale_ns_per_cycle, 0.0);
+        assert!(report.entries.is_empty());
+        let json = report.to_json(0);
+        assert!(json.contains("\"layers\": ["));
+    }
+
+    #[test]
+    fn json_contains_every_layer() {
+        let report = drift_report(&[layer("a", 10.0, 5.0), layer("b", 20.0, 10.0)]);
+        let json = report.to_json(2);
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"name\": \"b\""));
+        assert!(json.contains("\"scale_ns_per_cycle\""));
+    }
+}

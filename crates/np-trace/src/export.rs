@@ -1,0 +1,219 @@
+//! Export sinks: summary JSON and Chrome `chrome://tracing` format.
+//!
+//! Both renderers are pure functions over data snapshots, so they are
+//! testable without the global recorder and usable in any binary. JSON is
+//! hand-written (the workspace's offline serde shim has no JSON backend),
+//! matching the style of the `BENCH_*.json` emitters.
+
+use crate::SpanEvent;
+use std::fmt::Write as _;
+
+/// Aggregated statistics of one span, derived from its log-bucketed
+/// histogram (quantiles are bucket lower bounds, see [`crate::hist`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Registered span name.
+    pub name: String,
+    /// Number of recorded occurrences.
+    pub count: u64,
+    /// Median duration, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile duration, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest observed duration (exact), nanoseconds.
+    pub max_ns: u64,
+    /// Sum of all durations, nanoseconds.
+    pub total_ns: u64,
+    /// Sum of the per-occurrence byte counts.
+    pub bytes: u64,
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f32` as a JSON value, mapping non-finite floats (e.g. the
+/// first frame's undefined OP score) to `null`.
+pub fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders span summaries as a JSON array (one object per span, in input
+/// order), `indent` spaces deep.
+pub fn summary_json(spans: &[SpanSummary], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::from("[\n");
+    for (i, s) in spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{pad}  {{\"name\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}, \"total_ns\": {}, \"bytes\": {}}}",
+            json_escape(&s.name),
+            s.count,
+            s.p50_ns,
+            s.p95_ns,
+            s.p99_ns,
+            s.max_ns,
+            s.total_ns,
+            s.bytes
+        );
+        out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(out, "{pad}]");
+    out
+}
+
+/// Renders span events in the Chrome Trace Event format (the JSON object
+/// form with a `traceEvents` array of complete `"ph": "X"` events), ready
+/// to load in `chrome://tracing` or Perfetto.
+///
+/// `names[i]` labels events with `span == i`; out-of-range ids fall back
+/// to `span<N>`. Timestamps convert from nanoseconds to the format's
+/// microseconds with 3 decimals, preserving nanosecond resolution.
+pub fn chrome_trace_json(events: &[SpanEvent], names: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let fallback;
+        let name = match names.get(e.span as usize) {
+            Some(n) => n.as_str(),
+            None => {
+                fallback = format!("span{}", e.span);
+                fallback.as_str()
+            }
+        };
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"np\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \
+             \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"args\": {{\"bytes\": {}}}}}",
+            json_escape(name),
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            e.bytes
+        );
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn f32_null_for_non_finite() {
+        assert_eq!(json_f32(f32::NAN), "null");
+        assert_eq!(json_f32(f32::INFINITY), "null");
+        assert_eq!(json_f32(0.5), "0.500000");
+    }
+
+    #[test]
+    fn summary_json_golden_shape() {
+        let spans = vec![
+            SpanSummary {
+                name: "F1/00-conv".to_string(),
+                count: 30,
+                p50_ns: 1000,
+                p95_ns: 1500,
+                p99_ns: 2000,
+                max_ns: 2100,
+                total_ns: 33000,
+                bytes: 900,
+            },
+            SpanSummary {
+                name: "F1/frame".to_string(),
+                count: 30,
+                p50_ns: 5000,
+                p95_ns: 6000,
+                p99_ns: 7000,
+                max_ns: 7100,
+                total_ns: 160000,
+                bytes: 0,
+            },
+        ];
+        let want = "[\n  \
+            {\"name\": \"F1/00-conv\", \"count\": 30, \"p50_ns\": 1000, \"p95_ns\": 1500, \
+             \"p99_ns\": 2000, \"max_ns\": 2100, \"total_ns\": 33000, \"bytes\": 900},\n  \
+            {\"name\": \"F1/frame\", \"count\": 30, \"p50_ns\": 5000, \"p95_ns\": 6000, \
+             \"p99_ns\": 7000, \"max_ns\": 7100, \"total_ns\": 160000, \"bytes\": 0}\n]";
+        assert_eq!(summary_json(&spans, 0), want);
+    }
+
+    /// Golden test pinning the Chrome trace shape: field names, the
+    /// `"ph": "X"` complete-event form, and the ns → µs.3 conversion that
+    /// `chrome://tracing` expects.
+    #[test]
+    fn chrome_trace_golden() {
+        let names = vec!["F1/00-conv".to_string(), "F1/frame".to_string()];
+        let events = vec![
+            SpanEvent {
+                span: 0,
+                start_ns: 1_500,
+                dur_ns: 2_750,
+                bytes: 4096,
+            },
+            SpanEvent {
+                span: 1,
+                start_ns: 1_000,
+                dur_ns: 10_001,
+                bytes: 0,
+            },
+            SpanEvent {
+                span: 7, // unregistered id falls back to a placeholder
+                start_ns: 20_000,
+                dur_ns: 500,
+                bytes: 1,
+            },
+        ];
+        let want = concat!(
+            "{\"traceEvents\": [\n",
+            "  {\"name\": \"F1/00-conv\", \"cat\": \"np\", \"ph\": \"X\", \"pid\": 1, ",
+            "\"tid\": 1, \"ts\": 1.500, \"dur\": 2.750, \"args\": {\"bytes\": 4096}},\n",
+            "  {\"name\": \"F1/frame\", \"cat\": \"np\", \"ph\": \"X\", \"pid\": 1, ",
+            "\"tid\": 1, \"ts\": 1.000, \"dur\": 10.001, \"args\": {\"bytes\": 0}},\n",
+            "  {\"name\": \"span7\", \"cat\": \"np\", \"ph\": \"X\", \"pid\": 1, ",
+            "\"tid\": 1, \"ts\": 20.000, \"dur\": 0.500, \"args\": {\"bytes\": 1}}\n",
+            "], \"displayTimeUnit\": \"ms\"}\n",
+        );
+        assert_eq!(chrome_trace_json(&events, &names), want);
+    }
+
+    #[test]
+    fn empty_inputs_render_valid_json() {
+        assert_eq!(summary_json(&[], 0), "[\n]");
+        assert_eq!(
+            chrome_trace_json(&[], &[]),
+            "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\"}\n"
+        );
+    }
+}

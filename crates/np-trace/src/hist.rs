@@ -1,0 +1,287 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`LogHistogram`] records `u64` samples (nanoseconds, bytes, counts —
+//! any non-negative magnitude) into a fixed set of buckets whose widths
+//! grow geometrically: every power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, bounding the relative quantization
+//! error at `1 / SUB_BUCKETS` while keeping the whole histogram a flat
+//! array of [`N_BUCKETS`] counters. Recording is branch-light, allocation
+//! free after construction, and merging two histograms is element-wise
+//! addition — the properties the per-span recorder needs.
+
+/// Power-of-two sub-division of each octave (2^3 = 8 sub-buckets).
+pub const SUB_BITS: u32 = 3;
+
+/// Linear sub-buckets per octave; also the relative-error denominator.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+///
+/// Values below [`SUB_BUCKETS`] get exact unit buckets; every octave above
+/// contributes [`SUB_BUCKETS`] more, up to the 2^63 octave.
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index for a sample value.
+///
+/// Values `0..SUB_BUCKETS` map to their own exact buckets; larger values
+/// land in `(octave, sub)` buckets with relative width `1/SUB_BUCKETS`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let dropped = msb - SUB_BITS;
+    let sub = ((v >> dropped) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (dropped as usize + 1) * SUB_BUCKETS + sub
+}
+
+/// Inclusive lower bound of a bucket — the value [`LogHistogram::quantile`]
+/// reports for samples that landed in it.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let dropped = (index / SUB_BUCKETS - 1) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << dropped
+}
+
+/// A fixed-size log-bucketed histogram (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. Allocates its bucket array once, here.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0u64; N_BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("N_BUCKETS-sized box"),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Never allocates.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact, tracked outside the buckets).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket holding the sample of rank `ceil(q * count)` (rank 1 = the
+    /// smallest). Underestimates by at most a factor `1/SUB_BUCKETS`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self` (element-wise bucket sum).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples; bucket storage is retained.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_at_octave_edges() {
+        // First bucketed octave [8, 16): unit-wide sub-buckets, still exact.
+        for v in [8u64, 9, 15] {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+        // Octave [16, 32): sub-buckets of width 2. 16 and 17 share a
+        // bucket; 18 starts the next one.
+        assert_eq!(bucket_index(16), bucket_index(17));
+        assert_ne!(bucket_index(17), bucket_index(18));
+        assert_eq!(bucket_lower_bound(bucket_index(16)), 16);
+        assert_eq!(bucket_lower_bound(bucket_index(17)), 16);
+        assert_eq!(bucket_lower_bound(bucket_index(18)), 18);
+        // Octave starts are exact lower bounds at every scale.
+        for shift in 3..63u32 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v, "2^{shift}");
+        }
+        assert!(bucket_index(u64::MAX) < N_BUCKETS);
+    }
+
+    #[test]
+    fn lower_bound_error_is_within_one_eighth() {
+        let mut s = 12345u64;
+        for _ in 0..10_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = s >> (s % 50);
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v, "lb {lb} > v {v}");
+            // Bucket width is 2^dropped <= lb / SUB_BUCKETS.
+            assert!(
+                v - lb <= lb / SUB_BUCKETS as u64 || v < SUB_BUCKETS as u64,
+                "v {v} lb {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // 500's bucket lower bound: within 1/8 below 500.
+        assert!(p50 <= 500 && p50 as f64 >= 500.0 * 7.0 / 8.0, "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 990 && p99 as f64 >= 990.0 * 7.0 / 8.0, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), h.quantile(0.9999));
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn p99_on_skewed_data_lands_in_the_tail() {
+        // 900 fast samples, 100 slow outliers: p50 is fast and exact,
+        // p99 must land in the outlier bucket despite the skew.
+        let mut h = LogHistogram::new();
+        for _ in 0..900 {
+            h.record(10);
+        }
+        for _ in 0..100 {
+            h.record(100_000);
+        }
+        assert_eq!(h.quantile(0.5), 10);
+        let p99 = h.quantile(0.99);
+        assert_eq!(p99, bucket_lower_bound(bucket_index(100_000)));
+        assert!(p99 as f64 >= 100_000.0 * 7.0 / 8.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..700u64 {
+            b.record(v * v);
+            whole.record(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h, LogHistogram::new());
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal log facade for the library crates.
+//!
+//! Workspace libraries must never print to stderr directly — binaries and
+//! tests decide where diagnostics go. They call [`crate::info!`] /
+//! [`crate::warn!`] (or [`crate::warn_once!`] for one-shot configuration
+//! warnings) and this facade routes the message to the installed sink.
+//! The default sink writes to stderr, so binaries keep today's behavior
+//! without any setup; tests install a capturing sink to assert on
+//! messages.
+//!
+//! Logging is for rare paths (cache misses, misconfiguration): messages
+//! are formatted with `format!` and may allocate. The frame loop uses
+//! spans and counters instead.
+
+use std::sync::RwLock;
+
+/// Message severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Progress and diagnostics.
+    Info,
+    /// Misconfiguration or degraded behavior that continues anyway.
+    Warn,
+}
+
+impl Level {
+    /// Lowercase label for message prefixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// A log destination.
+pub type Sink = Box<dyn Fn(Level, &str) + Send + Sync>;
+
+static SINK: RwLock<Option<Sink>> = RwLock::new(None);
+
+/// Routes one message to the installed sink (stderr when none is set:
+/// warnings get a `warning:` prefix, info passes through unchanged).
+pub fn log(level: Level, msg: &str) {
+    let sink = SINK.read().expect("log sink lock poisoned");
+    match sink.as_ref() {
+        Some(s) => s(level, msg),
+        None => match level {
+            Level::Warn => eprintln!("warning: {msg}"),
+            Level::Info => eprintln!("{msg}"),
+        },
+    }
+}
+
+/// Installs a sink (`None` restores the stderr default). Returns the
+/// previously installed sink so callers can restore it.
+pub fn set_sink(sink: Option<Sink>) -> Option<Sink> {
+    let mut slot = SINK.write().expect("log sink lock poisoned");
+    std::mem::replace(&mut *slot, sink)
+}
+
+/// Logs at [`Level::Info`] through the facade.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] through the facade.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, &format!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] at most once per call site for the process
+/// lifetime — the shape configuration warnings want (e.g. a bad
+/// `NP_THREADS` value is reported once, not per parallel region).
+#[macro_export]
+macro_rules! warn_once {
+    ($($arg:tt)*) => {{
+        static ONCE: ::std::sync::Once = ::std::sync::Once::new();
+        ONCE.call_once(|| $crate::warn!($($arg)*));
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Sink installation is process-global; tests touching it serialize
+    /// through this lock so they can run under the default parallel
+    /// harness.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_capture(f: impl FnOnce()) -> Vec<(Level, String)> {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let captured = Arc::new(Mutex::new(Vec::new()));
+        let sink_view = Arc::clone(&captured);
+        let prev = set_sink(Some(Box::new(move |level, msg: &str| {
+            sink_view.lock().unwrap().push((level, msg.to_string()));
+        })));
+        f();
+        set_sink(prev);
+        Arc::try_unwrap(captured).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn sink_receives_formatted_messages() {
+        let got = with_capture(|| {
+            crate::info!("hello {}", 42);
+            crate::warn!("bad value {:?}", "x");
+        });
+        assert_eq!(
+            got,
+            vec![
+                (Level::Info, "hello 42".to_string()),
+                (Level::Warn, "bad value \"x\"".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn warn_once_fires_a_single_time() {
+        let got = with_capture(|| {
+            for _ in 0..5 {
+                crate::warn_once!("only once");
+            }
+        });
+        assert_eq!(got, vec![(Level::Warn, "only once".to_string())]);
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(Level::Info.name(), "info");
+        assert_eq!(Level::Warn.name(), "warn");
+    }
+}

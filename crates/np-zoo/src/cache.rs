@@ -32,12 +32,12 @@ pub fn load_or_train(
     if path.exists() {
         match load_weights_file(&mut model, &path) {
             Ok(()) => return model,
-            Err(e) => eprintln!("cache {key}: reload failed ({e}); retraining"),
+            Err(e) => np_trace::warn!("cache {key}: reload failed ({e}); retraining"),
         }
     }
     train(&mut model);
     if let Err(e) = save_weights_file(&model, &path) {
-        eprintln!("cache {key}: save failed ({e}); continuing without cache");
+        np_trace::warn!("cache {key}: save failed ({e}); continuing without cache");
     }
     model
 }

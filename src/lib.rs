@@ -24,4 +24,5 @@ pub use np_gap8 as gap8;
 pub use np_nn as nn;
 pub use np_quant as quant;
 pub use np_tensor as tensor;
+pub use np_trace as trace;
 pub use np_zoo as zoo;

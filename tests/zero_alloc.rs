@@ -177,4 +177,52 @@ fn steady_state_frames_do_not_allocate() {
         r.decision
     );
     assert!(!r.decision.runs_big(), "identical frame should stay small");
+
+    // --- Instrumented steady state (trace feature only) ------------------
+    // With the recorder installed *and* enabled, the per-step spans, frame
+    // events and counters must all land in preallocated storage: the
+    // instrumented hot path still performs zero heap allocations.
+    #[cfg(feature = "trace")]
+    {
+        nanopose::trace::install(nanopose::trace::TraceConfig::default());
+        nanopose::trace::enable();
+
+        let _ = program.run_int_prepacked(pool, &mut scratch, &q);
+        for _ in 0..3 {
+            let (n, _) = allocs_during(|| {
+                let (out, _) = program.run_int_prepacked(pool, &mut scratch, &q);
+                out[0]
+            });
+            assert_eq!(n, 0, "instrumented run_int_prepacked allocated");
+        }
+
+        let _ = runner.run_frame(frame.as_slice());
+        for _ in 0..3 {
+            let (n, r) = allocs_during(|| runner.run_frame(moved.as_slice()));
+            assert_eq!(
+                n, 0,
+                "instrumented FrameRunner frame allocated (decision {:?})",
+                r.decision
+            );
+        }
+        // Overflow the span ring deliberately: wraparound must overwrite in
+        // place, never grow.
+        let cap = nanopose::trace::TraceConfig::default().span_events;
+        let steps_per_frame = 32; // upper bound for both proxy programs
+        let frames_to_wrap = cap / steps_per_frame + 2;
+        let (n, _) = allocs_during(|| {
+            for _ in 0..frames_to_wrap.min(4096) {
+                let _ = program.run_int_prepacked(pool, &mut scratch, &q);
+            }
+        });
+        assert_eq!(n, 0, "span-ring wraparound allocated");
+
+        assert!(nanopose::trace::active());
+        nanopose::trace::disable();
+        let (n, _) = allocs_during(|| {
+            let (out, _) = program.run_int_prepacked(pool, &mut scratch, &q);
+            out[0]
+        });
+        assert_eq!(n, 0, "disabled recorder allocated");
+    }
 }
