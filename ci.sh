@@ -35,10 +35,18 @@ cargo test -q --release -p np-quant -- \
     lowered_qconv2d_equals_reference_exactly \
     qdepthwise_pool_parity_is_exact
 
-echo "==> benchmark regression check (warn-only)"
+echo "==> batched exactness proptests (release)"
+cargo test -q --release -p np-quant -- \
+    batched_microkernel_equals_per_frame_runs \
+    run_int_batched_equals_independent_prepacked_runs
+
+echo "==> benchmark regression check incl. batch sweeps (warn-only)"
 cargo run --release -q -p np-bench --bin bench_kernels /tmp/BENCH_kernels.fresh.json \
     >/dev/null
+cargo run --release -q -p np-bench --bin bench_pipeline /tmp/BENCH_pipeline.fresh.json \
+    >/dev/null
 cargo run --release -q -p np-bench --bin bench_compare \
-    BENCH_kernels.json /tmp/BENCH_kernels.fresh.json
+    BENCH_kernels.json /tmp/BENCH_kernels.fresh.json \
+    BENCH_pipeline.json /tmp/BENCH_pipeline.fresh.json
 
 echo "==> ci.sh passed"

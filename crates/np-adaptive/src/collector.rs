@@ -1,0 +1,427 @@
+//! Cross-frame batching for the streaming big/little runtime.
+//!
+//! [`crate::runner::FrameRunner`] executes every frame the moment it
+//! arrives — the right shape for a single closed control loop, but it pays
+//! the GEMV tax: each kernel invocation sees one frame's worth of output
+//! pixels, so packed weight panels stream from memory once per frame.
+//! [`BatchCollector`] is the multi-stream counterpart: it stages up to
+//! `max_batch` incoming frames (or as many as arrive within a
+//! `flush_after_us` window — whichever limit hits first) and drives the
+//! big/little ensemble through the batched program entries
+//! ([`QuantizedProgram::run_int_batched`] machinery), amortizing weight
+//! traffic across the whole group.
+//!
+//! The OP policy is inherently sequential — frame `t`'s decision depends
+//! on frame `t-1`'s little-model outputs — but it only ever consumes
+//! *little* outputs. A flush therefore runs in three phases:
+//!
+//! 1. the little model over all staged frames in one batched pass;
+//! 2. the policy frame-by-frame over those outputs (pure arithmetic);
+//! 3. the big model over just the frames the policy escalated, gathered
+//!    into a second batched pass.
+//!
+//! Because the batched passes are bit-exact against per-frame execution
+//! and the policy sees the identical little-output sequence, the emitted
+//! [`FrameResult`]s are **identical** to what a [`FrameRunner`] with the
+//! same threshold would produce frame by frame — pinned by tests.
+//! All staging is preallocated at construction; a steady-state
+//! push/flush cycle performs zero heap allocations (enforced in
+//! `tests/zero_alloc.rs`).
+//!
+//! [`FrameRunner`]: crate::runner::FrameRunner
+
+use crate::policy::{AdaptivePolicy, Decision, OpPolicy};
+use crate::runner::FrameResult;
+use np_quant::{QScratch, QuantizedNetwork, QuantizedProgram};
+use np_tensor::parallel::Pool;
+
+/// Groups incoming frames into batches of up to `max_batch` (or whatever
+/// arrived within `flush_after_us` microseconds of the oldest staged
+/// frame) and runs the big/little ensemble through the batched program
+/// entries. See the module docs for the phase split and the exactness
+/// argument.
+pub struct BatchCollector {
+    little: QuantizedProgram,
+    big: QuantizedProgram,
+    policy: OpPolicy,
+    scratch: QScratch,
+    pool: Pool,
+    max_batch: usize,
+    flush_after_us: u64,
+    frame_len: usize,
+    /// Staged input frames, `max_batch * frame_len`, filled front-to-back.
+    staged: Vec<f32>,
+    /// Gather buffer for the frames the policy escalates to the big model.
+    big_staged: Vec<f32>,
+    /// Staged frame count; the batch size of the next flush.
+    pending: usize,
+    /// Arrival time of the oldest staged frame (µs, caller's clock).
+    first_us: u64,
+    /// Per-frame little outputs of the current flush (copied out of the
+    /// scratch before the big pass reuses it).
+    little_scaled: Vec<[f32; 4]>,
+    /// Batch rows the policy escalated, in arrival order.
+    big_rows: Vec<usize>,
+    /// Results of the most recent flush.
+    results: Vec<FrameResult>,
+    little_span: np_trace::SpanId,
+    big_span: np_trace::SpanId,
+    frames: u64,
+    big_frames: u64,
+}
+
+impl BatchCollector {
+    /// Compiles `little` and `big` for `chw` inputs with batch plans of
+    /// `max_batch`, wires an OP policy with threshold `th`, and
+    /// preallocates all staging.
+    ///
+    /// `flush_after_us` is the grouping deadline: a [`Self::push`] (or
+    /// [`Self::poll`]) whose timestamp is at least this many microseconds
+    /// after the oldest staged frame's flushes whatever has accumulated,
+    /// so a quiet stream still bounds its latency. `0` flushes on every
+    /// push — [`FrameRunner`](crate::runner::FrameRunner) behavior with
+    /// batched plumbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either network does not produce exactly the 4 pose
+    /// outputs the OP policy scores, or `max_batch == 0`.
+    pub fn new(
+        little: &QuantizedNetwork,
+        big: &QuantizedNetwork,
+        chw: (usize, usize, usize),
+        th: f32,
+        pool: Pool,
+        max_batch: usize,
+        flush_after_us: u64,
+    ) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let little = little.compile_batched(chw, max_batch);
+        let big = big.compile_batched(chw, max_batch);
+        assert_eq!(
+            little.output_len(),
+            4,
+            "little model must regress 4 outputs"
+        );
+        assert_eq!(big.output_len(), 4, "big model must regress 4 outputs");
+        let scratch = QScratch::for_programs(&[&little, &big]);
+        let (c, h, w) = chw;
+        let frame_len = c * h * w;
+        let little_span = np_trace::register_span(&format!("collector/{}@batch", little.name()));
+        let big_span = np_trace::register_span(&format!("collector/{}@batch", big.name()));
+        BatchCollector {
+            little,
+            big,
+            policy: OpPolicy::new(th),
+            scratch,
+            pool,
+            max_batch,
+            flush_after_us,
+            frame_len,
+            staged: vec![0.0; max_batch * frame_len],
+            big_staged: vec![0.0; max_batch * frame_len],
+            pending: 0,
+            first_us: 0,
+            little_scaled: Vec::with_capacity(max_batch),
+            big_rows: Vec::with_capacity(max_batch),
+            results: Vec::with_capacity(max_batch),
+            little_span,
+            big_span,
+            frames: 0,
+            big_frames: 0,
+        }
+    }
+
+    /// Stages one float CHW frame arriving at `now_us` (any monotonic
+    /// microsecond clock; only differences matter). Returns the batch's
+    /// [`FrameResult`]s — in arrival order — when this frame filled the
+    /// batch or landed on/after the flush deadline; `None` while the
+    /// group is still accumulating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` does not match the compiled input shape.
+    pub fn push(&mut self, frame: &[f32], now_us: u64) -> Option<&[FrameResult]> {
+        assert_eq!(frame.len(), self.frame_len, "frame size mismatch");
+        if self.pending == 0 {
+            self.first_us = now_us;
+        }
+        let at = self.pending * self.frame_len;
+        self.staged[at..at + self.frame_len].copy_from_slice(frame);
+        self.pending += 1;
+        if self.pending == self.max_batch
+            || now_us.saturating_sub(self.first_us) >= self.flush_after_us
+        {
+            return Some(self.flush());
+        }
+        None
+    }
+
+    /// Deadline check without a new frame: flushes and returns results if
+    /// frames are staged and `now_us` is on/after the flush deadline.
+    pub fn poll(&mut self, now_us: u64) -> Option<&[FrameResult]> {
+        if self.pending > 0 && now_us.saturating_sub(self.first_us) >= self.flush_after_us {
+            return Some(self.flush());
+        }
+        None
+    }
+
+    /// Runs the staged frames now, regardless of batch fill or deadline
+    /// (empty slice if nothing is staged) — end-of-stream drain.
+    pub fn flush(&mut self) -> &[FrameResult] {
+        let n = self.pending;
+        self.pending = 0;
+        self.results.clear();
+        if n == 0 {
+            return &self.results;
+        }
+        let fl = self.frame_len;
+
+        // Phase 1: the little model over the whole group in one batched
+        // pass. The outputs are copied out before the scratch is reused.
+        let t_little = np_trace::start();
+        let lo =
+            self.little
+                .forward_batched(self.pool, &mut self.scratch, &self.staged[..n * fl], n);
+        self.little_scaled.clear();
+        for b in 0..n {
+            self.little_scaled
+                .push([lo[b * 4], lo[b * 4 + 1], lo[b * 4 + 2], lo[b * 4 + 3]]);
+        }
+        np_trace::finish(self.little_span, t_little, n as u64);
+
+        // Phase 2: the policy, strictly in arrival order — identical
+        // state evolution to frame-by-frame streaming.
+        self.big_rows.clear();
+        for b in 0..n {
+            let little_scaled = self.little_scaled[b];
+            let op_score = self
+                .policy
+                .pending_score(&little_scaled)
+                .unwrap_or(f32::NAN);
+            let decision = self.policy.decide_scaled(&little_scaled);
+            if decision.runs_big() {
+                let at = self.big_rows.len() * fl;
+                let (src, dst) = (&self.staged[b * fl..(b + 1) * fl], at);
+                self.big_staged[dst..dst + fl].copy_from_slice(src);
+                self.big_rows.push(b);
+                self.big_frames += 1;
+                np_trace::counter_add(np_trace::Counter::FramesBig, 1);
+            }
+            np_trace::counter_add(np_trace::Counter::FramesTotal, 1);
+            np_trace::record_frame(np_trace::FrameEvent {
+                frame: self.frames,
+                decision: match decision {
+                    Decision::Small => np_trace::FrameDecision::Small,
+                    Decision::Big => np_trace::FrameDecision::Big,
+                    Decision::Ensemble => np_trace::FrameDecision::Ensemble,
+                },
+                op_score,
+                threshold: self.policy.threshold(),
+                little_ns: 0,
+                big_ns: 0,
+            });
+            self.frames += 1;
+            self.results.push(FrameResult {
+                decision,
+                scaled: little_scaled,
+                little_scaled,
+                big_scaled: None,
+            });
+        }
+
+        // Phase 3: the big model over just the escalated rows, again in
+        // one batched pass, then patch those rows' results.
+        let k = self.big_rows.len();
+        if k > 0 {
+            let t_big = np_trace::start();
+            let bo = self.big.forward_batched(
+                self.pool,
+                &mut self.scratch,
+                &self.big_staged[..k * fl],
+                k,
+            );
+            for (i, &b) in self.big_rows.iter().enumerate() {
+                let big_scaled = [bo[i * 4], bo[i * 4 + 1], bo[i * 4 + 2], bo[i * 4 + 3]];
+                let r = &mut self.results[b];
+                r.big_scaled = Some(big_scaled);
+                r.scaled = [
+                    (r.little_scaled[0] + big_scaled[0]) / 2.0,
+                    (r.little_scaled[1] + big_scaled[1]) / 2.0,
+                    (r.little_scaled[2] + big_scaled[2]) / 2.0,
+                    (r.little_scaled[3] + big_scaled[3]) / 2.0,
+                ];
+            }
+            np_trace::finish(self.big_span, t_big, k as u64);
+        }
+        &self.results
+    }
+
+    /// Resets the policy at a sequence boundary (the next staged frame
+    /// decides [`Decision::Ensemble`] again). Staged-but-unflushed frames
+    /// are unaffected; statistics keep accumulating.
+    pub fn reset(&mut self) {
+        self.policy.reset();
+    }
+
+    /// Frames currently staged and awaiting a flush.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The largest group one flush will carry.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Frames flushed since construction.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Fraction of flushed frames on which the big model ran.
+    pub fn frac_big(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.big_frames as f64 / self.frames as f64
+        }
+    }
+
+    /// The compiled (batch-planned) little program.
+    pub fn little(&self) -> &QuantizedProgram {
+        &self.little
+    }
+
+    /// The compiled (batch-planned) big program.
+    pub fn big(&self) -> &QuantizedProgram {
+        &self.big
+    }
+
+    /// Total steady-state scratch bytes backing the collector (sized for
+    /// the larger of the two batched plans).
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::FrameRunner;
+    use np_nn::init::SmallRng;
+    use np_tensor::Tensor;
+    use np_zoo::ModelId;
+
+    const CHW: (usize, usize, usize) = (1, 48, 80);
+
+    fn quantized_pair() -> (QuantizedNetwork, QuantizedNetwork) {
+        let mut rng = SmallRng::seed(21);
+        let little = ModelId::F1.build_proxy(&mut rng);
+        let big = ModelId::M10.build_proxy(&mut rng);
+        let calib = frames(5, 77);
+        (
+            QuantizedNetwork::quantize(&little, &calib),
+            QuantizedNetwork::quantize(&big, &calib),
+        )
+    }
+
+    fn frames(n: usize, seed: u64) -> Tensor {
+        let mut s = seed;
+        let data: Vec<f32> = (0..n * CHW.1 * CHW.2)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 40) as i32 % 200) as f32 / 100.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(&[n, 1, CHW.1, CHW.2], data)
+    }
+
+    /// The collector must emit the exact FrameResult sequence a
+    /// frame-by-frame FrameRunner produces — same decisions, same
+    /// bit-identical outputs — regardless of how frames group into
+    /// batches.
+    #[test]
+    fn collector_matches_frame_runner_exactly() {
+        let (ql, qb) = quantized_pair();
+        let fl = CHW.1 * CHW.2;
+        let stream = frames(7, 5);
+        // A threshold that makes the decision sequence non-trivial.
+        let th = 0.05;
+
+        let mut runner = FrameRunner::new(&ql, &qb, CHW, th, Pool::serial());
+        let want: Vec<FrameResult> = (0..7)
+            .map(|i| runner.run_frame(&stream.as_slice()[i * fl..(i + 1) * fl]))
+            .collect();
+
+        for max_batch in [1usize, 3, 8] {
+            let mut collector =
+                BatchCollector::new(&ql, &qb, CHW, th, Pool::serial(), max_batch, u64::MAX);
+            let mut got = Vec::new();
+            for i in 0..7 {
+                if let Some(rs) = collector.push(&stream.as_slice()[i * fl..(i + 1) * fl], i as u64)
+                {
+                    got.extend_from_slice(rs);
+                }
+            }
+            got.extend_from_slice(collector.flush());
+            assert_eq!(got.len(), 7, "max_batch {max_batch}");
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(g, w, "frame {i}, max_batch {max_batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batches() {
+        let (ql, qb) = quantized_pair();
+        let fl = CHW.1 * CHW.2;
+        let stream = frames(3, 9);
+        let mut collector = BatchCollector::new(&ql, &qb, CHW, 0.5, Pool::serial(), 8, 100);
+
+        // Two frames inside the window: stay staged.
+        assert!(collector.push(&stream.as_slice()[..fl], 0).is_none());
+        assert!(collector.push(&stream.as_slice()[fl..2 * fl], 50).is_none());
+        assert_eq!(collector.pending(), 2);
+        // Poll before the deadline does nothing.
+        assert!(collector.poll(99).is_none());
+        // A frame on the deadline flushes all three.
+        let rs = collector
+            .push(&stream.as_slice()[2 * fl..3 * fl], 100)
+            .expect("deadline flush");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].decision, Decision::Ensemble);
+        assert_eq!(collector.pending(), 0);
+        assert_eq!(collector.frames(), 3);
+    }
+
+    #[test]
+    fn poll_flushes_a_quiet_stream() {
+        let (ql, qb) = quantized_pair();
+        let fl = CHW.1 * CHW.2;
+        let stream = frames(1, 13);
+        let mut collector = BatchCollector::new(&ql, &qb, CHW, 0.5, Pool::serial(), 8, 1000);
+        assert!(collector.push(&stream.as_slice()[..fl], 0).is_none());
+        assert!(collector.poll(500).is_none());
+        let rs = collector.poll(1000).expect("deadline poll flush");
+        assert_eq!(rs.len(), 1);
+        // An empty flush is an empty slice, not an error.
+        assert!(collector.flush().is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_behaves_like_frame_runner_cadence() {
+        let (ql, qb) = quantized_pair();
+        let fl = CHW.1 * CHW.2;
+        let stream = frames(2, 17);
+        let mut collector = BatchCollector::new(&ql, &qb, CHW, 0.5, Pool::serial(), 8, 0);
+        // Every push flushes immediately: batch size 1 each time.
+        let r0 = collector.push(&stream.as_slice()[..fl], 0).expect("flush");
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0[0].decision, Decision::Ensemble);
+        let r1 = collector
+            .push(&stream.as_slice()[fl..2 * fl], 1)
+            .expect("flush");
+        assert_eq!(r1.len(), 1);
+    }
+}

@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use np_dataset::render::{render_frame, Camera, EnvInstance};
 use np_dataset::Pose;
 use np_nn::init::SmallRng;
+use np_quant::{QScratch, QuantizedNetwork};
+use np_tensor::parallel::Pool;
 use np_tensor::Tensor;
+use np_zoo::channels::PROXY_INPUT;
 use np_zoo::ModelId;
 use std::hint::black_box;
 
@@ -33,6 +36,35 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("forward_F1_batch16", |b| {
         b.iter(|| black_box(f1.forward(black_box(&batch))))
     });
+
+    // Cross-frame batched int8 path: the same 8 frames per iteration,
+    // grouped at B ∈ {1, 8} through the compiled M1.0 proxy (B=1 runs the
+    // single-frame prepacked path the batched plan delegates to).
+    let calib = Tensor::zeros(&[2, 1, 48, 80]);
+    let m10 = ModelId::M10.build_proxy(&mut SmallRng::seed(4));
+    let qnet = QuantizedNetwork::quantize(&m10, &calib);
+    let program = qnet.compile_batched(PROXY_INPUT, 8);
+    let mut scratch = QScratch::for_program(&program);
+    let (ch, h, w) = PROXY_INPUT;
+    let frame_len = ch * h * w;
+    let frames = Tensor::zeros(&[8, ch, h, w]);
+    let qs = qnet.input_params().quantize_slice(frames.as_slice());
+    for group in [1usize, 8] {
+        let label = format!("run_int_batched_M10_b{group}");
+        c.bench_function(&label, |b| {
+            b.iter(|| {
+                for g in 0..8 / group {
+                    let qb = &qs[g * group * frame_len..(g + 1) * group * frame_len];
+                    black_box(program.run_int_batched(
+                        Pool::serial(),
+                        &mut scratch,
+                        black_box(qb),
+                        group,
+                    ));
+                }
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench_pipeline);

@@ -259,7 +259,17 @@ fn direction(path: &str) -> Direction {
 
 const REGRESSION_THRESHOLD: f64 = 0.10;
 
-fn compare_pair(baseline_path: &str, fresh_path: &str) -> Result<usize, String> {
+/// One flagged entry, kept so the final warning can say *which* metric
+/// regressed and by how much — a bare count forces the reader to scroll
+/// back through the full delta table to find the offender.
+struct Regression {
+    path: String,
+    baseline: f64,
+    fresh: f64,
+    delta: f64,
+}
+
+fn compare_pair(baseline_path: &str, fresh_path: &str) -> Result<Vec<Regression>, String> {
     let base_text =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
     let fresh_text =
@@ -274,7 +284,7 @@ fn compare_pair(baseline_path: &str, fresh_path: &str) -> Result<usize, String> 
         "{:<64} {:>14} {:>14} {:>9}",
         "entry", "baseline", "fresh", "delta"
     );
-    let mut regressions = 0usize;
+    let mut regressions = Vec::new();
     for (path, &b) in &base {
         let Some(&f) = fresh.get(path) else {
             println!("{path:<64} {b:>14.1} {:>14} {:>9}", "(gone)", "-");
@@ -291,7 +301,14 @@ fn compare_pair(baseline_path: &str, fresh_path: &str) -> Result<usize, String> 
             "{path:<64} {b:>14.1} {f:>14.1} {:>+8.1}%{flag}",
             delta * 100.0
         );
-        regressions += bad as usize;
+        if bad {
+            regressions.push(Regression {
+                path: path.clone(),
+                baseline: b,
+                fresh: f,
+                delta,
+            });
+        }
     }
     for path in fresh.keys().filter(|p| !base.contains_key(*p)) {
         println!("{path:<64} {:>14} {:>14.1}", "(new)", fresh[path]);
@@ -305,20 +322,32 @@ fn main() {
         eprintln!("usage: bench_compare <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
         std::process::exit(2);
     }
-    let mut total_regressions = 0usize;
+    let mut regressions = Vec::new();
     for pair in args.chunks(2) {
         match compare_pair(&pair[0], &pair[1]) {
-            Ok(n) => total_regressions += n,
+            Ok(mut r) => regressions.append(&mut r),
             Err(e) => eprintln!("[bench_compare] skipping pair: {e}"),
         }
         println!();
     }
-    if total_regressions > 0 {
+    if !regressions.is_empty() {
         eprintln!(
-            "[bench_compare] {total_regressions} entr{} regressed by more than {:.0}% \
-             (warning only — micro-benchmarks vary across machines; exit stays 0)",
-            if total_regressions == 1 { "y" } else { "ies" },
+            "[bench_compare] {} entr{} regressed by more than {:.0}%:",
+            regressions.len(),
+            if regressions.len() == 1 { "y" } else { "ies" },
             REGRESSION_THRESHOLD * 100.0
+        );
+        for r in &regressions {
+            eprintln!(
+                "[bench_compare]   {}: {:.1} -> {:.1} ({:+.1}%)",
+                r.path,
+                r.baseline,
+                r.fresh,
+                r.delta * 100.0
+            );
+        }
+        eprintln!(
+            "[bench_compare] warning only — micro-benchmarks vary across machines; exit stays 0"
         );
     } else {
         eprintln!(

@@ -15,6 +15,8 @@
 //! Usage: `cargo run --release -p np-bench --bin bench_kernels [out.json]`
 
 use np_quant::kernels::{qconv2d_reference, qconv2d_with, QConvGeometry};
+use np_quant::lowering::patch_stride;
+use np_quant::microkernel::{pack_conv_panels, qconv_panels_batch_into, qconv_panels_into};
 use np_quant::requant::FixedMultiplier;
 use np_tensor::matmul::matmul_acc_with;
 use np_tensor::parallel::Pool;
@@ -62,6 +64,29 @@ const PAPER_SHAPES: [(&str, QConvGeometry, usize, usize); 3] = [
         20,
     ),
 ];
+
+/// Panel-microkernel shapes for the cross-frame batching sweep, as
+/// `(label, out_channels, patch, output pixels per frame)`. All four are
+/// GEMV-shaped M1.0 layers — few output columns per frame, so at B=1 the
+/// packed weight panels are re-streamed for only a handful of columns:
+///
+/// * the dominant pointwise block at deployment (12×20) and proxy (3×5)
+///   resolution,
+/// * the 4-output regression head as a 1-column "conv" (pure GEMV), and
+/// * the deployment-width MobileNet tail pointwise (1024×1024 at 3×5),
+///   whose 2 MiB packed panel set does not fit any L1/L2 and is therefore
+///   genuinely re-streamed from outer cache levels every frame.
+const BATCH_SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("M1.0_pointwise", 60, 60, 240),
+    ("M1.0_pointwise_proxy", 60, 60, 15),
+    ("M1.0_head_gemv", 4, 900, 1),
+    ("M1.0_deploy_tail_pw", 1024, 1024, 15),
+];
+
+/// Frames processed per measurement in the batch sweep; every batch size
+/// divides it so each row does the same total work.
+const BATCH_FRAMES: usize = 8;
+const BATCH_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 const WARMUP: usize = 3;
 const REPS: usize = 30;
@@ -245,6 +270,123 @@ fn main() {
             if i + 1 < PAPER_SHAPES.len() { "," } else { "" },
         );
     }
+    json.push_str("  ],\n");
+
+    // Cross-frame batching: aggregate throughput for the same BATCH_FRAMES
+    // frames when they are processed in groups of B through the batched
+    // panel kernel (B=1 uses the single-frame kernel, i.e. the exact code
+    // path `run_int_prepacked` takes). `aggregate_speedup_vs_b1` is the
+    // frames-per-second ratio the batch collector buys at each group size.
+    //
+    // The curve is regime-dependent and the JSON says so: on a host whose
+    // packed panels sit in cache and whose single-frame kernel is already
+    // compute-bound (this container: 1 CPU, AVX2), batching amortizes only
+    // per-panel setup and NR-tail columns, so the measured win is small.
+    // The ≥2× target applies where B=1 genuinely re-streams weight panels
+    // per frame (DRAM-resident weights, or a GAP8-class device refetching
+    // L2 weights per invocation) or where extra columns unlock idle cores.
+    let _ = writeln!(
+        json,
+        "  \"panel_batch_regime\": \"{}\",",
+        if cpus == 1 {
+            "single-cpu compute-bound: speedup_vs_b1 measures setup/tail \
+             amortization only, not weight-streaming relief"
+        } else {
+            "multi-cpu: speedup_vs_b1 includes thread amortization from \
+             batch-widened columns"
+        }
+    );
+    json.push_str("  \"panel_batch_sweep\": [\n");
+    let mut batch8_speedups: Vec<(&str, f64)> = Vec::new();
+    for (i, (label, oc, patch, cols)) in BATCH_SHAPES.iter().enumerate() {
+        let (oc, patch, cols) = (*oc, *patch, *cols);
+        let ps = patch_stride(patch);
+        let weight = pseudo_i8(oc * patch, 21);
+        let packed = pack_conv_panels(&weight, oc, patch);
+        let bias = vec![100i32; oc];
+        let mults = vec![FixedMultiplier::from_real(0.003); oc];
+        // Frame-major batched lowering: frame b's patch-major columns are
+        // the slice [b*cols*ps, (b+1)*cols*ps) — byte-identical to eight
+        // independent single-frame lowerings laid end to end.
+        let vals = pseudo_i8(BATCH_FRAMES * cols * patch, 22);
+        let mut lowered = vec![0i16; BATCH_FRAMES * cols * ps];
+        for col in 0..BATCH_FRAMES * cols {
+            for r in 0..patch {
+                lowered[col * ps + r] = vals[col * patch + r] as i16;
+            }
+        }
+        let frame_macs = (oc * patch * cols) as u64;
+        let total_macs = BATCH_FRAMES as u64 * frame_macs;
+        let mut out = vec![0i8; BATCH_FRAMES * oc * cols];
+        let mut rows = String::new();
+        let mut b1_ns = 0.0;
+        for &b in BATCH_SWEEP.iter() {
+            let groups = BATCH_FRAMES / b;
+            let ns = time_ns(|| {
+                for g in 0..groups {
+                    let low = &lowered[g * b * cols * ps..(g + 1) * b * cols * ps];
+                    let o = &mut out[g * b * oc * cols..(g + 1) * b * oc * cols];
+                    if b == 1 {
+                        qconv_panels_into(
+                            Pool::serial(),
+                            &packed,
+                            patch,
+                            black_box(low),
+                            &bias,
+                            &mults,
+                            5,
+                            true,
+                            o,
+                        );
+                    } else {
+                        qconv_panels_batch_into(
+                            Pool::serial(),
+                            &packed,
+                            patch,
+                            black_box(low),
+                            &bias,
+                            &mults,
+                            5,
+                            true,
+                            b,
+                            o,
+                        );
+                    }
+                }
+                black_box(&out);
+            });
+            if b == 1 {
+                b1_ns = ns;
+            }
+            let speedup = b1_ns / ns;
+            if b == 8 {
+                batch8_speedups.push((label, speedup));
+            }
+            eprintln!(
+                "[bench_kernels] batch {label} B={b}: {ns:.0} ns / {BATCH_FRAMES} frames \
+                 ({speedup:.2}x vs B=1, {:.1} MMAC/s)",
+                mac_per_s(total_macs, ns) / 1e6
+            );
+            let _ = writeln!(
+                rows,
+                "      {{\"batch\": {b}, \"ns\": {ns:.0}, \"mac_per_s\": {:.0}, \
+                 \"aggregate_speedup_vs_b1\": {speedup:.3}}}{}",
+                mac_per_s(total_macs, ns),
+                if b != *BATCH_SWEEP.last().expect("non-empty sweep") {
+                    ","
+                } else {
+                    ""
+                },
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{label}\", \"out_channels\": {oc}, \"patch\": {patch}, \
+             \"cols_per_frame\": {cols}, \"frames\": {BATCH_FRAMES}, \
+             \"frame_macs\": {frame_macs}, \"by_batch\": [\n{rows}    ]}}{}",
+            if i + 1 < BATCH_SHAPES.len() { "," } else { "" },
+        );
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
@@ -253,5 +395,11 @@ fn main() {
         all_lowered_win,
         "im2col-lowered qconv2d lost to the direct loop on at least one shape"
     );
+    for (label, speedup) in &batch8_speedups {
+        assert!(
+            *speedup > 0.95,
+            "batched panel kernel lost throughput at B=8 on {label}: {speedup:.3}x"
+        );
+    }
     eprintln!("[bench_kernels] wrote {out_path}");
 }

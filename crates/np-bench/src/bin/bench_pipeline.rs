@@ -178,6 +178,76 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // Cross-frame batching on the whole compiled program: the same 8
+    // frames processed in groups of B through `run_int_batched` (B=1 is
+    // `run_int_prepacked`, so the sweep's first row doubles as the B=1
+    // latency guard bench_compare checks against the baseline). On this
+    // proxy the depthwise stack — which batching cannot amortize — owns
+    // most of the frame, so the whole-model curve is flatter than the
+    // panel-kernel sweep in BENCH_kernels.json; both gates here are
+    // no-regression plus zero steady-state allocations.
+    json.push_str("  \"batched_throughput\": [\n");
+    const BATCH_SWEEP: [usize; 4] = [1, 2, 4, 8];
+    const BATCH_FRAMES: usize = 8;
+    let (c, h, w) = PROXY_INPUT;
+    let frame_len = c * h * w;
+    let mut batched_no_loss = true;
+    let mut batched_alloc_free = true;
+    for (i, (id, qnet)) in nets.iter().enumerate() {
+        let program = qnet.compile_batched(PROXY_INPUT, BATCH_FRAMES);
+        let mut scratch = QScratch::for_program(&program);
+        let stream = pseudo_frames(BATCH_FRAMES, 9);
+        let qs = qnet.input_params().quantize_slice(stream.as_slice());
+
+        let mut rows = String::new();
+        let mut b1_ns = 0.0;
+        for &b in BATCH_SWEEP.iter() {
+            let groups = BATCH_FRAMES / b;
+            let run_all = |scratch: &mut QScratch| {
+                for g in 0..groups {
+                    let qb = &qs[g * b * frame_len..(g + 1) * b * frame_len];
+                    black_box(program.run_int_batched(pool, scratch, black_box(qb), b));
+                }
+            };
+            let ns = time_ns(|| run_all(&mut scratch));
+            let allocs = allocs_of(|| run_all(&mut scratch));
+            if b == 1 {
+                b1_ns = ns;
+            }
+            let speedup = b1_ns / ns;
+            if b == BATCH_FRAMES {
+                batched_no_loss &= speedup >= 0.95;
+            }
+            batched_alloc_free &= allocs == 0;
+            let per_frame_ns = ns / BATCH_FRAMES as f64;
+            eprintln!(
+                "[bench_pipeline] {} B={b}: {per_frame_ns:.0} ns/frame \
+                 ({speedup:.2}x vs B=1, {allocs} allocs)",
+                id.name()
+            );
+            let _ = writeln!(
+                rows,
+                "      {{\"batch\": {b}, \"per_frame_ns\": {per_frame_ns:.0}, \
+                 \"aggregate_speedup_vs_b1\": {speedup:.3}, \
+                 \"steady_state_allocs\": {allocs}}}{}",
+                if b != *BATCH_SWEEP.last().expect("non-empty sweep") {
+                    ","
+                } else {
+                    ""
+                },
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"{}\", \"frames\": {BATCH_FRAMES}, \
+             \"batched_arena_bytes\": {}, \"by_batch\": [\n{rows}    ]}}{}",
+            id.name(),
+            program.batched_arena_bytes(),
+            if i + 1 < nets.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"streaming_ensembles\": [\n");
 
     // A stream with motion on every 4th frame so both policy paths run.
@@ -234,5 +304,10 @@ fn main() {
         prepacked_alloc_free,
         "prepacked path allocated in steady state"
     );
+    assert!(
+        batched_no_loss,
+        "run_int_batched lost aggregate throughput at B=8 vs B=1"
+    );
+    assert!(batched_alloc_free, "batched path allocated in steady state");
     eprintln!("[bench_pipeline] wrote {out_path}");
 }

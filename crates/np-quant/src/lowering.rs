@@ -156,6 +156,50 @@ pub fn qim2row_into(
     }
 }
 
+/// Batched [`qim2row_into`]: lowers `batch` equally-shaped CHW frames
+/// (concatenated NCHW in `input`) into one patch-major buffer where the
+/// columns of all frames are concatenated frame-major — global column
+/// `b * cols + col` (with `cols = H_out*W_out` per frame) owns the slice
+/// `lowered[(b*cols + col)*stride ..][..patch]` holding frame `b`'s
+/// centered receptive field for output pixel `col`.
+///
+/// The microkernel then sweeps `batch * cols` columns in one invocation,
+/// so each packed weight panel is streamed from memory once per *batch*
+/// instead of once per frame — the amortization the batched runtime is
+/// built on. Per frame the layout is byte-identical to [`qim2row_into`],
+/// which is what makes the batched conv bit-exact against per-frame runs.
+///
+/// # Panics
+///
+/// Panics if `input` or `lowered` have the wrong length, or `batch == 0`.
+pub fn qim2row_batch_into(
+    input: &[i8],
+    batch: usize,
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    lowered: &mut [i16],
+) {
+    assert!(batch > 0, "batch must be at least 1");
+    let frame_len = geo.in_channels * h * w;
+    assert_eq!(input.len(), batch * frame_len, "input size");
+    let (oh, ow) = geo.out_hw(h, w);
+    let stride = patch_stride(geo.in_channels * geo.kernel * geo.kernel);
+    let frame_lowered = oh * ow * stride;
+    assert_eq!(lowered.len(), batch * frame_lowered, "lowered scratch size");
+    for b in 0..batch {
+        qim2row_into(
+            &input[b * frame_len..(b + 1) * frame_len],
+            h,
+            w,
+            in_zp,
+            geo,
+            &mut lowered[b * frame_lowered..(b + 1) * frame_lowered],
+        );
+    }
+}
+
 /// The padded per-patch stride of the im2row layout: `patch` rounded up
 /// to a whole number of [`np_tensor::im2col::I16_LANES`] i16 lanes, so
 /// every patch starts 16-byte aligned and dots have no scalar remainder.

@@ -196,6 +196,195 @@ pub fn qconv_panels_into(
     });
 }
 
+/// Batched [`qconv_panels_into`]: one sweep of the packed weight panels
+/// over the concatenated columns of `batch` frames.
+///
+/// * `lowered`: [`crate::lowering::qim2row_batch_into`] output —
+///   `batch * cols` patch-major columns, frame-major
+/// * `out`: `batch * out_channels * cols` i8, NCHW (frame `b` owns
+///   `out[b*C*cols..(b+1)*C*cols]` in the same plane-major layout the
+///   single-frame kernel writes)
+///
+/// This is where the batch win lives: each [`MR`]-row weight panel is
+/// streamed from memory once per [`PIXEL_BLOCK`] of the *whole batch*
+/// instead of once per frame, which matters exactly for the skinny
+/// GEMV-shaped layers (few output pixels per frame) that dominate the
+/// paper's 160×96 ensembles. Each output element is still one `r`-ascending
+/// integer dot, so results are bit-identical to running the single-frame
+/// kernel per frame, at any pool width.
+///
+/// Work is chunked over whole frames, so a chunk boundary never splits a
+/// frame's output plane.
+///
+/// # Panics
+///
+/// Panics on size mismatches or `batch == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv_panels_batch_into(
+    pool: Pool,
+    packed: &[i16],
+    patch: usize,
+    lowered: &[i16],
+    bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+    batch: usize,
+    out: &mut [i8],
+) {
+    assert!(batch > 0, "batch must be at least 1");
+    let out_channels = bias.len();
+    if out_channels == 0 || out.is_empty() {
+        return;
+    }
+    let ps = patch_stride(patch);
+    let frame_out = out.len() / batch;
+    assert_eq!(out.len(), batch * frame_out, "output size");
+    let cols = frame_out / out_channels;
+    assert_eq!(frame_out, out_channels * cols, "output size");
+    assert_eq!(lowered.len(), batch * cols * ps, "lowered size");
+    assert_eq!(
+        packed.len(),
+        out_channels.div_ceil(MR) * MR * ps,
+        "packed weight size"
+    );
+    assert_eq!(mults.len(), out_channels, "multiplier count");
+    let floor = if relu {
+        out_zp.clamp(-128, 127) as i8
+    } else {
+        i8::MIN
+    };
+
+    let chunk_len = pool.chunk_len_for(batch, frame_out);
+    let frames_per_chunk = chunk_len / frame_out;
+    #[cfg(target_arch = "x86_64")]
+    let has_avx2 = avx2_available();
+    pool.for_each_chunk(out, chunk_len, |idx, chunk| {
+        let f_base = idx * frames_per_chunk;
+        let nf = chunk.len() / frame_out;
+        let args = BatchChunkArgs {
+            packed,
+            ps,
+            lowered: &lowered[f_base * cols * ps..(f_base + nf) * cols * ps],
+            bias,
+            mults,
+            out_zp,
+            floor,
+            cols,
+            frame_out,
+            out_channels,
+        };
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2 {
+            // SAFETY: AVX2 support was verified above; the body is safe
+            // Rust, the attribute only widens the ISA it compiles to.
+            unsafe { conv_chunk_batched_avx2(&args, chunk) };
+            return;
+        }
+        conv_chunk_batched(&args, chunk);
+    });
+}
+
+/// Per-chunk invariants of [`qconv_panels_batch_into`].
+struct BatchChunkArgs<'a> {
+    packed: &'a [i16],
+    ps: usize,
+    /// This chunk's frames' columns only.
+    lowered: &'a [i16],
+    bias: &'a [i32],
+    mults: &'a [FixedMultiplier],
+    out_zp: i32,
+    floor: i8,
+    /// Output pixels per frame.
+    cols: usize,
+    /// Output elements per frame (`out_channels * cols`).
+    frame_out: usize,
+    out_channels: usize,
+}
+
+/// The batched chunk body: every weight panel sweeps the chunk's
+/// `frames * cols` concatenated columns block by block; only the output
+/// index de-interleaves back to per-frame NCHW planes. An [`NR`] tile may
+/// straddle a frame boundary — harmless, because the lowered columns are
+/// globally contiguous and each output element is an independent dot.
+#[inline(always)]
+fn conv_chunk_batched(a: &BatchChunkArgs<'_>, chunk: &mut [i8]) {
+    let &BatchChunkArgs {
+        packed,
+        ps,
+        lowered,
+        bias,
+        mults,
+        out_zp,
+        floor,
+        cols,
+        frame_out,
+        out_channels,
+    } = a;
+    let n_cols = chunk.len() / frame_out * cols;
+    for px0 in (0..n_cols).step_by(PIXEL_BLOCK) {
+        let px1 = (px0 + PIXEL_BLOCK).min(n_cols);
+        for lp in (0..out_channels).step_by(MR) {
+            let wbase = lp * ps;
+            let w = [
+                &packed[wbase..wbase + ps],
+                &packed[wbase + ps..wbase + 2 * ps],
+                &packed[wbase + 2 * ps..wbase + 3 * ps],
+                &packed[wbase + 3 * ps..wbase + 4 * ps],
+            ];
+            let live = MR.min(out_channels - lp);
+            let mut pb = [0i32; MR];
+            let mut pmul = [0i32; MR];
+            let mut psh = [0u32; MR];
+            for m in 0..live {
+                pb[m] = bias[lp + m];
+                pmul[m] = mults[lp + m].multiplier;
+                psh[m] = mults[lp + m].shift as u32;
+            }
+            let mut col = px0;
+            while col + NR <= px1 {
+                let xp = &lowered[col * ps..col * ps + ps];
+                let xq = &lowered[(col + 1) * ps..(col + 1) * ps + ps];
+                let acc = dot_tile_4x2(w, xp, xq);
+                let f0 = col / cols;
+                let base0 = f0 * frame_out + lp * cols + (col - f0 * cols);
+                let f1 = (col + 1) / cols;
+                let base1 = f1 * frame_out + lp * cols + (col + 1 - f1 * cols);
+                for m in 0..live {
+                    chunk[base0 + m * cols] =
+                        requant_clamp(acc[m] + pb[m], pmul[m], psh[m], out_zp, floor);
+                    chunk[base1 + m * cols] =
+                        requant_clamp(acc[MR + m] + pb[m], pmul[m], psh[m], out_zp, floor);
+                }
+                col += NR;
+            }
+            if col < px1 {
+                let xp = &lowered[col * ps..col * ps + ps];
+                let acc = dot_tile_4x1(w, xp);
+                let f0 = col / cols;
+                let base0 = f0 * frame_out + lp * cols + (col - f0 * cols);
+                for m in 0..live {
+                    chunk[base0 + m * cols] =
+                        requant_clamp(acc[m] + pb[m], pmul[m], psh[m], out_zp, floor);
+                }
+            }
+        }
+    }
+}
+
+/// [`conv_chunk_batched`] recompiled with AVX2 enabled; bit-exact with the
+/// portable path for the same reason as [`conv_chunk_avx2`].
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support (the body itself is safe
+/// Rust; the attribute only changes code generation).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn conv_chunk_batched_avx2(a: &BatchChunkArgs<'_>, chunk: &mut [i8]) {
+    conv_chunk_batched(a, chunk);
+}
+
 /// Per-chunk invariants of [`qconv_panels_into`], bundled so the chunk
 /// body can be compiled once per instruction set.
 struct ChunkArgs<'a> {
@@ -426,6 +615,72 @@ mod tests {
                 assert_eq!(
                     got, want,
                     "c_out {out_channels} patch {patch} cols {cols} t{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_microkernel_equals_per_frame_runs() {
+        // The batched sweep must reproduce B independent single-frame
+        // kernel calls bit-for-bit, including ragged channel counts, odd
+        // per-frame pixel counts (so NR tiles straddle frame boundaries),
+        // and batch sizes around the parallel chunking.
+        for (out_channels, patch, cols, batch) in [
+            (1usize, 1usize, 1usize, 1usize),
+            (3, 7, 5, 2),
+            (5, 9, 7, 3),
+            (6, 24, 33, 4),
+            (11, 30, 41, 8),
+        ] {
+            let mut s = 29u64;
+            let mut rnd = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 56) as i8
+            };
+            let weight: Vec<i8> = (0..out_channels * patch).map(|_| rnd()).collect();
+            let bias: Vec<i32> = (0..out_channels as i32).map(|i| i * 17 - 40).collect();
+            let mults: Vec<FixedMultiplier> = (0..out_channels)
+                .map(|i| FixedMultiplier::from_real(0.002 + 0.008 * i as f32))
+                .collect();
+            let ps = patch_stride(patch);
+            let low: Vec<i16> = (0..batch * cols * ps)
+                .map(|i| if i % ps < patch { rnd() as i16 } else { 0 })
+                .collect();
+            let packed = pack_conv_panels(&weight, out_channels, patch);
+
+            // Reference: the single-frame kernel, frame by frame.
+            let mut want = vec![0i8; batch * out_channels * cols];
+            for b in 0..batch {
+                qconv_panels_into(
+                    Pool::serial(),
+                    &packed,
+                    patch,
+                    &low[b * cols * ps..(b + 1) * cols * ps],
+                    &bias,
+                    &mults,
+                    3,
+                    true,
+                    &mut want[b * out_channels * cols..(b + 1) * out_channels * cols],
+                );
+            }
+            for threads in [1usize, 2, 3, 8] {
+                let mut got = vec![0i8; batch * out_channels * cols];
+                qconv_panels_batch_into(
+                    Pool::new(threads),
+                    &packed,
+                    patch,
+                    &low,
+                    &bias,
+                    &mults,
+                    3,
+                    true,
+                    batch,
+                    &mut got,
+                );
+                assert_eq!(
+                    got, want,
+                    "c_out {out_channels} patch {patch} cols {cols} b{batch} t{threads}"
                 );
             }
         }

@@ -34,12 +34,12 @@
 //! [`MR`]: crate::microkernel::MR
 
 use crate::kernels::{qdw_plane, QConvGeometry};
-use crate::lowering::{patch_stride, qim2row_into};
-use crate::microkernel::{pack_conv_panels, qconv_panels_into};
+use crate::lowering::{patch_stride, qim2row_batch_into, qim2row_into};
+use crate::microkernel::{pack_conv_panels, qconv_panels_batch_into, qconv_panels_into};
 use crate::qnetwork::{QLayer, QuantizedNetwork};
 use crate::qparams::{fold_zero_point, QuantParams};
 use crate::requant::{requantize_to_i8, FixedMultiplier};
-use np_tensor::arena::{disjoint_pair, plan_arena, BufferReq};
+use np_tensor::arena::{disjoint_pair, plan_arena, plan_arena_batched, BufferReq};
 use np_tensor::parallel::Pool;
 
 /// One executable step. Buffers are referred to by id; the program maps
@@ -229,15 +229,25 @@ impl QScratch {
         s
     }
 
-    /// Grows the buffers to `program`'s requirements (never shrinks).
+    /// Grows the buffers to `program`'s requirements (never shrinks). A
+    /// batch-compiled program reserves its scaled batch plan too, so one
+    /// scratch serves both the per-frame and the batched entry points.
     pub fn reserve(&mut self, program: &QuantizedProgram) {
-        if self.arena.len() < program.arena_len {
-            self.arena.resize(program.arena_len, 0);
+        let (arena_len, lowered_len, out_frames) = match &program.batch_plan {
+            Some(bp) => (
+                program.arena_len.max(bp.arena_len),
+                program.lowered_len.max(bp.lowered_len),
+                bp.max_batch,
+            ),
+            None => (program.arena_len, program.lowered_len, 1),
+        };
+        if self.arena.len() < arena_len {
+            self.arena.resize(arena_len, 0);
         }
-        if self.lowered.len() < program.lowered_len {
-            self.lowered.resize(program.lowered_len, 0);
+        if self.lowered.len() < lowered_len {
+            self.lowered.resize(lowered_len, 0);
         }
-        let out_len = program.buf_sizes[program.output_buf];
+        let out_len = out_frames * program.buf_sizes[program.output_buf];
         if self.out_f32.len() < out_len {
             self.out_f32.resize(out_len, 0.0);
         }
@@ -249,6 +259,29 @@ impl QScratch {
     pub fn bytes(&self) -> usize {
         self.arena.len() + 2 * self.lowered.len() + 4 * self.out_f32.len()
     }
+}
+
+/// The cross-frame half of a batched compile: the same live ranges as the
+/// per-frame plan with every buffer scaled to `max_batch ×` its size, so
+/// up to `max_batch` frames flow through the step list in one pass.
+/// Within a buffer's region, frame `b` owns the contiguous slice
+/// `[offset + b*size, offset + (b+1)*size)` — plain NCHW concatenation,
+/// so per-frame outputs come back as contiguous slices of the batched
+/// output plane.
+#[derive(Debug, Clone)]
+struct BatchPlan {
+    /// Largest batch a single `run_int_batched` call may carry.
+    max_batch: usize,
+    /// Arena offsets of each buffer's `max_batch × size` region.
+    buf_offsets: Vec<usize>,
+    arena_len: usize,
+    lowered_len: usize,
+    /// One span per step for batched passes, named `{name}@batch/..` so
+    /// per-frame drift reports never mix the two populations.
+    step_spans: Vec<np_trace::SpanId>,
+    /// Span covering one whole batched pass; the batch size is recorded
+    /// in its bytes field.
+    run_span: np_trace::SpanId,
 }
 
 /// A [`QuantizedNetwork`] compiled for one input shape: static arena
@@ -275,12 +308,34 @@ pub struct QuantizedProgram {
     step_bytes: Vec<u64>,
     /// Span covering one whole `exec_steps` pass.
     frame_span: np_trace::SpanId,
+    /// Present iff compiled with [`Self::compile_batched`]: the scaled
+    /// arena plan for cross-frame batched passes.
+    batch_plan: Option<BatchPlan>,
 }
 
 impl QuantizedProgram {
     /// Compiles `net` for inputs of shape `chw`. All planning, packing,
     /// and bias folding happens here, once.
     pub fn compile(net: &QuantizedNetwork, chw: (usize, usize, usize)) -> Self {
+        Self::compile_with(net, chw, 1)
+    }
+
+    /// [`Self::compile`] plus a cross-frame batch plan: the returned
+    /// program additionally supports [`Self::run_int_batched`] /
+    /// [`Self::forward_batched`] for any batch size up to `max_batch`.
+    /// The per-frame entry points are unchanged — they keep using the
+    /// unscaled plan, so single-frame latency is identical to a plain
+    /// [`Self::compile`].
+    pub fn compile_batched(
+        net: &QuantizedNetwork,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+    ) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Self::compile_with(net, chw, max_batch)
+    }
+
+    fn compile_with(net: &QuantizedNetwork, chw: (usize, usize, usize), max_batch: usize) -> Self {
         let (mut c, mut h, mut w) = chw;
         let mut zp = net.input_params().zero_point;
         let mut bufs = Bufs::new(c * h * w);
@@ -461,6 +516,32 @@ impl QuantizedProgram {
         let step_bytes = steps.iter().map(|s| s.io_bytes(&bufs.sizes)).collect();
         let frame_span = np_trace::register_span(&format!("{}/frame", net.name()));
 
+        // The batched plan is the same live-range packing at B × the
+        // bytes (see `plan_arena_batched`); its spans live under a
+        // `{name}@batch/` prefix so the per-frame drift report's
+        // step-to-layer alignment never sees batched samples.
+        let batch_plan = (max_batch > 1).then(|| {
+            let bplan = plan_arena_batched(&reqs, max_batch);
+            BatchPlan {
+                max_batch,
+                buf_offsets: bplan.offsets,
+                arena_len: bplan.arena_bytes,
+                lowered_len: lowered_len * max_batch,
+                step_spans: steps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        np_trace::register_span(&format!(
+                            "{}@batch/{i:02}-{}",
+                            net.name(),
+                            s.kind()
+                        ))
+                    })
+                    .collect(),
+                run_span: np_trace::register_span(&format!("{}@batch/run", net.name())),
+            }
+        });
+
         QuantizedProgram {
             name: net.name().to_string(),
             input_params: net.input_params(),
@@ -476,6 +557,7 @@ impl QuantizedProgram {
             step_spans,
             step_bytes,
             frame_span,
+            batch_plan,
         }
     }
 
@@ -596,6 +678,411 @@ impl QuantizedProgram {
                 .dequantize_into(&arena[out_off..out_off + out_len], &mut out_f32[..out_len]);
         }
         &scratch.out_f32[..out_len]
+    }
+
+    /// Largest batch size [`Self::run_int_batched`] accepts: the
+    /// `max_batch` passed to [`Self::compile_batched`], or 1 for a plain
+    /// [`Self::compile`] (which has no batched entry).
+    pub fn max_batch(&self) -> usize {
+        self.batch_plan.as_ref().map_or(1, |bp| bp.max_batch)
+    }
+
+    /// Planned arena size of the batched path in bytes (equals
+    /// [`Self::arena_bytes`] when the program was not batch-compiled).
+    pub fn batched_arena_bytes(&self) -> usize {
+        self.batch_plan
+            .as_ref()
+            .map_or(self.arena_len, |bp| bp.arena_len)
+    }
+
+    /// Runs `batch` already-quantized CHW frames (concatenated NCHW in
+    /// `inputs`) through the step list in one pass. Returns the batched
+    /// output (frame `b` owns `out[b*len..(b+1)*len]`) and the per-frame
+    /// output shape.
+    ///
+    /// Each conv step lowers all `batch` frames and sweeps the packed
+    /// weight panels across their concatenated columns once
+    /// ([`qconv_panels_batch_into`]), so per-panel weight traffic is paid
+    /// per batch instead of per frame; depthwise/pool steps treat the
+    /// batch as `batch × channels` independent planes; the linear step
+    /// streams each weight row across all frames. Outputs are
+    /// bit-identical to `batch` independent [`Self::run_int_prepacked`]
+    /// calls, at any pool width, and a warm scratch makes the pass
+    /// allocation-free on a serial pool — the same guarantees as the
+    /// per-frame entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was not [`Self::compile_batched`]-compiled
+    /// with `max_batch >= batch`, if `batch == 0`, or if `inputs` is not
+    /// exactly `batch` input frames.
+    pub fn run_int_batched<'s>(
+        &self,
+        pool: Pool,
+        scratch: &'s mut QScratch,
+        inputs: &[i8],
+        batch: usize,
+    ) -> (&'s [i8], (usize, usize, usize)) {
+        if batch == 1 {
+            // Delegate to the per-frame plan: identical results, and the
+            // B=1 latency is exactly the single-frame path's.
+            return self.run_int_prepacked(pool, scratch, inputs);
+        }
+        let bp = self
+            .batch_plan
+            .as_ref()
+            .expect("program was not compiled with compile_batched");
+        assert!(
+            batch <= bp.max_batch,
+            "batch {batch} exceeds compiled max_batch {}",
+            bp.max_batch
+        );
+        assert_eq!(
+            inputs.len(),
+            batch * self.buf_sizes[0],
+            "input size mismatch"
+        );
+        scratch.reserve(self);
+        let in_off = bp.buf_offsets[0];
+        scratch.arena[in_off..in_off + inputs.len()].copy_from_slice(inputs);
+        self.exec_steps_batched(pool, scratch, batch);
+        let out_off = bp.buf_offsets[self.output_buf];
+        let out_len = batch * self.buf_sizes[self.output_buf];
+        (&scratch.arena[out_off..out_off + out_len], self.output_chw)
+    }
+
+    /// Float-in/float-out batched entry: quantizes `batch` concatenated
+    /// frames into the arena, runs the batched integer steps, and
+    /// dequantizes into the scratch's f32 buffer (frame `b` owns
+    /// `out[b*len..(b+1)*len]`). Same guarantees as
+    /// [`Self::run_int_batched`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run_int_batched`].
+    pub fn forward_batched<'s>(
+        &self,
+        pool: Pool,
+        scratch: &'s mut QScratch,
+        frames: &[f32],
+        batch: usize,
+    ) -> &'s [f32] {
+        if batch == 1 {
+            return self.forward_prepacked(pool, scratch, frames);
+        }
+        let bp = self
+            .batch_plan
+            .as_ref()
+            .expect("program was not compiled with compile_batched");
+        assert!(
+            batch <= bp.max_batch,
+            "batch {batch} exceeds compiled max_batch {}",
+            bp.max_batch
+        );
+        assert_eq!(
+            frames.len(),
+            batch * self.buf_sizes[0],
+            "input size mismatch"
+        );
+        scratch.reserve(self);
+        let in_off = bp.buf_offsets[0];
+        self.input_params
+            .quantize_into(frames, &mut scratch.arena[in_off..in_off + frames.len()]);
+        self.exec_steps_batched(pool, scratch, batch);
+        let out_off = bp.buf_offsets[self.output_buf];
+        let out_len = batch * self.buf_sizes[self.output_buf];
+        {
+            let QScratch { arena, out_f32, .. } = scratch;
+            self.output_params
+                .dequantize_into(&arena[out_off..out_off + out_len], &mut out_f32[..out_len]);
+        }
+        &scratch.out_f32[..out_len]
+    }
+
+    /// Executes the step list over `batch` frames against a warm scratch,
+    /// using the batch plan's scaled buffer regions. Within every region
+    /// the frames sit contiguously (NCHW), so depthwise/pool steps
+    /// degenerate to the per-frame kernels over `batch × channels` planes
+    /// and stay bit-exact trivially; conv and linear get the
+    /// weight-amortized batched loops.
+    fn exec_steps_batched(&self, pool: Pool, scratch: &mut QScratch, batch: usize) {
+        let bp = self.batch_plan.as_ref().expect("batch plan");
+        let QScratch { arena, lowered, .. } = scratch;
+        let run_start = np_trace::start();
+        for (step_idx, step) in self.steps.iter().enumerate() {
+            let step_start = np_trace::start();
+            match step {
+                Step::Conv {
+                    geo,
+                    h,
+                    w,
+                    in_zp,
+                    packed,
+                    bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let (oh, ow) = geo.out_hw(*h, *w);
+                    let cols = oh * ow;
+                    let patch = geo.in_channels * geo.kernel * geo.kernel;
+                    let ps = patch_stride(patch);
+                    let (in_off, in_len) = self.batch_buf_at(*input, batch);
+                    qim2row_batch_into(
+                        &arena[in_off..in_off + in_len],
+                        batch,
+                        *h,
+                        *w,
+                        *in_zp,
+                        *geo,
+                        &mut lowered[..batch * cols * ps],
+                    );
+                    let (out_off, out_len) = self.batch_buf_at(*output, batch);
+                    let pool = pool.for_work(batch * geo.out_channels * patch * cols);
+                    qconv_panels_batch_into(
+                        pool,
+                        packed,
+                        patch,
+                        &lowered[..batch * cols * ps],
+                        bias,
+                        mults,
+                        *out_zp,
+                        *relu,
+                        batch,
+                        &mut arena[out_off..out_off + out_len],
+                    );
+                }
+                Step::Depthwise {
+                    channels,
+                    kernel,
+                    stride,
+                    padding,
+                    h,
+                    w,
+                    in_zp,
+                    weight,
+                    bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let oh = (h + 2 * padding - kernel) / stride + 1;
+                    let ow = (w + 2 * padding - kernel) / stride + 1;
+                    let (inp, outp) = disjoint_pair(
+                        arena,
+                        self.batch_buf_at(*input, batch),
+                        self.batch_buf_at(*output, batch),
+                    );
+                    // NCHW concatenation makes the batch `batch*channels`
+                    // consecutive planes; plane `pi` belongs to channel
+                    // `pi % channels` of frame `pi / channels`.
+                    let planes = batch * channels;
+                    let pool = pool.for_work(planes * kernel * kernel * oh * ow);
+                    let chunk_len = pool.chunk_len_for(planes, oh * ow);
+                    let pl_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let pi = idx * pl_per_chunk + j;
+                            let ci = pi % channels;
+                            qdw_plane(
+                                &inp[pi * h * w..(pi + 1) * h * w],
+                                *h,
+                                *w,
+                                *in_zp,
+                                *kernel,
+                                *stride,
+                                *padding,
+                                &weight[ci * kernel * kernel..(ci + 1) * kernel * kernel],
+                                bias[ci],
+                                mults[ci],
+                                *out_zp,
+                                *relu,
+                                dst,
+                                oh,
+                                ow,
+                            );
+                        }
+                    });
+                }
+                Step::Linear {
+                    in_features,
+                    out_features,
+                    weight,
+                    folded_bias,
+                    mults,
+                    out_zp,
+                    relu,
+                    input,
+                    output,
+                } => {
+                    let (inp, outp) = disjoint_pair(
+                        arena,
+                        self.batch_buf_at(*input, batch),
+                        self.batch_buf_at(*output, batch),
+                    );
+                    // Weight-row outer, frame inner: each row is streamed
+                    // from memory once per batch instead of once per
+                    // frame — the FC layer is pure GEMV, so this is where
+                    // all of its batch win comes from. Per-output
+                    // accumulation order is unchanged (r-ascending), so
+                    // results stay bit-exact.
+                    for j in 0..*out_features {
+                        let wrow = &weight[j * in_features..(j + 1) * in_features];
+                        for b in 0..batch {
+                            let x = &inp[b * in_features..(b + 1) * in_features];
+                            let mut a = folded_bias[j];
+                            for (&xv, &wv) in x.iter().zip(wrow.iter()) {
+                                a += xv as i32 * wv as i32;
+                            }
+                            let mut q = requantize_to_i8(a, mults[j], *out_zp);
+                            if *relu && (q as i32) < *out_zp {
+                                q = (*out_zp).clamp(-128, 127) as i8;
+                            }
+                            outp[b * out_features + j] = q;
+                        }
+                    }
+                }
+                Step::MaxPool {
+                    channels,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    input,
+                    output,
+                } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let (inp, outp) = disjoint_pair(
+                        arena,
+                        self.batch_buf_at(*input, batch),
+                        self.batch_buf_at(*output, batch),
+                    );
+                    let planes = batch * channels;
+                    let pool = pool.for_work(planes * kernel * kernel * oh * ow);
+                    let chunk_len = pool.chunk_len_for(planes, oh * ow);
+                    let pl_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let pi = idx * pl_per_chunk + j;
+                            let plane = &inp[pi * h * w..(pi + 1) * h * w];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut best = i8::MIN;
+                                    for ky in 0..*kernel {
+                                        for kx in 0..*kernel {
+                                            best = best.max(
+                                                plane[(oy * stride + ky) * w + ox * stride + kx],
+                                            );
+                                        }
+                                    }
+                                    dst[oy * ow + ox] = best;
+                                }
+                            }
+                        }
+                    });
+                }
+                Step::AvgPool {
+                    channels,
+                    h,
+                    w,
+                    kernel,
+                    stride,
+                    input,
+                    output,
+                } => {
+                    let oh = (h - kernel) / stride + 1;
+                    let ow = (w - kernel) / stride + 1;
+                    let div = (kernel * kernel) as i32;
+                    let (inp, outp) = disjoint_pair(
+                        arena,
+                        self.batch_buf_at(*input, batch),
+                        self.batch_buf_at(*output, batch),
+                    );
+                    let planes = batch * channels;
+                    let pool = pool.for_work(planes * kernel * kernel * oh * ow);
+                    let chunk_len = pool.chunk_len_for(planes, oh * ow);
+                    let pl_per_chunk = chunk_len / (oh * ow).max(1);
+                    pool.for_each_chunk(outp, chunk_len, |idx, chunk| {
+                        for (j, dst) in chunk.chunks_mut(oh * ow).enumerate() {
+                            let pi = idx * pl_per_chunk + j;
+                            let plane = &inp[pi * h * w..(pi + 1) * h * w];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut a = 0i32;
+                                    for ky in 0..*kernel {
+                                        for kx in 0..*kernel {
+                                            a += plane[(oy * stride + ky) * w + ox * stride + kx]
+                                                as i32;
+                                        }
+                                    }
+                                    let rounded = if a >= 0 {
+                                        (a + div / 2) / div
+                                    } else {
+                                        (a - div / 2) / div
+                                    };
+                                    dst[oy * ow + ox] = rounded.clamp(-128, 127) as i8;
+                                }
+                            }
+                        }
+                    });
+                }
+                Step::GlobalAvgPool {
+                    channels,
+                    h,
+                    w,
+                    input,
+                    output,
+                } => {
+                    let div = (h * w) as i32;
+                    let (inp, outp) = disjoint_pair(
+                        arena,
+                        self.batch_buf_at(*input, batch),
+                        self.batch_buf_at(*output, batch),
+                    );
+                    let planes = batch * channels;
+                    for (pi, o) in outp.iter_mut().enumerate().take(planes) {
+                        let plane = &inp[pi * h * w..(pi + 1) * h * w];
+                        let sum: i32 = plane.iter().map(|&v| v as i32).sum();
+                        let rounded = if sum >= 0 {
+                            (sum + div / 2) / div
+                        } else {
+                            (sum - div / 2) / div
+                        };
+                        *o = rounded.clamp(-128, 127) as i8;
+                    }
+                }
+                Step::ReluInPlace { zp, buf } => {
+                    let (off, len) = self.batch_buf_at(*buf, batch);
+                    let floor = (*zp).clamp(-128, 127) as i8;
+                    for v in &mut arena[off..off + len] {
+                        if (*v as i32) < *zp {
+                            *v = floor;
+                        }
+                    }
+                }
+            }
+            np_trace::finish(
+                bp.step_spans[step_idx],
+                step_start,
+                batch as u64 * self.step_bytes[step_idx],
+            );
+        }
+        // The batch size rides in the bytes field: `bytes / count` in a
+        // trace report is the mean B per batched pass.
+        np_trace::finish(bp.run_span, run_start, batch as u64);
+    }
+
+    /// Offset and *live* length (`batch × size`) of buffer `id`'s region
+    /// in the batched plan. Regions are laid out for `max_batch`, so a
+    /// smaller run uses a prefix — disjointness is inherited.
+    fn batch_buf_at(&self, id: usize, batch: usize) -> (usize, usize) {
+        let bp = self.batch_plan.as_ref().expect("batch plan");
+        (bp.buf_offsets[id], batch * self.buf_sizes[id])
     }
 
     /// Executes the step list against a warm scratch. Allocation-free,
@@ -942,6 +1429,86 @@ mod tests {
         assert_eq!(program.output_chw(), (3, 1, 1));
         assert_eq!(program.output_len(), 3);
         assert!(program.packed_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn batched_run_matches_per_frame_runs_exactly() {
+        // The batched pass over the mixed net (conv, dw, maxpool, linear,
+        // standalone relu) must equal B independent per-frame runs
+        // bit-for-bit, for every batch size up to max_batch and at
+        // several pool widths.
+        let mut rng = SmallRng::seed(46);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 8, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = QuantizedProgram::compile_batched(&qnet, (1, 16, 16), 8);
+        assert_eq!(program.max_batch(), 8);
+        assert!(program.batched_arena_bytes() >= program.arena_bytes());
+        let mut scratch = QScratch::for_program(&program);
+
+        let mut s = 0xBADC0FFEu64;
+        let inputs: Vec<i8> = (0..8 * 256)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 56) as i8
+            })
+            .collect();
+        for batch in [1usize, 2, 3, 8] {
+            let mut want = Vec::new();
+            for b in 0..batch {
+                let (out, _) = program.run_int_prepacked(
+                    Pool::serial(),
+                    &mut scratch,
+                    &inputs[b * 256..(b + 1) * 256],
+                );
+                want.extend_from_slice(out);
+            }
+            for threads in [1usize, 2, 4] {
+                let (got, shape) = program.run_int_batched(
+                    Pool::new(threads),
+                    &mut scratch,
+                    &inputs[..batch * 256],
+                    batch,
+                );
+                assert_eq!(shape, program.output_chw());
+                assert_eq!(got, &want[..], "batch {batch} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batched_matches_forward_prepacked() {
+        let mut rng = SmallRng::seed(47);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 8, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = QuantizedProgram::compile_batched(&qnet, (1, 16, 16), 4);
+        let mut scratch = QScratch::for_program(&program);
+
+        let frames = calib_batch(&mut rng, 4, 16);
+        let mut want = Vec::new();
+        for b in 0..4 {
+            want.extend_from_slice(program.forward_prepacked(
+                Pool::serial(),
+                &mut scratch,
+                &frames.as_slice()[b * 256..(b + 1) * 256],
+            ));
+        }
+        let got = program.forward_batched(Pool::serial(), &mut scratch, frames.as_slice(), 4);
+        assert_eq!(got, &want[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "compile_batched")]
+    fn batched_run_requires_a_batch_plan() {
+        let mut rng = SmallRng::seed(48);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 4, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile((1, 16, 16));
+        let mut scratch = QScratch::for_program(&program);
+        let inputs = vec![0i8; 2 * 256];
+        let _ = program.run_int_batched(Pool::serial(), &mut scratch, &inputs, 2);
     }
 
     #[test]

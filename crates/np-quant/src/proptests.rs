@@ -11,8 +11,15 @@ use crate::kernels::{
 };
 use crate::lowering::{patch_stride, qgemm_row};
 use crate::microkernel::{pack_conv_panels, qconv_panels_into};
+use crate::program::QScratch;
+use crate::qnetwork::QuantizedNetwork;
 use crate::requant::{requantize_to_i8, FixedMultiplier};
+use np_nn::init::{Initializer, SmallRng};
+use np_nn::layers::{Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
+use np_nn::Sequential;
 use np_tensor::parallel::Pool;
+use np_tensor::shape::conv_out_dim;
+use np_tensor::Tensor;
 use proptest::prelude::*;
 
 /// Deterministic i8 fill for buffers whose size depends on drawn values.
@@ -32,6 +39,11 @@ fn seeded_mults(tag: &str, seed: u64, n: usize) -> Vec<FixedMultiplier> {
 fn seeded_bias(tag: &str, seed: u64, n: usize) -> Vec<i32> {
     let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
     (0..n).map(|_| (r.index(4001) as i32) - 2000).collect()
+}
+
+fn seeded_f32(tag: &str, seed: u64, n: usize) -> Vec<f32> {
+    let mut r = TestRng::deterministic(&format!("{tag}:{seed}"));
+    (0..n).map(|_| 2.0 * r.unit_f64() as f32 - 1.0).collect()
 }
 
 proptest! {
@@ -197,6 +209,76 @@ proptest! {
                 &weight, &bias, &mults, out_zp, relu,
             );
             prop_assert_eq!(&got, &reference, "threads {}", threads);
+        }
+    }
+}
+
+proptest! {
+    // Whole-network cases are heavier than single-kernel ones (quantize +
+    // compile per case), so fewer draws — the inner loops still cover
+    // B ∈ {1, 2, 3, 8} × threads 1..=8 each time.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `run_int_batched` against B independent `run_int_prepacked` calls
+    /// on a randomly-shaped conv/depthwise/pointwise/linear network. The
+    /// drawn channel counts are deliberately allowed to be ragged against
+    /// the microkernel panel height, and the drawn spatial sizes make the
+    /// per-frame pixel count odd, so NR tiles straddle frame boundaries
+    /// in the batched sweep.
+    #[test]
+    fn run_int_batched_equals_independent_prepacked_runs(
+        c1 in 1usize..6,
+        c2 in 1usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        side in 8usize..13,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed(seed ^ 0xB47C);
+        let k = Initializer::KaimingUniform;
+        let oh = conv_out_dim(side, kernel, stride, 1);
+        let net = Sequential::with_name(
+            "batched-prop",
+            vec![
+                Box::new(Conv2d::new(1, c1, kernel, stride, 1, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(DepthwiseConv2d::new(c1, 3, 1, 1, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Conv2d::new(c1, c2, 1, 1, 0, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(c2 * oh * oh, 4, k, &mut rng)),
+            ],
+        );
+        let frame_len = side * side;
+        let calib = Tensor::from_vec(
+            &[3, 1, side, side],
+            seeded_f32("bt-c", seed, 3 * frame_len),
+        );
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile_batched((1, side, side), 8);
+        let mut scratch = QScratch::for_program(&program);
+        let inputs = seeded_i8("bt-x", seed, 8 * frame_len);
+
+        for batch in [1usize, 2, 3, 8] {
+            let mut want = Vec::new();
+            for b in 0..batch {
+                let (out, _) = program.run_int_prepacked(
+                    Pool::serial(),
+                    &mut scratch,
+                    &inputs[b * frame_len..(b + 1) * frame_len],
+                );
+                want.extend_from_slice(out);
+            }
+            for threads in 1usize..=8 {
+                let (got, _) = program.run_int_batched(
+                    Pool::new(threads),
+                    &mut scratch,
+                    &inputs[..batch * frame_len],
+                    batch,
+                );
+                prop_assert_eq!(got, &want[..], "batch {} threads {}", batch, threads);
+            }
         }
     }
 }

@@ -212,6 +212,19 @@ impl QuantizedNetwork {
         crate::program::QuantizedProgram::compile(self, chw)
     }
 
+    /// [`Self::compile`] plus a cross-frame batch plan: the program also
+    /// accepts up to `max_batch` frames per
+    /// [`run_int_batched`](crate::QuantizedProgram::run_int_batched)
+    /// call, amortizing packed-weight traffic across the batch. The
+    /// per-frame entries are unchanged.
+    pub fn compile_batched(
+        &self,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+    ) -> crate::program::QuantizedProgram {
+        crate::program::QuantizedProgram::compile_batched(self, chw, max_batch)
+    }
+
     /// Quantization parameters of the network input.
     pub fn input_params(&self) -> QuantParams {
         self.input_params

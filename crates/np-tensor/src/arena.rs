@@ -57,6 +57,15 @@ impl BufferReq {
     fn overlaps(&self, other: &BufferReq) -> bool {
         self.first_use <= other.last_use && other.first_use <= self.last_use
     }
+
+    /// The same live range at `factor ×` the bytes — how a batched compile
+    /// turns a per-frame buffer requirement into a per-batch one.
+    pub fn scaled(self, factor: usize) -> Self {
+        BufferReq {
+            bytes: self.bytes * factor,
+            ..self
+        }
+    }
 }
 
 /// The planner's output: one offset per input buffer plus the total
@@ -119,6 +128,22 @@ pub fn plan_arena(reqs: &[BufferReq]) -> ArenaPlan {
         Some(chain) if chain.arena_bytes < greedy.arena_bytes => chain,
         _ => greedy,
     }
+}
+
+/// Plans `reqs` with every buffer scaled to `batch ×` its per-frame size:
+/// the live-range structure — and therefore which buffers may alias — is
+/// exactly that of the per-frame plan, only the byte sizes grow. Both
+/// packing strategies are scale-equivariant (every offset is a sum of
+/// buffer sizes), so for chain-shaped graphs the batched arena is exactly
+/// `batch ×` the per-frame arena; the greedy fallback is never worse than
+/// `batch ×` the naive sum. `batch == 1` is identical to [`plan_arena`].
+pub fn plan_arena_batched(reqs: &[BufferReq], batch: usize) -> ArenaPlan {
+    assert!(batch > 0, "batch must be at least 1");
+    if batch == 1 {
+        return plan_arena(reqs);
+    }
+    let scaled: Vec<BufferReq> = reqs.iter().map(|r| r.scaled(batch)).collect();
+    plan_arena(&scaled)
 }
 
 /// Greedy interval packing: place buffers in decreasing size order, each
@@ -287,6 +312,43 @@ mod tests {
         assert!(plan.arena_bytes <= naive);
         // All four overlap at step 2, so the peak is at least their sum.
         assert_eq!(plan.arena_bytes, 65);
+    }
+
+    #[test]
+    fn batched_chain_plan_is_batch_times_the_unit_plan() {
+        for sizes in [vec![10usize, 8, 6], vec![4, 10, 6], vec![64, 0, 64]] {
+            let reqs = chain_reqs(&sizes);
+            let unit = plan_arena(&reqs);
+            for batch in [1usize, 2, 3, 8] {
+                let scaled: Vec<BufferReq> = reqs.iter().map(|r| r.scaled(batch)).collect();
+                let plan = plan_arena_batched(&reqs, batch);
+                plan.validate(&scaled);
+                assert_eq!(
+                    plan.arena_bytes,
+                    batch * unit.arena_bytes,
+                    "chain {sizes:?} batch {batch}"
+                );
+                for (b, u) in plan.offsets.iter().zip(unit.offsets.iter()) {
+                    assert_eq!(*b, batch * u, "chain {sizes:?} batch {batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_general_plan_validates_and_scales() {
+        let reqs = [
+            BufferReq::new(10, 0, 2),
+            BufferReq::new(20, 1, 4),
+            BufferReq::new(5, 2, 3),
+            BufferReq::new(30, 0, 4),
+        ];
+        for batch in [2usize, 8] {
+            let scaled: Vec<BufferReq> = reqs.iter().map(|r| r.scaled(batch)).collect();
+            let plan = plan_arena_batched(&reqs, batch);
+            plan.validate(&scaled);
+            assert_eq!(plan.arena_bytes, batch * 65);
+        }
     }
 
     #[test]

@@ -82,6 +82,46 @@ fn run_int_prepacked_is_bitwise_equal_on_zoo_networks() {
 }
 
 #[test]
+fn run_int_batched_is_bitwise_equal_on_zoo_networks() {
+    let calib = frames(4, 9);
+    let (c, h, w) = PROXY_INPUT;
+    let frame_len = c * h * w;
+    for id in [ModelId::F1, ModelId::F2, ModelId::M10] {
+        let mut rng = SmallRng::seed(17);
+        let net = id.build_proxy(&mut rng);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile_batched(PROXY_INPUT, 8);
+        let mut scratch = QScratch::for_program(&program);
+
+        let stream = frames(8, 4);
+        let q = qnet.input_params().quantize_slice(stream.as_slice());
+        for batch in [1usize, 3, 8] {
+            // Reference: B independent per-frame prepacked runs (already
+            // pinned against run_int by the sibling test above).
+            let mut want = Vec::new();
+            for b in 0..batch {
+                let (out, _) = program.run_int_prepacked(
+                    Pool::serial(),
+                    &mut scratch,
+                    &q[b * frame_len..(b + 1) * frame_len],
+                );
+                want.extend_from_slice(out);
+            }
+            for threads in THREADS {
+                let (got, shape) = program.run_int_batched(
+                    Pool::new(threads),
+                    &mut scratch,
+                    &q[..batch * frame_len],
+                    batch,
+                );
+                assert_eq!(shape, program.output_chw(), "{} shape", id.name());
+                assert_eq!(got, &want[..], "{} b={batch} t={threads}", id.name());
+            }
+        }
+    }
+}
+
+#[test]
 fn forward_prepacked_is_bitwise_equal_on_zoo_networks() {
     let calib = frames(4, 23);
     for id in [ModelId::F1, ModelId::F2, ModelId::M10] {

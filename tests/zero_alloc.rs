@@ -9,7 +9,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use nanopose::adaptive::FrameRunner;
+use nanopose::adaptive::{BatchCollector, FrameRunner};
 use nanopose::nn::init::{Initializer, SmallRng};
 use nanopose::nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
 use nanopose::nn::{FScratch, FloatProgram, Sequential};
@@ -143,6 +143,39 @@ fn steady_state_frames_do_not_allocate() {
         assert_eq!(n, 0, "dw-heavy run_int_prepacked allocated in steady state");
     }
 
+    // --- Batched steady state --------------------------------------------
+    // The cross-frame batched pass shares every guarantee of the
+    // per-frame one: after the scratch is warm, a whole B=8 group runs
+    // without touching the heap — im2row staging, the batched microkernel
+    // sweep, depthwise planes, and the linear loop included.
+    let bprogram = qnet.compile_batched(PROXY_INPUT, 8);
+    let mut bscratch = QScratch::for_program(&bprogram);
+    let batch_frames = frames(8, 53);
+    let qbatch = qnet.input_params().quantize_slice(batch_frames.as_slice());
+    let _ = bprogram.run_int_batched(pool, &mut bscratch, &qbatch, 8);
+    for _ in 0..3 {
+        let (n, _) = allocs_during(|| {
+            let (out, _) = bprogram.run_int_batched(pool, &mut bscratch, &qbatch, 8);
+            out[0]
+        });
+        assert_eq!(n, 0, "run_int_batched allocated in steady state");
+    }
+    // Partial batches reuse a prefix of the same plan: still zero.
+    let (n, _) = allocs_during(|| {
+        let (out, _) =
+            bprogram.run_int_batched(pool, &mut bscratch, &qbatch[..3 * qbatch.len() / 8], 3);
+        out[0]
+    });
+    assert_eq!(n, 0, "partial run_int_batched allocated in steady state");
+
+    let _ = bprogram.forward_batched(pool, &mut bscratch, batch_frames.as_slice(), 8);
+    for _ in 0..3 {
+        let (n, _) = allocs_during(|| {
+            bprogram.forward_batched(pool, &mut bscratch, batch_frames.as_slice(), 8)[0]
+        });
+        assert_eq!(n, 0, "forward_batched allocated in steady state");
+    }
+
     // --- Float program ---------------------------------------------------
     let mut fnet = ModelId::F1.build_proxy(&mut rng);
     let _ = fnet.forward_train(&calib);
@@ -177,6 +210,31 @@ fn steady_state_frames_do_not_allocate() {
         r.decision
     );
     assert!(!r.decision.runs_big(), "identical frame should stay small");
+
+    // --- Batch collector: stage + flush cycle ----------------------------
+    // Both halves of the collector's cadence must be allocation-free once
+    // its preallocated staging exists: staging pushes (a copy into the
+    // batch buffer) and the flush itself (batched little pass, policy
+    // walk, gathered batched big pass).
+    let mut collector = BatchCollector::new(&qnet, &qbig, PROXY_INPUT, 0.5, pool, 4, u64::MAX);
+    let warm = frames(1, 54);
+    for t in 0..4u64 {
+        let _ = collector.push(warm.as_slice(), t); // warm-up group
+    }
+    assert_eq!(collector.frames(), 4);
+    let (n, _) = allocs_during(|| {
+        for t in 0..3u64 {
+            assert!(collector.push(moved.as_slice(), t).is_none());
+        }
+        let results = collector.push(moved.as_slice(), 3).expect("full batch");
+        results.len()
+    });
+    assert_eq!(n, 0, "BatchCollector push/flush cycle allocated");
+    let (n, _) = allocs_during(|| {
+        let _ = collector.push(moved.as_slice(), 0);
+        collector.flush().len()
+    });
+    assert_eq!(n, 0, "BatchCollector partial flush allocated");
 
     // --- Instrumented steady state (trace feature only) ------------------
     // With the recorder installed *and* enabled, the per-step spans, frame
