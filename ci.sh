@@ -40,13 +40,21 @@ cargo test -q --release -p np-quant -- \
     batched_microkernel_equals_per_frame_runs \
     run_int_batched_equals_independent_prepacked_runs
 
-echo "==> benchmark regression check incl. batch sweeps (warn-only)"
+echo "==> serving exactness (multiplexed sessions vs isolated runners)"
+cargo test -q --release --test serving
+
+echo "==> bench_serving --smoke: SLO, zero-alloc and exactness gates"
+cargo run --release -q -p np-bench --bin bench_serving -- --smoke \
+    /tmp/BENCH_serving.fresh.json >/dev/null
+
+echo "==> benchmark regression check incl. batch sweeps (strict)"
 cargo run --release -q -p np-bench --bin bench_kernels /tmp/BENCH_kernels.fresh.json \
     >/dev/null
 cargo run --release -q -p np-bench --bin bench_pipeline /tmp/BENCH_pipeline.fresh.json \
     >/dev/null
-cargo run --release -q -p np-bench --bin bench_compare \
+cargo run --release -q -p np-bench --bin bench_compare -- --strict \
     BENCH_kernels.json /tmp/BENCH_kernels.fresh.json \
-    BENCH_pipeline.json /tmp/BENCH_pipeline.fresh.json
+    BENCH_pipeline.json /tmp/BENCH_pipeline.fresh.json \
+    BENCH_serving.json /tmp/BENCH_serving.fresh.json
 
 echo "==> ci.sh passed"

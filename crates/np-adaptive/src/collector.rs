@@ -34,6 +34,7 @@ use crate::policy::{AdaptivePolicy, Decision, OpPolicy};
 use crate::runner::FrameResult;
 use np_quant::{QScratch, QuantizedNetwork, QuantizedProgram};
 use np_tensor::parallel::Pool;
+use std::sync::Arc;
 
 /// Groups incoming frames into batches of up to `max_batch` (or whatever
 /// arrived within `flush_after_us` microseconds of the oldest staged
@@ -41,8 +42,8 @@ use np_tensor::parallel::Pool;
 /// entries. See the module docs for the phase split and the exactness
 /// argument.
 pub struct BatchCollector {
-    little: QuantizedProgram,
-    big: QuantizedProgram,
+    little: Arc<QuantizedProgram>,
+    big: Arc<QuantizedProgram>,
     policy: OpPolicy,
     scratch: QScratch,
     pool: Pool,
@@ -96,16 +97,57 @@ impl BatchCollector {
         flush_after_us: u64,
     ) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        let little = little.compile_batched(chw, max_batch);
-        let big = big.compile_batched(chw, max_batch);
+        Self::from_programs(
+            little.compile_batched_shared(chw, max_batch),
+            big.compile_batched_shared(chw, max_batch),
+            th,
+            pool,
+            max_batch,
+            flush_after_us,
+        )
+    }
+
+    /// Builds a collector over already-compiled, shared batch-planned
+    /// programs (see [`FrameRunner::from_programs`] for the sharing
+    /// argument; this is how a serving layer coalesces escalations from
+    /// *different* sessions through one set of packed weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either program does not regress exactly 4 outputs, the
+    /// input shapes disagree, or either program's batch plan cannot carry
+    /// `max_batch` frames.
+    ///
+    /// [`FrameRunner::from_programs`]: crate::runner::FrameRunner::from_programs
+    pub fn from_programs(
+        little: Arc<QuantizedProgram>,
+        big: Arc<QuantizedProgram>,
+        th: f32,
+        pool: Pool,
+        max_batch: usize,
+        flush_after_us: u64,
+    ) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            little.max_batch() >= max_batch && big.max_batch() >= max_batch,
+            "programs must be batch-compiled for at least max_batch={max_batch} \
+             (little {}, big {})",
+            little.max_batch(),
+            big.max_batch()
+        );
         assert_eq!(
             little.output_len(),
             4,
             "little model must regress 4 outputs"
         );
         assert_eq!(big.output_len(), 4, "big model must regress 4 outputs");
+        assert_eq!(
+            little.input_chw(),
+            big.input_chw(),
+            "ensemble members must share an input shape"
+        );
         let scratch = QScratch::for_programs(&[&little, &big]);
-        let (c, h, w) = chw;
+        let (c, h, w) = little.input_chw();
         let frame_len = c * h * w;
         let little_span = np_trace::register_span(&format!("collector/{}@batch", little.name()));
         let big_span = np_trace::register_span(&format!("collector/{}@batch", big.name()));

@@ -18,6 +18,7 @@
 use crate::policy::{AdaptivePolicy, Decision, OpPolicy};
 use np_quant::{QScratch, QuantizedNetwork, QuantizedProgram};
 use np_tensor::parallel::Pool;
+use std::sync::Arc;
 
 /// The outcome of one streamed frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,8 +41,8 @@ pub struct FrameResult {
 /// pre-sizes one shared scratch; [`Self::run_frame`] then performs zero
 /// heap allocations per frame (with a serial pool).
 pub struct FrameRunner {
-    little: QuantizedProgram,
-    big: QuantizedProgram,
+    little: Arc<QuantizedProgram>,
+    big: Arc<QuantizedProgram>,
     policy: OpPolicy,
     scratch: QScratch,
     pool: Pool,
@@ -71,14 +72,43 @@ impl FrameRunner {
         th: f32,
         pool: Pool,
     ) -> Self {
-        let little = little.compile(chw);
-        let big = big.compile(chw);
+        Self::from_programs(
+            little.compile_shared(chw),
+            big.compile_shared(chw),
+            th,
+            pool,
+        )
+    }
+
+    /// Builds a runner over already-compiled, shared programs. Because a
+    /// [`QuantizedProgram`] is immutable after compilation (all per-run
+    /// state lives in the scratch), any number of runners — across any
+    /// number of threads — can share one `Arc` of packed weights; each
+    /// runner still owns its private policy state and activation arena.
+    /// This is the constructor the serving layer uses so N sessions cost
+    /// one copy of the weights plus N arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either program does not regress exactly 4 outputs or the
+    /// two were compiled for different input shapes.
+    pub fn from_programs(
+        little: Arc<QuantizedProgram>,
+        big: Arc<QuantizedProgram>,
+        th: f32,
+        pool: Pool,
+    ) -> Self {
         assert_eq!(
             little.output_len(),
             4,
             "little model must regress 4 outputs"
         );
         assert_eq!(big.output_len(), 4, "big model must regress 4 outputs");
+        assert_eq!(
+            little.input_chw(),
+            big.input_chw(),
+            "ensemble members must share an input shape"
+        );
         let scratch = QScratch::for_programs(&[&little, &big]);
         let little_span = np_trace::register_span(&format!("runner/{}", little.name()));
         let big_span = np_trace::register_span(&format!("runner/{}", big.name()));
@@ -310,6 +340,22 @@ mod tests {
         }
         assert_eq!(runner.frames(), 4);
         assert_eq!(runner.frac_big(), 0.25);
+    }
+
+    #[test]
+    fn runners_sharing_arc_programs_match_owned_compilation() {
+        let (ql, qb) = quantized_pair();
+        let little = ql.compile_shared(CHW);
+        let big = qb.compile_shared(CHW);
+        let mut owned = FrameRunner::new(&ql, &qb, CHW, 0.05, Pool::serial());
+        let mut a = FrameRunner::from_programs(little.clone(), big.clone(), 0.05, Pool::serial());
+        let mut b = FrameRunner::from_programs(little, big, 0.05, Pool::serial());
+        for seed in [3u64, 4, 9] {
+            let frame = calib(1, seed);
+            let want = owned.run_frame(frame.as_slice());
+            assert_eq!(a.run_frame(frame.as_slice()), want);
+            assert_eq!(b.run_frame(frame.as_slice()), want);
+        }
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //! Direction is inferred from the leaf name: `*_ns` and `alloc*` entries
 //! are "lower is better", `*mac_per_s*` and `*speedup*` are "higher is
 //! better", everything else is neutral (reported, never flagged). Entries
-//! that moved more than 10% in the bad direction are flagged with `WARN`
-//! — but the exit code is always 0: machine-to-machine variance makes a
-//! hard gate on micro-benchmarks a flaky gate, so the contract is
-//! *warn, don't fail*.
+//! that moved more than 10% in the bad direction are flagged with `WARN`.
+//!
+//! By default the exit code is always 0: machine-to-machine variance
+//! makes a hard gate on micro-benchmarks a flaky gate, so the contract
+//! is *warn, don't fail*. With `--strict` the contract flips — any
+//! flagged regression exits 1, which is what `ci.sh` runs on the
+//! reference box where baseline and fresh numbers come from the same
+//! machine and the benchmarks report best-of-N times.
 //!
 //! Usage:
-//!   bench_compare <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]
+//!   bench_compare [--strict] <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]
 
 use std::collections::BTreeMap;
 
@@ -317,9 +321,23 @@ fn compare_pair(baseline_path: &str, fresh_path: &str) -> Result<Vec<Regression>
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut strict = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--strict" {
+                strict = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if args.is_empty() || !args.len().is_multiple_of(2) {
-        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
+        eprintln!(
+            "usage: bench_compare [--strict] <baseline.json> <fresh.json> \
+             [<baseline2> <fresh2> ...]"
+        );
         std::process::exit(2);
     }
     let mut regressions = Vec::new();
@@ -345,6 +363,10 @@ fn main() {
                 r.fresh,
                 r.delta * 100.0
             );
+        }
+        if strict {
+            eprintln!("[bench_compare] --strict: failing the run");
+            std::process::exit(1);
         }
         eprintln!(
             "[bench_compare] warning only — micro-benchmarks vary across machines; exit stays 0"

@@ -15,6 +15,11 @@
 //!    [`STREAM_FRAMES`]-frame synthetic stream: per-frame decision, OP
 //!    score vs threshold, little/big latency split, running `frac_big`,
 //!    and the process-wide pool/frame counters.
+//! 5. **Serving telemetry** — a small `np-serve` session-multiplexing
+//!    run (with one mid-run retirement): `sessions_active`
+//!    (admitted − retired from the `serve.*` counters), the queue-depth
+//!    high-water mark, and per-stream queue depth plus latency
+//!    quantiles from each session's histogram.
 //!
 //! A second output file holds the stream's span events in Chrome trace
 //! format for `chrome://tracing` / Perfetto.
@@ -204,6 +209,48 @@ pub fn main() {
         black_box(runner.run_frame(x.as_slice()));
     }
     let frame_events = np_trace::frame_events();
+
+    // --- 5. Multi-session serving telemetry ------------------------------
+    // Four streams multiplexed through shared programs; one stream is
+    // retired halfway so `sessions_active` visibly diverges from the
+    // admitted total. Submissions arrive 500 µs before each tick commits,
+    // so the per-stream latency histograms hold non-trivial quantiles.
+    const SERVE_SESSIONS: usize = 4;
+    const SERVE_FRAMES: usize = 10;
+    let ens = np_serve::ServingEnsemble::compile(little, big, PROXY_INPUT, SERVE_SESSIONS);
+    let mut server = np_serve::Server::new(
+        &ens,
+        pool,
+        np_serve::ServeConfig {
+            max_sessions: SERVE_SESSIONS,
+            queue_capacity: 4,
+        },
+    );
+    let mut ids: Vec<np_serve::SessionId> = (0..SERVE_SESSIONS)
+        .map(|_| server.admit(TH).expect("slab sized for the run"))
+        .collect();
+    for f in 0..SERVE_FRAMES {
+        let now = f as u64 * 1_000;
+        for (s, id) in ids.iter().enumerate() {
+            let x = if (f + s) % 3 == 0 { &moving } else { &still };
+            assert!(server.submit(*id, x.as_slice(), now));
+        }
+        black_box(server.serve(now + 500).len());
+        if f == SERVE_FRAMES / 2 {
+            let gone = ids.pop().expect("streams remain");
+            assert!(server.retire(gone));
+        }
+    }
+    let sessions_admitted = np_trace::counter_value(np_trace::Counter::ServeSessionsAdmitted);
+    let sessions_retired = np_trace::counter_value(np_trace::Counter::ServeSessionsRetired);
+    let sessions_active = sessions_admitted - sessions_retired;
+    let queue_depth_peak = np_trace::counter_value(np_trace::Counter::ServeQueueDepthPeak);
+    np_trace::info!(
+        "[trace_report] serving: {} frames over {sessions_admitted} admitted sessions \
+         ({sessions_active} active after retirement), queue peak {queue_depth_peak}",
+        server.frames_served()
+    );
+
     let counters = np_trace::counters();
     let chrome = chrome_trace_json(&np_trace::span_events(), &np_trace::span_names());
     np_trace::info!(
@@ -264,6 +311,34 @@ pub fn main() {
         } else {
             "\n"
         });
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(json, "  \"serving\": {{");
+    let _ = writeln!(
+        json,
+        "    \"sessions_admitted\": {sessions_admitted}, \
+         \"sessions_retired\": {sessions_retired}, \
+         \"sessions_active\": {sessions_active},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"frames_served\": {}, \"queue_depth_peak\": {queue_depth_peak},",
+        server.frames_served()
+    );
+    json.push_str("    \"per_stream\": [\n");
+    for (s, id) in ids.iter().enumerate() {
+        let st = server.stream_stats(*id).expect("live session");
+        let _ = writeln!(
+            json,
+            "      {{\"session\": {s}, \"frames\": {}, \"queue_depth\": {}, \
+             \"peak_queue_depth\": {}, \"p50_latency_us\": {}, \"p99_latency_us\": {}}}{}",
+            st.frames,
+            st.queue_depth,
+            st.peak_queue_depth,
+            st.p50_latency_us,
+            st.p99_latency_us,
+            if s + 1 < ids.len() { "," } else { "" },
+        );
     }
     json.push_str("    ]\n  },\n");
     json.push_str("  \"counters\": {");

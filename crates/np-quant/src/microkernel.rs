@@ -98,8 +98,11 @@ fn requant_clamp(acc: i32, mult: i32, shift: u32, out_zp: i32, floor: i8) -> i8 
     let sign = prod >> 63; // 0 or -1
     let round = ((1i64 << shift) >> 1) ^ sign; // +r / -(r+1); 0 at shift 0
     let rounded = prod + round - sign;
-    let v = (rounded >> shift).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-    ((v + out_zp).clamp(-128, 127) as i8).max(floor)
+    // Widen before adding the zero point: a saturated `rounded >> shift`
+    // near i32::MAX plus a positive zero point overflows i32 (reachable
+    // through degenerate calibration ranges that produce huge multipliers).
+    let v = (rounded >> shift).clamp(i32::MIN as i64, i32::MAX as i64);
+    ((v + out_zp as i64).clamp(-128, 127) as i8).max(floor)
 }
 
 /// The NR tail: the same four chains over a single patch.

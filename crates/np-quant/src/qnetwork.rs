@@ -225,6 +225,30 @@ impl QuantizedNetwork {
         crate::program::QuantizedProgram::compile_batched(self, chw, max_batch)
     }
 
+    /// [`Self::compile`] wrapped in an [`std::sync::Arc`] so many
+    /// sessions (or threads) can execute the same packed weights without
+    /// copying them. A `QuantizedProgram` holds no interior mutability —
+    /// all per-run state lives in the caller's
+    /// [`QScratch`](crate::QScratch) — so sharing one immutably is safe
+    /// by construction.
+    pub fn compile_shared(
+        &self,
+        chw: (usize, usize, usize),
+    ) -> std::sync::Arc<crate::program::QuantizedProgram> {
+        std::sync::Arc::new(self.compile(chw))
+    }
+
+    /// [`Self::compile_batched`] wrapped in an [`std::sync::Arc`]: one set
+    /// of packed weights serving both per-frame calls and cross-session
+    /// micro-batches of up to `max_batch` frames.
+    pub fn compile_batched_shared(
+        &self,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+    ) -> std::sync::Arc<crate::program::QuantizedProgram> {
+        std::sync::Arc::new(self.compile_batched(chw, max_batch))
+    }
+
     /// Quantization parameters of the network input.
     pub fn input_params(&self) -> QuantParams {
         self.input_params

@@ -17,7 +17,11 @@ pub struct FixedMultiplier {
 }
 
 impl FixedMultiplier {
-    /// Decomposes a positive real multiplier.
+    /// Decomposes a positive real multiplier. Values outside the
+    /// representable range — `real >= 2^31` or `real < ~2^-31`, reachable
+    /// through degenerate calibration ranges — saturate to the largest
+    /// (resp. smallest nonzero) representable multiplier instead of
+    /// producing a shift `apply` cannot execute.
     ///
     /// # Panics
     ///
@@ -40,10 +44,20 @@ impl FixedMultiplier {
             multiplier /= 2;
             exp += 1;
         }
-        FixedMultiplier {
-            multiplier: multiplier as i32,
-            shift: 31 - exp,
+        let mut multiplier = multiplier as i32;
+        let mut shift = 31 - exp;
+        if shift < 0 {
+            // real >= 2^31: every in-range accumulator saturates the i32
+            // product anyway.
+            multiplier = i32::MAX;
+            shift = 0;
+        } else if shift > 62 {
+            // real underflows the fixed-point grid; pin to the smallest
+            // nonzero multiplier (~2^-62, rounds every accumulator to 0).
+            multiplier = 1;
+            shift = 62;
         }
+        FixedMultiplier { multiplier, shift }
     }
 
     /// Applies the multiplier to an i32 accumulator with round-half-away
@@ -70,8 +84,10 @@ impl FixedMultiplier {
 }
 
 /// Requantizes an accumulator to i8: multiply, add output zero point, clamp.
+/// The zero-point add is widened to i64 — a saturated `apply` result plus
+/// a positive zero point must clamp, not overflow.
 pub fn requantize_to_i8(acc: i32, mult: FixedMultiplier, zero_point: i32) -> i8 {
-    (mult.apply(acc) + zero_point).clamp(-128, 127) as i8
+    (mult.apply(acc) as i64 + zero_point as i64).clamp(-128, 127) as i8
 }
 
 #[cfg(test)]
@@ -124,5 +140,16 @@ mod tests {
         // Rare but legal when s_out < s_in * s_w.
         let fm = FixedMultiplier::from_real(3.7);
         assert!((fm.apply(100) as f64 - 370.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn saturated_apply_plus_zero_point_clamps_without_overflow() {
+        // Degenerate calibration ranges produce huge multipliers; `apply`
+        // saturates the product to i32::MAX and the zero-point add must
+        // clamp rather than wrap.
+        let fm = FixedMultiplier::from_real(3.0e9);
+        assert_eq!(fm.apply(i32::MAX), i32::MAX);
+        assert_eq!(requantize_to_i8(i32::MAX, fm, 127), 127);
+        assert_eq!(requantize_to_i8(i32::MIN, fm, -128), -128);
     }
 }

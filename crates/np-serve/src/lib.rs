@@ -1,0 +1,52 @@
+//! # np-serve
+//!
+//! Session-multiplexing inference serving for the adaptive big/little
+//! runtime: many concurrent simulated drone streams over **one** copy of
+//! the packed weights.
+//!
+//! The per-stream runtime (`np-adaptive::FrameRunner`) already executes a
+//! frame with zero steady-state allocations, but it binds one stream to
+//! one compiled program pair. Serving a fleet that way would duplicate
+//! the packed weights per stream and leave the batch-widened kernels of
+//! the cross-frame batch plans (PR 6) starved: a single stream almost
+//! never has ≥B frames in flight. This crate supplies the missing layer:
+//!
+//! * [`server::ServingEnsemble`] — the little program compiled once, the
+//!   big program batch-compiled once, both behind `Arc`: admitting a new
+//!   session shares them instead of recompiling (~0 bytes of new weights
+//!   per session).
+//! * [`slab::SessionSlab`] — per-session state (activation arena /
+//!   scratch, OP-policy state, a bounded frame queue, latency histogram)
+//!   handed out from a slab with a freelist: admission is O(1), retire
+//!   keeps the warm arena for the next tenant, and the steady-state
+//!   serving loop performs **zero heap allocations** (enforced by
+//!   `tests/zero_alloc.rs`).
+//! * [`server::Server`] — a tick-based scheduler with per-stream
+//!   fairness: each tick serves **at most one frame per backlogged
+//!   session** (so no stream can starve another, however deep its
+//!   backlog), runs the little model for all selected sessions in
+//!   parallel across the [`np_tensor::parallel::Pool`] with work-stealing
+//!   ([`Pool::for_each_mut`]), applies each session's OP policy, and
+//!   coalesces the frames that escalate — from *different* sessions —
+//!   into cross-session micro-batches through the big program's batch
+//!   plan. Per-session results are **bit-exact** against an isolated
+//!   `FrameRunner` sharing the same programs (pinned by
+//!   `tests/serving.rs`).
+//! * [`loadgen::PoissonArrivals`] — a seeded, deterministic open-loop
+//!   arrival process (inverse-CDF exponential gaps over a splitmix64
+//!   stream; no wall-clock randomness) for `bench_serving` and tests.
+//!
+//! Telemetry flows through `np-trace`: `serve.*` counters (sessions
+//! admitted/retired, frames enqueued/served/dropped/escalated, coalesced
+//! big batches, queue-depth high-water mark) plus per-stream and
+//! aggregate latency histograms exposed as [`server::StreamStats`].
+//!
+//! [`Pool::for_each_mut`]: np_tensor::parallel::Pool::for_each_mut
+
+pub mod loadgen;
+pub mod server;
+pub mod slab;
+
+pub use loadgen::PoissonArrivals;
+pub use server::{ServeConfig, Served, Server, ServingEnsemble, StreamStats};
+pub use slab::{SessionId, SessionSlab};

@@ -245,6 +245,57 @@ impl Pool {
         });
     }
 
+    /// Runs `body(i, &mut data[i])` for every element, distributing
+    /// indices across the pool with the same atomic work-stealing counter
+    /// as [`Pool::run`]. Unlike [`Pool::for_each_chunk`] with a chunk
+    /// length of one item, claiming an element costs a single relaxed
+    /// `fetch_add` instead of a mutex round-trip — the shape a serving
+    /// tick wants when thousands of per-session slots each carry an
+    /// unpredictable amount of work (empty, little-only, or escalated).
+    ///
+    /// Element boundaries are fixed by the slice itself, so which worker
+    /// runs an element can never change results; a 1-thread pool runs
+    /// everything inline in index order.
+    pub fn for_each_mut<T: Send>(&self, data: &mut [T], body: impl Fn(usize, &mut T) + Sync) {
+        let n = data.len();
+        let workers = self.threads.min(n);
+        record_region(workers, n);
+        if workers <= 1 {
+            for (i, item) in data.iter_mut().enumerate() {
+                body(i, item);
+            }
+            return;
+        }
+        // Disjoint-index access: every index is claimed exactly once via
+        // the atomic counter, so no two workers ever hold a reference to
+        // the same element.
+        struct SharedSlice<T>(*mut T);
+        unsafe impl<T: Send> Sync for SharedSlice<T> {}
+        let base = SharedSlice(data.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        let work = || {
+            let base = &base;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i < n` indexes into the borrowed slice, and the
+                // fetch_add hands each index to exactly one worker, so the
+                // mutable references are disjoint. The scope below joins
+                // all workers before `data`'s borrow ends.
+                let item = unsafe { &mut *base.0.add(i) };
+                body(i, item);
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+
     /// Splits two buffers into the same number of paired consecutive
     /// chunks (`a` by `a_chunk_len`, `b` by `b_chunk_len`; the last pair
     /// may be shorter) and runs `body(chunk_index, a_chunk, b_chunk)` for
@@ -351,6 +402,38 @@ mod tests {
             let expect: Vec<u32> = (0..23).map(|i| i / 5 + 1).collect();
             assert_eq!(data, expect);
         }
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_exactly_once() {
+        for threads in [1, 2, 5, 8] {
+            let pool = Pool::new(threads);
+            for n in [0usize, 1, 7, 129] {
+                let mut data = vec![0u32; n];
+                pool.for_each_mut(&mut data, |i, v| {
+                    *v += i as u32 + 1;
+                });
+                let expect: Vec<u32> = (0..n).map(|i| i as u32 + 1).collect();
+                assert_eq!(data, expect, "threads {threads}, n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_allows_uneven_per_item_work() {
+        // Items deliberately carry wildly different costs; the stealing
+        // counter must still hand out each exactly once.
+        let pool = Pool::new(4);
+        let mut data: Vec<u64> = (0..64).collect();
+        pool.for_each_mut(&mut data, |i, v| {
+            let spin = if i % 7 == 0 { 1000 } else { 1 };
+            for _ in 0..spin {
+                *v = std::hint::black_box(*v);
+            }
+            *v *= 2;
+        });
+        let expect: Vec<u64> = (0..64).map(|i| i * 2).collect();
+        assert_eq!(data, expect);
     }
 
     #[test]

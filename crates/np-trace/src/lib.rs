@@ -156,17 +156,43 @@ pub enum Counter {
     FramesTotal,
     /// Frames on which the big model ran.
     FramesBig,
+    /// Sessions admitted into a serving slab (`serve.sessions_active` is
+    /// derived as admitted − retired).
+    ServeSessionsAdmitted,
+    /// Sessions retired back to the serving slab's freelist.
+    ServeSessionsRetired,
+    /// Frames accepted into per-session serving queues.
+    ServeFramesEnqueued,
+    /// Frames completed by serving ticks.
+    ServeFramesServed,
+    /// Frames rejected because a session's queue was full (backpressure).
+    ServeFramesDropped,
+    /// Served frames the OP policy escalated to the big model.
+    ServeFramesEscalated,
+    /// Cross-session batched big-model passes executed.
+    ServeBigBatches,
+    /// High-water mark of any single session's queue depth (recorded with
+    /// [`counter_max`], not an accumulating sum).
+    ServeQueueDepthPeak,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 14] = [
         Counter::PoolRegions,
         Counter::PoolInlineRegions,
         Counter::PoolWorkerSpawns,
         Counter::PoolItems,
         Counter::FramesTotal,
         Counter::FramesBig,
+        Counter::ServeSessionsAdmitted,
+        Counter::ServeSessionsRetired,
+        Counter::ServeFramesEnqueued,
+        Counter::ServeFramesServed,
+        Counter::ServeFramesDropped,
+        Counter::ServeFramesEscalated,
+        Counter::ServeBigBatches,
+        Counter::ServeQueueDepthPeak,
     ];
 
     /// Dotted export name.
@@ -178,6 +204,14 @@ impl Counter {
             Counter::PoolItems => "pool.items",
             Counter::FramesTotal => "frames.total",
             Counter::FramesBig => "frames.big",
+            Counter::ServeSessionsAdmitted => "serve.sessions_admitted",
+            Counter::ServeSessionsRetired => "serve.sessions_retired",
+            Counter::ServeFramesEnqueued => "serve.frames_enqueued",
+            Counter::ServeFramesServed => "serve.frames_served",
+            Counter::ServeFramesDropped => "serve.frames_dropped",
+            Counter::ServeFramesEscalated => "serve.frames_escalated",
+            Counter::ServeBigBatches => "serve.big_batches",
+            Counter::ServeQueueDepthPeak => "serve.queue_depth_peak",
         }
     }
 }
@@ -445,6 +479,34 @@ pub fn counter_add(counter: Counter, n: u64) {
     let _ = (counter, n);
 }
 
+/// Raises a fixed counter to at least `v` — a gauge high-water mark
+/// (e.g. [`Counter::ServeQueueDepthPeak`]) rather than an accumulating
+/// sum. One relaxed atomic `fetch_max`; no-op when recording is inactive.
+#[inline]
+pub fn counter_max(counter: Counter, v: u64) {
+    #[cfg(feature = "trace")]
+    {
+        if active() {
+            COUNTERS[counter as usize].fetch_max(v, Ordering::Relaxed);
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = (counter, v);
+}
+
+/// Current value of one counter (0 without the `trace` feature).
+pub fn counter_value(counter: Counter) -> u64 {
+    #[cfg(feature = "trace")]
+    {
+        COUNTERS[counter as usize].load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = counter;
+        0
+    }
+}
+
 /// Snapshot of every counter as `(name, value)` pairs (all zero without
 /// the `trace` feature).
 pub fn counters() -> Vec<(&'static str, u64)> {
@@ -649,6 +711,25 @@ mod tests {
             .find(|&(name, _)| name == "pool.worker_spawns")
             .unwrap();
         assert_eq!(got.1, 5);
+        reset();
+    }
+
+    #[test]
+    fn counter_max_keeps_the_high_water_mark() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        install(TraceConfig::default());
+        reset();
+        enable();
+        counter_max(Counter::ServeQueueDepthPeak, 3);
+        counter_max(Counter::ServeQueueDepthPeak, 7);
+        counter_max(Counter::ServeQueueDepthPeak, 5);
+        disable();
+        assert_eq!(counter_value(Counter::ServeQueueDepthPeak), 7);
+        let got = counters()
+            .into_iter()
+            .find(|&(name, _)| name == "serve.queue_depth_peak")
+            .unwrap();
+        assert_eq!(got.1, 7);
         reset();
     }
 

@@ -23,6 +23,7 @@ pub use np_dory as dory;
 pub use np_gap8 as gap8;
 pub use np_nn as nn;
 pub use np_quant as quant;
+pub use np_serve as serve;
 pub use np_tensor as tensor;
 pub use np_trace as trace;
 pub use np_zoo as zoo;

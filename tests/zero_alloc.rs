@@ -14,6 +14,7 @@ use nanopose::nn::init::{Initializer, SmallRng};
 use nanopose::nn::layers::{BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, Linear, Relu};
 use nanopose::nn::{FScratch, FloatProgram, Sequential};
 use nanopose::quant::{QScratch, QuantizedNetwork};
+use nanopose::serve::{ServeConfig, Server, ServingEnsemble, SessionId};
 use nanopose::tensor::parallel::Pool;
 use nanopose::tensor::Tensor;
 use nanopose::zoo::channels::PROXY_INPUT;
@@ -235,6 +236,57 @@ fn steady_state_frames_do_not_allocate() {
         collector.flush().len()
     });
     assert_eq!(n, 0, "BatchCollector partial flush allocated");
+
+    // --- Serving: session slab + multiplexed tick loop -------------------
+    // Admission hands out warm slab slots, and the steady submit → tick →
+    // commit cycle across several sessions — little passes into private
+    // arenas, policy walk, cross-session coalesced big passes — must not
+    // touch the heap. Retiring a session and admitting a replacement
+    // recycles the retired arena rather than freeing it.
+    let ens = ServingEnsemble::compile(&qnet, &qbig, PROXY_INPUT, 3);
+    let mut server = Server::new(
+        &ens,
+        pool,
+        ServeConfig {
+            max_sessions: 3,
+            queue_capacity: 2,
+        },
+    );
+    let mut ids: Vec<SessionId> = (0..3)
+        .map(|_| server.admit(0.5).expect("slab sized for the fleet"))
+        .collect();
+    // Warm-up: first frames run the full ensemble, so both the per-slot
+    // little arenas and the shared coalescing scratch see their peak.
+    for t in 0..4u64 {
+        for id in &ids {
+            assert!(server.submit(*id, moved.as_slice(), t));
+        }
+        let _ = server.serve(t);
+    }
+    let slots_before = server.allocated_slots();
+    let (n, _) = allocs_during(|| {
+        let mut served = 0;
+        for t in 0..3u64 {
+            for id in &ids {
+                assert!(server.submit(*id, frame.as_slice(), t));
+            }
+            served += server.serve(t).len();
+        }
+        served
+    });
+    assert_eq!(n, 0, "steady multi-session serving loop allocated");
+    let (n, _) = allocs_during(|| {
+        assert!(server.retire(ids[0]));
+        ids[0] = server.admit(0.5).expect("freelist slot available");
+        assert!(server.submit(ids[0], moved.as_slice(), 9));
+        server.serve(9).len()
+    });
+    assert_eq!(n, 0, "session admit/retire churn allocated");
+    assert_eq!(
+        server.allocated_slots(),
+        slots_before,
+        "retired arenas must be reused, not freed"
+    );
 
     // --- Instrumented steady state (trace feature only) ------------------
     // With the recorder installed *and* enabled, the per-step spans, frame
