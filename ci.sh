@@ -35,10 +35,29 @@ cargo test -q --release -p np-quant -- \
     lowered_qconv2d_equals_reference_exactly \
     qdepthwise_pool_parity_is_exact
 
+echo "==> raw-i8 kernel exactness proptests (release)"
+cargo test -q --release -p np-quant -- \
+    i8_microkernel_matches_i16_reference_at_adversarial_corners \
+    i8_program_equals_scalar_i16_program_across_batches
+
 echo "==> batched exactness proptests (release)"
 cargo test -q --release -p np-quant -- \
     batched_microkernel_equals_per_frame_runs \
     run_int_batched_equals_independent_prepacked_runs
+
+echo "==> forced-scalar leg: NP_ISA pins the portable kernel bodies"
+# The same exactness suites with SIMD dispatch disabled, so the scalar
+# fallbacks are covered even on an AVX2 host (and an AVX2-only bug cannot
+# hide behind a scalar-only CI box, or vice versa).
+NP_ISA=scalar cargo test -q --release -p np-quant -- \
+    microkernel_matches_qgemm_row_at_ragged_shapes \
+    depthwise_fast_path_matches_reference_at_ragged_shapes \
+    i8_microkernel_matches_i16_reference_at_adversarial_corners \
+    batched_microkernel_equals_per_frame_runs
+NP_ISA=scalar-i8 cargo test -q --release -p np-quant -- \
+    i8_program_equals_scalar_i16_program_across_batches \
+    run_int_batched_equals_independent_prepacked_runs
+NP_ISA=scalar cargo test -q --release --test prepacked
 
 echo "==> serving exactness (multiplexed sessions vs isolated runners)"
 cargo test -q --release --test serving

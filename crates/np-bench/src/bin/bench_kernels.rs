@@ -15,9 +15,16 @@
 //! Usage: `cargo run --release -p np-bench --bin bench_kernels [out.json]`
 
 use np_quant::kernels::{qconv2d_reference, qconv2d_with, QConvGeometry};
-use np_quant::lowering::patch_stride;
-use np_quant::microkernel::{pack_conv_panels, qconv_panels_batch_into, qconv_panels_into};
+use np_quant::lowering::{patch_stride, u8_lowered_len};
+use np_quant::microkernel::{
+    fold_offset_bias, kernel_isa, pack_conv_panels, pack_conv_panels_i8,
+    qconv_panels_i8_batch_into, qconv_panels_i8_into, qconv_panels_into, KernelIsa, NR_I8,
+};
 use np_quant::requant::FixedMultiplier;
+
+fn bias_for(oc: usize) -> Vec<i32> {
+    vec![100i32; oc]
+}
 use np_tensor::matmul::matmul_acc_with;
 use np_tensor::parallel::Pool;
 use std::fmt::Write as _;
@@ -272,11 +279,111 @@ fn main() {
     }
     json.push_str("  ],\n");
 
+    // i16 vs raw-i8 panel kernel, side by side on the same single-frame
+    // GEMM shapes: same columns, same requant, the only difference is the
+    // weight format (widened i16 panels + 4×2 tile vs raw i8 panels +
+    // 4×16 offset-binary tile) — plus the packed footprint each format
+    // carries. The i8 rows are what `run_int_prepacked` executes on an
+    // AVX2 host; the i16 rows are the pre-existing path kept for
+    // non-AVX2 fallback.
+    json.push_str("  \"i16_vs_i8_panel_kernel\": [\n");
+    let mut i8_speedups: Vec<(&str, f64)> = Vec::new();
+    for (i, (label, oc, patch, cols)) in BATCH_SHAPES.iter().enumerate() {
+        let (oc, patch, cols) = (*oc, *patch, *cols);
+        let ps = patch_stride(patch);
+        let in_zp = -3i32;
+        let weight = pseudo_i8(oc * patch, 31);
+        let bias = vec![100i32; oc];
+        let mults = vec![FixedMultiplier::from_real(0.003); oc];
+        let vals = pseudo_i8(cols * patch, 32);
+
+        let packed16 = pack_conv_panels(&weight, oc, patch);
+        let mut low16 = vec![0i16; cols * ps];
+        for col in 0..cols {
+            for r in 0..patch {
+                low16[col * ps + r] = (vals[col * patch + r] as i32 - in_zp) as i16;
+            }
+        }
+        let packed8 = pack_conv_panels_i8(&weight, oc, patch);
+        let fb = fold_offset_bias(&bias, &weight, oc, patch, in_zp);
+        let mut low8 = vec![(in_zp + 128) as u8; u8_lowered_len(cols, patch)];
+        for col in 0..cols {
+            for r in 0..patch {
+                low8[(col / NR_I8) * NR_I8 * ps
+                    + (r / 2) * 2 * NR_I8
+                    + 2 * (col % NR_I8)
+                    + (r & 1)] = (vals[col * patch + r] as u8) ^ 0x80;
+            }
+        }
+
+        let macs = (oc * patch * cols) as u64;
+        let mut out = vec![0i8; oc * cols];
+        let i16_ns = time_ns(|| {
+            qconv_panels_into(
+                Pool::serial(),
+                &packed16,
+                patch,
+                black_box(&low16),
+                &bias,
+                &mults,
+                5,
+                true,
+                &mut out,
+            );
+            black_box(&out);
+        });
+        let mut out8 = vec![0i8; oc * cols];
+        let i8_ns = time_ns(|| {
+            qconv_panels_i8_into(
+                Pool::serial(),
+                &packed8,
+                patch,
+                black_box(&low8),
+                &fb,
+                &mults,
+                5,
+                true,
+                &mut out8,
+            );
+            black_box(&out8);
+        });
+        assert_eq!(out, out8, "i16 and i8 kernels disagree on {label}");
+        let speedup = i16_ns / i8_ns;
+        i8_speedups.push((label, speedup));
+        let i16_bytes = 2 * packed16.len() + 4 * bias.len();
+        let i8_bytes = packed8.len() + 4 * fb.len();
+        eprintln!(
+            "[bench_kernels] i16-vs-i8 {label}: i16 {i16_ns:.0} ns ({:.1} MMAC/s), \
+             i8 {i8_ns:.0} ns ({:.1} MMAC/s) — {speedup:.2}x, packed {} -> {} B",
+            mac_per_s(macs, i16_ns) / 1e6,
+            mac_per_s(macs, i8_ns) / 1e6,
+            i16_bytes,
+            i8_bytes,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shape\": \"{label}\", \"out_channels\": {oc}, \"patch\": {patch}, \
+             \"cols\": {cols}, \"macs\": {macs}, \
+             \"i16_ns\": {i16_ns:.0}, \"i8_ns\": {i8_ns:.0}, \
+             \"i16_mac_per_s\": {:.0}, \"i8_mac_per_s\": {:.0}, \
+             \"i8_speedup\": {speedup:.3}, \
+             \"i16_packed_bytes\": {i16_bytes}, \"i8_packed_bytes\": {i8_bytes}}}{}",
+            mac_per_s(macs, i16_ns),
+            mac_per_s(macs, i8_ns),
+            if i + 1 < BATCH_SHAPES.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+
     // Cross-frame batching: aggregate throughput for the same BATCH_FRAMES
     // frames when they are processed in groups of B through the batched
-    // panel kernel (B=1 uses the single-frame kernel, i.e. the exact code
-    // path `run_int_prepacked` takes). `aggregate_speedup_vs_b1` is the
-    // frames-per-second ratio the batch collector buys at each group size.
+    // raw-i8 panel kernel (B=1 uses the single-frame kernel, i.e. the
+    // exact code path `run_int_prepacked` takes on an AVX2 host).
+    // `aggregate_speedup_vs_b1` is the frames-per-second ratio the batch
+    // collector buys at each group size. With 16-column tiles, frames
+    // inside a group share whole weight-panel streams across a 256-column
+    // pixel block, so the slope at B≥4 is the weight-amortization the
+    // ROADMAP's >2× batched target needs.
     //
     // The curve is regime-dependent and the JSON says so: on a host whose
     // packed panels sit in cache and whose single-frame kernel is already
@@ -301,18 +408,27 @@ fn main() {
     for (i, (label, oc, patch, cols)) in BATCH_SHAPES.iter().enumerate() {
         let (oc, patch, cols) = (*oc, *patch, *cols);
         let ps = patch_stride(patch);
+        let in_zp = -3i32;
         let weight = pseudo_i8(oc * patch, 21);
-        let packed = pack_conv_panels(&weight, oc, patch);
-        let bias = vec![100i32; oc];
+        let packed = pack_conv_panels_i8(&weight, oc, patch);
+        let fb = fold_offset_bias(&bias_for(oc), &weight, oc, patch, in_zp);
         let mults = vec![FixedMultiplier::from_real(0.003); oc];
-        // Frame-major batched lowering: frame b's patch-major columns are
-        // the slice [b*cols*ps, (b+1)*cols*ps) — byte-identical to eight
-        // independent single-frame lowerings laid end to end.
+        // Per-frame-blocked batched u8 lowering: frame b owns the slice
+        // [b*flen, (b+1)*flen) — byte-identical to eight independent
+        // single-frame lowerings laid end to end, in the column-block
+        // interleave the i8 kernel consumes.
+        let flen = u8_lowered_len(cols, patch);
         let vals = pseudo_i8(BATCH_FRAMES * cols * patch, 22);
-        let mut lowered = vec![0i16; BATCH_FRAMES * cols * ps];
-        for col in 0..BATCH_FRAMES * cols {
-            for r in 0..patch {
-                lowered[col * ps + r] = vals[col * patch + r] as i16;
+        let mut lowered = vec![(in_zp + 128) as u8; BATCH_FRAMES * flen];
+        for f in 0..BATCH_FRAMES {
+            for col in 0..cols {
+                for r in 0..patch {
+                    lowered[f * flen
+                        + (col / NR_I8) * NR_I8 * ps
+                        + (r / 2) * 2 * NR_I8
+                        + 2 * (col % NR_I8)
+                        + (r & 1)] = (vals[(f * cols + col) * patch + r] as u8) ^ 0x80;
+                }
             }
         }
         let frame_macs = (oc * patch * cols) as u64;
@@ -324,27 +440,27 @@ fn main() {
             let groups = BATCH_FRAMES / b;
             let ns = time_ns(|| {
                 for g in 0..groups {
-                    let low = &lowered[g * b * cols * ps..(g + 1) * b * cols * ps];
+                    let low = &lowered[g * b * flen..(g + 1) * b * flen];
                     let o = &mut out[g * b * oc * cols..(g + 1) * b * oc * cols];
                     if b == 1 {
-                        qconv_panels_into(
+                        qconv_panels_i8_into(
                             Pool::serial(),
                             &packed,
                             patch,
                             black_box(low),
-                            &bias,
+                            &fb,
                             &mults,
                             5,
                             true,
                             o,
                         );
                     } else {
-                        qconv_panels_batch_into(
+                        qconv_panels_i8_batch_into(
                             Pool::serial(),
                             &packed,
                             patch,
                             black_box(low),
-                            &bias,
+                            &fb,
                             &mults,
                             5,
                             true,
@@ -400,6 +516,19 @@ fn main() {
             *speedup > 0.95,
             "batched panel kernel lost throughput at B=8 on {label}: {speedup:.3}x"
         );
+    }
+    // The raw-i8 kernel must beat the i16 kernel clearly where the AVX2
+    // body runs (the gate is skipped when NP_ISA or the host forces a
+    // scalar body — there the i8 rows measure the portable fallback).
+    if kernel_isa() == KernelIsa::Avx2I8 {
+        for (label, speedup) in &i8_speedups {
+            if *label == "M1.0_pointwise" {
+                assert!(
+                    *speedup >= 1.5,
+                    "raw-i8 kernel under 1.5x vs i16 on {label}: {speedup:.3}x"
+                );
+            }
+        }
     }
     eprintln!("[bench_kernels] wrote {out_path}");
 }

@@ -377,7 +377,7 @@ pub(crate) fn qdw_plane(
     ow: usize,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if crate::microkernel::avx2_available() {
+    if crate::microkernel::simd_enabled() {
         // SAFETY: AVX2 support verified; the body is safe Rust.
         unsafe {
             qdw_plane_avx2(

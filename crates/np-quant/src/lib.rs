@@ -48,6 +48,7 @@ pub mod qnetwork;
 pub mod qparams;
 pub mod requant;
 
+pub use microkernel::{kernel_isa, KernelIsa};
 pub use program::{QScratch, QuantizedProgram};
 pub use qnetwork::QuantizedNetwork;
 pub use qparams::{MinMaxObserver, QuantParams};

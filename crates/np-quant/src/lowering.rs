@@ -208,6 +208,148 @@ pub fn patch_stride(patch: usize) -> usize {
     np_tensor::im2col::pad_to_i16_lanes(patch)
 }
 
+/// Byte length of the offset-binary u8 im2row buffer for `cols` output
+/// pixels: the columns are grouped into whole
+/// [`NR_I8`](crate::microkernel::NR_I8)-column blocks of
+/// [`patch_stride`] bytes each, so the i8 microkernel's 16-column tiles
+/// never need a ragged-edge loop — the `< NR_I8` dead columns of the last
+/// block are computed and discarded. Half the bytes of the i16 layout for
+/// the same `cols` (u8 cells vs i16 cells; the block rounding costs at
+/// most 15 columns).
+#[inline]
+pub fn u8_lowered_len(cols: usize, patch: usize) -> usize {
+    cols.div_ceil(crate::microkernel::NR_I8) * crate::microkernel::NR_I8 * patch_stride(patch)
+}
+
+/// The raw-int8 counterpart of [`qim2row_into`]: lowers one CHW i8 image
+/// into the *offset-binary u8* column-blocked layout the i8 microkernel
+/// ([`crate::microkernel::qconv_panels_i8_into`]) consumes.
+///
+/// Every activation is stored as `u = x + 128` (`x ^ 0x80` in two's
+/// complement), so the buffer needs only one byte per cell; the kernel
+/// recovers the centered sum through the weight-sum bias fold
+/// ([`crate::microkernel::fold_offset_bias`]). Padding taps hold the input
+/// zero point, whose offset-binary image is `(in_zp + 128) as u8` — the
+/// whole buffer is prefilled with that byte, which also covers the
+/// `patch_stride - patch` tail rows (they meet zero weight lanes) and the
+/// dead columns of the last [`NR_I8`](crate::microkernel::NR_I8) block
+/// (they are never stored).
+///
+/// Layout: column `col` lives in block `b = col / NR_I8` at lane
+/// `l = col % NR_I8`; patch row `r` of that column is the byte
+/// `lowered[b*NR_I8*ps + (r/2)*2*NR_I8 + 2*l + (r%2)]` with
+/// `ps = patch_stride(patch)`. Rows are interleaved in *pairs* so one
+/// 32-byte vector load yields 16 columns × one row pair — exactly the
+/// operand shape of a `pmaddwd` reduction step.
+///
+/// # Panics
+///
+/// Panics if `input` or `lowered` have the wrong length.
+pub fn qim2row_u8_into(
+    input: &[i8],
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    lowered: &mut [u8],
+) {
+    use crate::microkernel::NR_I8;
+    assert_eq!(input.len(), geo.in_channels * h * w, "input size");
+    let (oh, ow) = geo.out_hw(h, w);
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let patch = geo.in_channels * k * k;
+    let ps = patch_stride(patch);
+    let cols = oh * ow;
+    assert_eq!(
+        lowered.len(),
+        u8_lowered_len(cols, patch),
+        "lowered scratch size"
+    );
+    let pad_byte = (in_zp + 128) as u8;
+    lowered.fill(pad_byte);
+
+    // Pointwise fast path, mirroring the i16 writer: a 1x1/s1/p0 "patch"
+    // is the pixel's channel fiber, so the lowering is a pure scatter of
+    // each input plane with no bounds checks.
+    if k == 1 && geo.stride == 1 && geo.padding == 0 {
+        for (ci, plane) in input.chunks_exact(h * w).enumerate() {
+            let row_base = (ci / 2) * 2 * NR_I8 + (ci & 1);
+            for (col, &v) in plane.iter().enumerate() {
+                lowered[(col / NR_I8) * NR_I8 * ps + row_base + 2 * (col % NR_I8)] =
+                    (v as u8) ^ 0x80;
+            }
+        }
+        return;
+    }
+
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let col = oy * ow + ox;
+            let blk = &mut lowered[(col / NR_I8) * NR_I8 * ps..][..NR_I8 * ps];
+            let lane = 2 * (col % NR_I8);
+            for ci in 0..geo.in_channels {
+                let plane = &input[ci * h * w..(ci + 1) * h * w];
+                for ky in 0..k {
+                    let iy = oy as isize * geo.stride as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // padding row: stays at the pad byte
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    let r0 = (ci * k + ky) * k;
+                    for kx in 0..k {
+                        let ix = ox as isize * geo.stride as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            let r = r0 + kx;
+                            blk[(r / 2) * 2 * NR_I8 + lane + (r & 1)] =
+                                (src_row[ix as usize] as u8) ^ 0x80;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Batched [`qim2row_u8_into`]: lowers `batch` equally-shaped CHW frames
+/// (concatenated NCHW in `input`) into one u8 buffer, *per-frame blocked* —
+/// frame `b` owns `lowered[b*flen..(b+1)*flen]` with
+/// `flen = u8_lowered_len(cols, patch)`, byte-identical to a single-frame
+/// lowering of that frame. Column blocks therefore never straddle a frame
+/// boundary, which keeps the batched kernel's frame-chunked parallelism
+/// block-aligned and its results bit-exact against per-frame runs.
+///
+/// # Panics
+///
+/// Panics if `input` or `lowered` have the wrong length, or `batch == 0`.
+pub fn qim2row_u8_batch_into(
+    input: &[i8],
+    batch: usize,
+    h: usize,
+    w: usize,
+    in_zp: i32,
+    geo: QConvGeometry,
+    lowered: &mut [u8],
+) {
+    assert!(batch > 0, "batch must be at least 1");
+    let frame_len = geo.in_channels * h * w;
+    assert_eq!(input.len(), batch * frame_len, "input size");
+    let (oh, ow) = geo.out_hw(h, w);
+    let patch = geo.in_channels * geo.kernel * geo.kernel;
+    let frame_lowered = u8_lowered_len(oh * ow, patch);
+    assert_eq!(lowered.len(), batch * frame_lowered, "lowered scratch size");
+    for b in 0..batch {
+        qim2row_u8_into(
+            &input[b * frame_len..(b + 1) * frame_len],
+            h,
+            w,
+            in_zp,
+            geo,
+            &mut lowered[b * frame_lowered..(b + 1) * frame_lowered],
+        );
+    }
+}
+
 /// One dot product over pre-widened operands:
 /// `bias + sum_r w[r] * x[r]`, accumulating in `r`-ascending order.
 ///
@@ -349,6 +491,65 @@ mod tests {
             }
             for lane in 5..ps {
                 assert_eq!(got[col * ps + lane], 0, "tail lane must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn u8_im2row_matches_i16_im2row_cell_for_cell() {
+        use crate::microkernel::NR_I8;
+        // Both the general path (3x3/s2/p1, padded patch tail) and the
+        // pointwise fast path must store exactly `centered + zp + 128`
+        // (= raw x + 128) at the block-interleaved position of every live
+        // cell, and the pad byte everywhere else.
+        for geo in [
+            QConvGeometry {
+                in_channels: 2,
+                out_channels: 3,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            },
+            QConvGeometry {
+                in_channels: 5,
+                out_channels: 3,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+            },
+        ] {
+            let (h, w) = (6usize, 5usize);
+            for in_zp in [-128i32, -7, 0, 127] {
+                let input: Vec<i8> = (0..geo.in_channels * h * w)
+                    .map(|i| (i * 13 % 251) as i8)
+                    .collect();
+                let (oh, ow) = geo.out_hw(h, w);
+                let cols = oh * ow;
+                let patch = geo.in_channels * geo.kernel * geo.kernel;
+                let ps = patch_stride(patch);
+                let mut want16 = vec![0i16; cols * ps];
+                qim2row_into(&input, h, w, in_zp, geo, &mut want16);
+                let mut got = vec![0xAAu8; u8_lowered_len(cols, patch)];
+                qim2row_u8_into(&input, h, w, in_zp, geo, &mut got);
+                let pad_byte = (in_zp + 128) as u8;
+                let mut live = vec![false; got.len()];
+                for col in 0..cols {
+                    for r in 0..patch {
+                        let idx = (col / NR_I8) * NR_I8 * ps
+                            + (r / 2) * 2 * NR_I8
+                            + 2 * (col % NR_I8)
+                            + (r % 2);
+                        live[idx] = true;
+                        // centered i16 value + zp + 128 == raw x + 128
+                        let want = (want16[col * ps + r] as i32 + in_zp + 128) as u8;
+                        assert_eq!(got[idx], want, "col {col} r {r} zp {in_zp}");
+                    }
+                }
+                for (idx, &l) in live.iter().enumerate() {
+                    if !l {
+                        assert_eq!(got[idx], pad_byte, "dead cell {idx} zp {in_zp}");
+                    }
+                }
             }
         }
     }

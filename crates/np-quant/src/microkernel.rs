@@ -44,6 +44,11 @@ pub const MR: usize = 4;
 /// Patches per tile (output-pixel register blocking).
 pub const NR: usize = 2;
 
+/// Columns per tile of the raw-i8 kernel ([`qconv_panels_i8_into`]): a
+/// whole 16-byte output row per store, reduced as 8 i32 accumulator
+/// vectors (4 filter rows × two 8-column halves) under AVX2.
+pub const NR_I8: usize = 16;
+
 /// Output pixels per cache block: a panel's [`MR`] filter rows are swept
 /// over at most this many patches before moving to the next panel, so the
 /// filter rows stay resident in L1 while the block's patches stream once.
@@ -173,7 +178,7 @@ pub fn qconv_panels_into(
     let chunk_len = pool.chunk_len_for(n_panels, MR * cols);
     let panels_per_chunk = chunk_len / (MR * cols);
     #[cfg(target_arch = "x86_64")]
-    let has_avx2 = avx2_available();
+    let has_avx2 = simd_enabled();
     pool.for_each_chunk(out, chunk_len, |idx, chunk| {
         // First output channel of this chunk; always panel-aligned.
         let c_base = idx * panels_per_chunk * MR;
@@ -261,7 +266,7 @@ pub fn qconv_panels_batch_into(
     let chunk_len = pool.chunk_len_for(batch, frame_out);
     let frames_per_chunk = chunk_len / frame_out;
     #[cfg(target_arch = "x86_64")]
-    let has_avx2 = avx2_available();
+    let has_avx2 = simd_enabled();
     pool.for_each_chunk(out, chunk_len, |idx, chunk| {
         let f_base = idx * frames_per_chunk;
         let nf = chunk.len() / frame_out;
@@ -513,6 +518,664 @@ unsafe fn xgetbv0() -> u64 {
     std::arch::x86_64::_xgetbv(0)
 }
 
+// ---------------------------------------------------------------------------
+// Kernel ISA selection (`NP_ISA` override)
+// ---------------------------------------------------------------------------
+
+/// Which microkernel family programs compile their conv weights for and
+/// which code path executes them. The *format* half (i16 vs raw i8) is
+/// baked in at [`crate::QuantizedProgram`] compile time; the *SIMD* half
+/// is re-checked at run time, so an `avx2-*` selection on a host without
+/// AVX2 silently runs the matching scalar body — every combination is
+/// bit-exact with every other, only speed differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelIsa {
+    /// i16-widened weight panels, autovectorized 4×2 tiles. The portable
+    /// baseline and the reference everything else is pinned against.
+    ScalarI16,
+    /// Raw-i8 panels + offset-binary u8 im2row, scalar 4×16 tiles — the
+    /// i8 arithmetic exercised on any host.
+    ScalarI8,
+    /// The i16 path recompiled under AVX2 (the pre-i8 default).
+    Avx2I16,
+    /// Raw-i8 panels with the hand-written AVX2 4×16 kernel. The default
+    /// on AVX2 hosts: half the packed/lowered bytes, double the lanes.
+    Avx2I8,
+}
+
+impl KernelIsa {
+    /// True when programs compiled for this ISA pack raw-i8 weight panels
+    /// and lower activations to offset-binary u8 (vs i16 widening).
+    pub fn packs_i8(self) -> bool {
+        matches!(self, KernelIsa::ScalarI8 | KernelIsa::Avx2I8)
+    }
+
+    /// True when this ISA asks for the AVX2 kernel bodies (granted only
+    /// if the host actually has AVX2; see [`simd_enabled`]).
+    pub fn wants_simd(self) -> bool {
+        matches!(self, KernelIsa::Avx2I16 | KernelIsa::Avx2I8)
+    }
+
+    /// The env-var spelling accepted by [`parse_np_isa`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelIsa::ScalarI16 => "scalar",
+            KernelIsa::ScalarI8 => "scalar-i8",
+            KernelIsa::Avx2I16 => "avx2-i16",
+            KernelIsa::Avx2I8 => "avx2-i8",
+        }
+    }
+}
+
+/// Pure parser behind the `NP_ISA` override. `Ok(None)` means unset (use
+/// the default); `Err` carries the rejected value for the warn-once path,
+/// mirroring `NP_THREADS` handling in `np_tensor::parallel`.
+pub fn parse_np_isa(raw: Option<&str>) -> Result<Option<KernelIsa>, String> {
+    let Some(s) = raw else { return Ok(None) };
+    match s.trim() {
+        "scalar" | "scalar-i16" => Ok(Some(KernelIsa::ScalarI16)),
+        "scalar-i8" => Ok(Some(KernelIsa::ScalarI8)),
+        "avx2-i16" => Ok(Some(KernelIsa::Avx2I16)),
+        "avx2-i8" => Ok(Some(KernelIsa::Avx2I8)),
+        other => Err(other.to_string()),
+    }
+}
+
+/// The ISA picked when `NP_ISA` is unset: the raw-i8 AVX2 kernel on hosts
+/// that have AVX2, the scalar i16 baseline otherwise (the i8 scalar tile
+/// is wider than the autovectorizer handles well without AVX2, so plain
+/// hosts keep the proven path).
+fn default_isa() -> KernelIsa {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        return KernelIsa::Avx2I8;
+    }
+    KernelIsa::ScalarI16
+}
+
+/// The process-wide kernel ISA: `NP_ISA` when set to
+/// `scalar|scalar-i8|avx2-i16|avx2-i8`, otherwise [`default_isa`].
+/// Cached; a misparse warns once through the np-trace facade and falls
+/// back to the default, like `NP_THREADS`.
+pub fn kernel_isa() -> KernelIsa {
+    use std::sync::OnceLock;
+    static ISA: OnceLock<KernelIsa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        let raw = std::env::var("NP_ISA").ok();
+        match parse_np_isa(raw.as_deref()) {
+            Ok(Some(isa)) => isa,
+            Ok(None) => default_isa(),
+            Err(bad) => {
+                let isa = default_isa();
+                np_trace::warn!(
+                    "ignoring NP_ISA={bad:?}: expected scalar|scalar-i8|avx2-i16|avx2-i8, \
+                     using {}",
+                    isa.as_str()
+                );
+                isa
+            }
+        }
+    })
+}
+
+/// Whether executing kernels may take their AVX2 bodies: the selected ISA
+/// asks for SIMD *and* the host grants it. `NP_ISA=scalar[-i8]` therefore
+/// forces the portable bodies even on AVX2 hosts — that is what makes the
+/// dispatch fallback testable everywhere.
+pub(crate) fn simd_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        kernel_isa().wants_simd() && avx2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw-i8 packing and the offset-binary bias fold
+// ---------------------------------------------------------------------------
+
+/// Packs a `C_out x patch` row-major i8 weight matrix for
+/// [`qconv_panels_i8_into`]: rows stay i8 (half the bytes of
+/// [`pack_conv_panels`]) at [`patch_stride`] spacing with zero tail
+/// lanes, and the row count is padded up to a whole number of [`MR`]-row
+/// panels of zero filters. The i8 kernel *broadcasts* weight pairs from
+/// these row-major rows (the column structure lives in the u8 im2row
+/// blocks), so no in-panel interleaving is needed. Runs once at
+/// program-compile time.
+pub fn pack_conv_panels_i8(weight: &[i8], out_channels: usize, patch: usize) -> Vec<i8> {
+    assert_eq!(weight.len(), out_channels * patch, "weight size");
+    let ps = patch_stride(patch);
+    let mut packed = vec![0i8; out_channels.div_ceil(MR) * MR * ps];
+    for co in 0..out_channels {
+        packed[co * ps..co * ps + patch].copy_from_slice(&weight[co * patch..(co + 1) * patch]);
+    }
+    packed
+}
+
+/// The compile-time bias fold of the offset-binary u8 scheme
+/// ([`crate::lowering::qim2row_u8_into`] stores `u = x + 128` and pads
+/// with `in_zp + 128`):
+///
+/// ```text
+/// Σ_r w·u  =  Σ_r w·(x - in_zp)  +  (in_zp + 128)·Σ_r w
+/// ```
+///
+/// so folding `-(in_zp + 128)·Σ_r w` into the bias restores the centered
+/// sum — the same zero-point trick the linear step already uses, extended
+/// by the constant 128 offset. All arithmetic wraps: i32 accumulation is
+/// order-independent mod 2^32, so the folded path is bit-identical to the
+/// i16 path even when intermediate sums transiently overflow.
+pub fn fold_offset_bias(
+    bias: &[i32],
+    weight: &[i8],
+    out_channels: usize,
+    patch: usize,
+    in_zp: i32,
+) -> Vec<i32> {
+    assert_eq!(weight.len(), out_channels * patch, "weight size");
+    assert_eq!(bias.len(), out_channels, "bias size");
+    let off = in_zp.wrapping_add(128);
+    (0..out_channels)
+        .map(|co| {
+            let wsum = weight[co * patch..(co + 1) * patch]
+                .iter()
+                .fold(0i32, |a, &v| a.wrapping_add(v as i32));
+            bias[co].wrapping_sub(off.wrapping_mul(wsum))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The raw-i8 kernel
+// ---------------------------------------------------------------------------
+
+/// Lowered raw-int8 convolution over [`pack_conv_panels_i8`] panels and a
+/// [`crate::lowering::qim2row_u8_into`] buffer:
+/// `out[c][col] = requant(folded_bias[c] + Σ_r panels[c][r] · u[r][col])`
+/// with the fused ReLU clamp — bit-identical to [`qconv_panels_into`] on
+/// the i16 encoding of the same activations (see [`fold_offset_bias`]).
+///
+/// Tiles are [`MR`] filter rows × [`NR_I8`] columns: under AVX2 each
+/// k-pair is one 32-byte load of 16 interleaved column pairs, widened in
+/// register and reduced with `pmaddwd` into 8 i32 accumulator vectors,
+/// with a fully vectorized requantize epilogue. Work is chunked over
+/// whole panels ([`Pool::chunk_len_for`]), so results are bit-exact at
+/// any pool width.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv_panels_i8_into(
+    pool: Pool,
+    panels: &[i8],
+    patch: usize,
+    lowered: &[u8],
+    folded_bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+    out: &mut [i8],
+) {
+    qconv_panels_i8_frames_into(
+        pool,
+        panels,
+        patch,
+        lowered,
+        folded_bias,
+        mults,
+        out_zp,
+        relu,
+        1,
+        out,
+        simd_enabled(),
+    );
+}
+
+/// Batched [`qconv_panels_i8_into`]: `batch` frames lowered per-frame
+/// blocked ([`crate::lowering::qim2row_u8_batch_into`]), output NCHW.
+/// Each weight panel is streamed once per [`PIXEL_BLOCK`]-column group of
+/// the *whole batch* — and unlike the i16 path's 2-column tiles, the
+/// 16-column blocks here give the skinny GEMV-shaped layers real column
+/// parallelism, which is where the batch slope finally comes from. Work
+/// is chunked over whole frames; bit-exact vs per-frame runs at any pool
+/// width.
+///
+/// # Panics
+///
+/// Panics on size mismatches or `batch == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn qconv_panels_i8_batch_into(
+    pool: Pool,
+    panels: &[i8],
+    patch: usize,
+    lowered: &[u8],
+    folded_bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+    batch: usize,
+    out: &mut [i8],
+) {
+    assert!(batch > 0, "batch must be at least 1");
+    qconv_panels_i8_frames_into(
+        pool,
+        panels,
+        patch,
+        lowered,
+        folded_bias,
+        mults,
+        out_zp,
+        relu,
+        batch,
+        out,
+        simd_enabled(),
+    );
+}
+
+/// Shared implementation: `frames == 1` chunks over panels (channel
+/// parallelism), `frames > 1` over whole frames — mirroring the i16 pair
+/// of entry points. `use_simd` is explicit so tests can pin the scalar
+/// and AVX2 bodies against each other in one process regardless of
+/// `NP_ISA`; callers outside tests pass [`simd_enabled`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qconv_panels_i8_frames_into(
+    pool: Pool,
+    panels: &[i8],
+    patch: usize,
+    lowered: &[u8],
+    folded_bias: &[i32],
+    mults: &[FixedMultiplier],
+    out_zp: i32,
+    relu: bool,
+    frames: usize,
+    out: &mut [i8],
+    use_simd: bool,
+) {
+    assert!(frames > 0, "frames must be at least 1");
+    let out_channels = folded_bias.len();
+    if out_channels == 0 || out.is_empty() {
+        return;
+    }
+    let ps = patch_stride(patch);
+    let frame_out = out.len() / frames;
+    assert_eq!(out.len(), frames * frame_out, "output size");
+    let cols = frame_out / out_channels;
+    assert_eq!(frame_out, out_channels * cols, "output size");
+    let nblk = cols.div_ceil(NR_I8);
+    let fstride = nblk * NR_I8 * ps;
+    assert_eq!(lowered.len(), frames * fstride, "lowered size");
+    assert_eq!(
+        panels.len(),
+        out_channels.div_ceil(MR) * MR * ps,
+        "packed weight size"
+    );
+    assert_eq!(mults.len(), out_channels, "multiplier count");
+    let floor = if relu {
+        out_zp.clamp(-128, 127) as i8
+    } else {
+        i8::MIN
+    };
+
+    if frames == 1 {
+        let n_panels = out_channels.div_ceil(MR);
+        let chunk_len = pool.chunk_len_for(n_panels, MR * cols);
+        let panels_per_chunk = chunk_len / (MR * cols);
+        pool.for_each_chunk(out, chunk_len, |idx, chunk| {
+            // First output channel of this chunk; always panel-aligned.
+            let c_base = idx * panels_per_chunk * MR;
+            let a = I8ChunkArgs {
+                panels,
+                ps,
+                lowered,
+                folded_bias,
+                mults,
+                out_zp,
+                floor,
+                cols,
+                nblk,
+                frame_out: chunk.len(),
+                c_base,
+                live_ch: chunk.len() / cols,
+            };
+            dispatch_i8(&a, chunk, use_simd);
+        });
+    } else {
+        let chunk_len = pool.chunk_len_for(frames, frame_out);
+        let frames_per_chunk = chunk_len / frame_out;
+        pool.for_each_chunk(out, chunk_len, |idx, chunk| {
+            let f_base = idx * frames_per_chunk;
+            let nf = chunk.len() / frame_out;
+            let a = I8ChunkArgs {
+                panels,
+                ps,
+                lowered: &lowered[f_base * fstride..(f_base + nf) * fstride],
+                folded_bias,
+                mults,
+                out_zp,
+                floor,
+                cols,
+                nblk,
+                frame_out,
+                c_base: 0,
+                live_ch: out_channels,
+            };
+            dispatch_i8(&a, chunk, use_simd);
+        });
+    }
+}
+
+/// Per-chunk invariants of the i8 kernel. A chunk is either one frame's
+/// panel range (`c_base`/`live_ch` select the channels, `frame_out ==
+/// chunk.len()`) or several whole frames (`c_base == 0`, `live_ch ==
+/// out_channels`); the bodies handle both through the same index math.
+struct I8ChunkArgs<'a> {
+    panels: &'a [i8],
+    ps: usize,
+    /// This chunk's frames' column blocks only (per-frame blocked).
+    lowered: &'a [u8],
+    folded_bias: &'a [i32],
+    mults: &'a [FixedMultiplier],
+    out_zp: i32,
+    floor: i8,
+    /// Output pixels per frame.
+    cols: usize,
+    /// Column blocks per frame.
+    nblk: usize,
+    /// Output elements per frame within this chunk.
+    frame_out: usize,
+    /// First output channel of the chunk (panel-aligned).
+    c_base: usize,
+    /// Channels this chunk covers.
+    live_ch: usize,
+}
+
+#[inline(always)]
+fn dispatch_i8(a: &I8ChunkArgs<'_>, chunk: &mut [i8], use_simd: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: `use_simd` is only true when AVX2 was verified
+        // (`simd_enabled`, or a test gated on `avx2_available`).
+        unsafe { i8_chunk_avx2(a, chunk) };
+        return;
+    }
+    let _ = use_simd;
+    i8_chunk_scalar(a, chunk);
+}
+
+/// One scalar MR×NR_I8 tile over a column block: `acc[m][c]` accumulates
+/// row `m`'s dot with column `c`, consuming the block's interleaved
+/// row pairs in ascending order. Wrapping adds keep debug builds panic-free
+/// when the offset-binary intermediate transiently exceeds i32 (the final
+/// value is exact mod 2^32, which is all two's-complement release
+/// arithmetic — and the i16 reference — observes).
+#[inline(always)]
+fn i8_tile_scalar(w: [&[i8]; MR], blk: &[u8]) -> [[i32; NR_I8]; MR] {
+    let [w0, w1, w2, w3] = w;
+    let ps = w0.len();
+    let mut acc = [[0i32; NR_I8]; MR];
+    for kp in 0..ps / 2 {
+        let pair = &blk[kp * 2 * NR_I8..(kp + 1) * 2 * NR_I8];
+        let wp = [
+            [w0[2 * kp] as i32, w0[2 * kp + 1] as i32],
+            [w1[2 * kp] as i32, w1[2 * kp + 1] as i32],
+            [w2[2 * kp] as i32, w2[2 * kp + 1] as i32],
+            [w3[2 * kp] as i32, w3[2 * kp + 1] as i32],
+        ];
+        for (am, wm) in acc.iter_mut().zip(wp.iter()) {
+            for (c, a) in am.iter_mut().enumerate() {
+                *a = a
+                    .wrapping_add(wm[0] * pair[2 * c] as i32)
+                    .wrapping_add(wm[1] * pair[2 * c + 1] as i32);
+            }
+        }
+    }
+    acc
+}
+
+/// The scalar i8 chunk body: block groups of [`PIXEL_BLOCK`] columns
+/// (across frames in the batched case) × panels × blocks, so each panel
+/// is streamed once per group — the weight-amortization structure the
+/// AVX2 body shares.
+#[inline(always)]
+fn i8_chunk_scalar(a: &I8ChunkArgs<'_>, chunk: &mut [i8]) {
+    let &I8ChunkArgs {
+        panels,
+        ps,
+        lowered,
+        folded_bias,
+        mults,
+        out_zp,
+        floor,
+        cols,
+        nblk,
+        frame_out,
+        c_base,
+        live_ch,
+    } = a;
+    let total_blocks = chunk.len() / frame_out * nblk;
+    let group = PIXEL_BLOCK / NR_I8;
+    for g0 in (0..total_blocks).step_by(group) {
+        let g1 = (g0 + group).min(total_blocks);
+        for lp in (0..live_ch).step_by(MR) {
+            let wbase = (c_base + lp) * ps;
+            let w = [
+                &panels[wbase..wbase + ps],
+                &panels[wbase + ps..wbase + 2 * ps],
+                &panels[wbase + 2 * ps..wbase + 3 * ps],
+                &panels[wbase + 3 * ps..wbase + 4 * ps],
+            ];
+            let live = MR.min(live_ch - lp);
+            for gb in g0..g1 {
+                let f = gb / nblk;
+                let lb = gb % nblk;
+                let blk = &lowered[gb * NR_I8 * ps..(gb + 1) * NR_I8 * ps];
+                let acc = i8_tile_scalar(w, blk);
+                let live_cols = NR_I8.min(cols - lb * NR_I8);
+                let out_base = f * frame_out + lp * cols + lb * NR_I8;
+                for m in 0..live {
+                    let ch = c_base + lp + m;
+                    let fb = folded_bias[ch];
+                    let mul = mults[ch].multiplier;
+                    let sh = mults[ch].shift as u32;
+                    let row = &mut chunk[out_base + m * cols..out_base + m * cols + live_cols];
+                    for (c, o) in row.iter_mut().enumerate() {
+                        *o = requant_clamp(acc[m][c].wrapping_add(fb), mul, sh, out_zp, floor);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The AVX2 i8 chunk body: same loop structure as [`i8_chunk_scalar`]
+/// with hand-written intrinsics. Each k-pair is one 32-byte load of 16
+/// interleaved column pairs; `vpmaddubsw`-style u8×i8 accumulation would
+/// be one instruction shorter but saturates its i16 pair sums (u ≤ 255
+/// against |w| ≤ 128 reaches ±65280 > i16), silently breaking exactness —
+/// so the operands are widened in register (`vpmovzxbw`/broadcast) and
+/// reduced with `vpmaddwd`, whose i32 pair sums cannot overflow. The
+/// requantize epilogue is fully vectorized too ([`requant_i64x4_avx2`]).
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn i8_chunk_avx2(a: &I8ChunkArgs<'_>, chunk: &mut [i8]) {
+    use std::arch::x86_64::*;
+    let &I8ChunkArgs {
+        panels,
+        ps,
+        lowered,
+        folded_bias,
+        mults,
+        out_zp,
+        floor,
+        cols,
+        nblk,
+        frame_out,
+        c_base,
+        live_ch,
+    } = a;
+    let total_blocks = chunk.len() / frame_out * nblk;
+    let group = PIXEL_BLOCK / NR_I8;
+    let floor_v = _mm_set1_epi8(floor);
+    let zp_v = _mm256_set1_epi64x(out_zp as i64);
+    for g0 in (0..total_blocks).step_by(group) {
+        let g1 = (g0 + group).min(total_blocks);
+        for lp in (0..live_ch).step_by(MR) {
+            let wbase = (c_base + lp) * ps;
+            let live = MR.min(live_ch - lp);
+            // Per-channel requant constants, hoisted out of the block loop.
+            let mut mv = [_mm256_setzero_si256(); MR];
+            let mut round_v = [_mm256_setzero_si256(); MR];
+            let mut ext_m = [_mm256_setzero_si256(); MR];
+            let mut cnt = [_mm_setzero_si128(); MR];
+            let mut fb_v = [_mm256_setzero_si256(); MR];
+            for m in 0..live {
+                let ch = c_base + lp + m;
+                let shift = mults[ch].shift as u32;
+                mv[m] = _mm256_set1_epi32(mults[ch].multiplier);
+                round_v[m] = _mm256_set1_epi64x((1i64 << shift) >> 1);
+                ext_m[m] = _mm256_set1_epi64x(1i64 << (63 - shift));
+                cnt[m] = _mm_cvtsi32_si128(shift as i32);
+                fb_v[m] = _mm256_set1_epi32(folded_bias[ch]);
+            }
+            for gb in g0..g1 {
+                let f = gb / nblk;
+                let lb = gb % nblk;
+                let blk = lowered[gb * NR_I8 * ps..(gb + 1) * NR_I8 * ps].as_ptr();
+                // 4 rows × 16 columns in 8 i32 accumulator vectors.
+                let mut acc = [[_mm256_setzero_si256(); 2]; MR];
+                for kp in 0..ps / 2 {
+                    // 16 column pairs for this k-pair, in column order.
+                    let x = _mm256_loadu_si256(blk.add(kp * 2 * NR_I8) as *const __m256i);
+                    let x_lo = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(x));
+                    let x_hi = _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(x));
+                    for (m, am) in acc.iter_mut().enumerate() {
+                        let wp = panels.as_ptr().add(wbase + m * ps + 2 * kp);
+                        // (w0, w1) widened to i16 in every lane pair, so
+                        // madd lane c = u[2c]·w0 + u[2c+1]·w1 — exact:
+                        // |products| ≤ 255·128 each, i32 pair sums.
+                        let w0 = *wp as i16 as u16 as u32;
+                        let w1 = *wp.add(1) as i16 as u16 as u32;
+                        let wv = _mm256_set1_epi32(((w1 << 16) | w0) as i32);
+                        am[0] = _mm256_add_epi32(am[0], _mm256_madd_epi16(x_lo, wv));
+                        am[1] = _mm256_add_epi32(am[1], _mm256_madd_epi16(x_hi, wv));
+                    }
+                }
+                let live_cols = NR_I8.min(cols - lb * NR_I8);
+                let out_base = f * frame_out + lp * cols + lb * NR_I8;
+                for m in 0..live {
+                    let r_lo = requant_8_avx2(
+                        _mm256_add_epi32(acc[m][0], fb_v[m]),
+                        mv[m],
+                        round_v[m],
+                        cnt[m],
+                        ext_m[m],
+                        zp_v,
+                    );
+                    let r_hi = requant_8_avx2(
+                        _mm256_add_epi32(acc[m][1], fb_v[m]),
+                        mv[m],
+                        round_v[m],
+                        cnt[m],
+                        ext_m[m],
+                        zp_v,
+                    );
+                    // packs works per 128-bit lane; permute the quarters
+                    // back into column order before the final i8 pack.
+                    let p = _mm256_permute4x64_epi64::<0xD8>(_mm256_packs_epi32(r_lo, r_hi));
+                    let b = _mm_max_epi8(
+                        _mm_packs_epi16(
+                            _mm256_castsi256_si128(p),
+                            _mm256_extracti128_si256::<1>(p),
+                        ),
+                        floor_v,
+                    );
+                    let dst = &mut chunk[out_base + m * cols..out_base + m * cols + live_cols];
+                    if live_cols == NR_I8 {
+                        _mm_storeu_si128(dst.as_mut_ptr() as *mut __m128i, b);
+                    } else {
+                        let mut tmp = [0i8; NR_I8];
+                        _mm_storeu_si128(tmp.as_mut_ptr() as *mut __m128i, b);
+                        dst.copy_from_slice(&tmp[..live_cols]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Eight lanes of [`requant_clamp`] (sans ReLU floor, applied by the
+/// caller after packing): multiply 8 i32 accumulators by the Q0.31
+/// multiplier into i64, round half-away, shift, add the zero point and
+/// clamp to `[-128, 127]` — all in registers. The even/odd lanes run as
+/// two 4×i64 pipelines ([`requant_i64x4_avx2`]) and re-interleave.
+///
+/// # Safety
+///
+/// AVX2 must be enabled (callee of [`i8_chunk_avx2`] only).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn requant_8_avx2(
+    a: std::arch::x86_64::__m256i,
+    mv: std::arch::x86_64::__m256i,
+    round_v: std::arch::x86_64::__m256i,
+    cnt: std::arch::x86_64::__m128i,
+    ext_m: std::arch::x86_64::__m256i,
+    zp_v: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    // mul_epi32 consumes the even 32-bit lanes sign-extended; 0xF5 copies
+    // the odd lanes into even position for the second pipeline.
+    let p_even = _mm256_mul_epi32(a, mv);
+    let p_odd = _mm256_mul_epi32(_mm256_shuffle_epi32::<0xF5>(a), mv);
+    let v_even = requant_i64x4_avx2(p_even, round_v, cnt, ext_m, zp_v);
+    let v_odd = requant_i64x4_avx2(p_odd, round_v, cnt, ext_m, zp_v);
+    // Clamped values fit 8 bits, so the i64 lanes' low halves carry them;
+    // blend evens (low 32 of v_even) with odds shifted into the high 32.
+    _mm256_blend_epi32::<0b10101010>(v_even, _mm256_slli_epi64::<32>(v_odd))
+}
+
+/// Four i64 lanes of the fixed-point epilogue: `((prod + round⊕sign −
+/// sign) >> shift) + zp`, clamped to `[-128, 127]`. The arithmetic i64
+/// shift AVX2 lacks is a logical shift plus sign re-extension
+/// (`(x ^ m) − m` with `m = 1 << (63 − shift)`, exact for every shift in
+/// `[0, 62]` under wrapping sub); the scalar path's intermediate i32
+/// clamp is skipped — monotonicity makes `clamp(clamp_i32(v) + zp)` equal
+/// `clamp(v + zp)` for any `zp` in i8 range.
+///
+/// # Safety
+///
+/// AVX2 must be enabled (callee of [`requant_8_avx2`] only).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn requant_i64x4_avx2(
+    prod: std::arch::x86_64::__m256i,
+    round_v: std::arch::x86_64::__m256i,
+    cnt: std::arch::x86_64::__m128i,
+    ext_m: std::arch::x86_64::__m256i,
+    zp_v: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let sgn = _mm256_cmpgt_epi64(_mm256_setzero_si256(), prod);
+    let rounded = _mm256_sub_epi64(_mm256_add_epi64(prod, _mm256_xor_si256(round_v, sgn)), sgn);
+    let shifted = _mm256_srl_epi64(rounded, cnt);
+    let v = _mm256_sub_epi64(_mm256_xor_si256(shifted, ext_m), ext_m);
+    let w = _mm256_add_epi64(v, zp_v);
+    let hi = _mm256_set1_epi64x(127);
+    let lo = _mm256_set1_epi64x(-128);
+    let w = _mm256_blendv_epi8(w, hi, _mm256_cmpgt_epi64(w, hi));
+    _mm256_blendv_epi8(w, lo, _mm256_cmpgt_epi64(lo, w))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,5 +1359,309 @@ mod tests {
         let ps = patch_stride(3);
         assert_eq!(packed.len(), 8 * ps); // 5 channels -> 2 panels of 4
         assert!(packed[5 * ps..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn i8_packing_pads_channels_and_tail_lanes() {
+        let weight = vec![1i8; 5 * 3];
+        let packed = pack_conv_panels_i8(&weight, 5, 3);
+        let ps = patch_stride(3);
+        assert_eq!(packed.len(), 8 * ps);
+        for co in 0..5 {
+            assert!(packed[co * ps..co * ps + 3].iter().all(|&v| v == 1));
+            assert!(packed[co * ps + 3..(co + 1) * ps].iter().all(|&v| v == 0));
+        }
+        assert!(packed[5 * ps..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn np_isa_parser_accepts_the_documented_spellings() {
+        assert_eq!(parse_np_isa(None), Ok(None));
+        assert_eq!(parse_np_isa(Some("scalar")), Ok(Some(KernelIsa::ScalarI16)));
+        assert_eq!(
+            parse_np_isa(Some(" scalar-i16 ")),
+            Ok(Some(KernelIsa::ScalarI16))
+        );
+        assert_eq!(
+            parse_np_isa(Some("scalar-i8")),
+            Ok(Some(KernelIsa::ScalarI8))
+        );
+        assert_eq!(parse_np_isa(Some("avx2-i16")), Ok(Some(KernelIsa::Avx2I16)));
+        assert_eq!(parse_np_isa(Some("avx2-i8")), Ok(Some(KernelIsa::Avx2I8)));
+        assert_eq!(parse_np_isa(Some("sse9")), Err("sse9".to_string()));
+        assert_eq!(parse_np_isa(Some("")), Err("".to_string()));
+        for isa in [
+            KernelIsa::ScalarI16,
+            KernelIsa::ScalarI8,
+            KernelIsa::Avx2I16,
+            KernelIsa::Avx2I8,
+        ] {
+            assert_eq!(parse_np_isa(Some(isa.as_str())), Ok(Some(isa)));
+            assert_eq!(isa.packs_i8(), isa.as_str().ends_with("i8"));
+        }
+    }
+
+    #[test]
+    fn offset_bias_fold_is_the_weight_sum_correction() {
+        let weight: Vec<i8> = vec![3, -5, 7, -128, 127, 0];
+        let bias = vec![100, -200];
+        // zp -128 makes the offset 0: fold must be the identity.
+        assert_eq!(fold_offset_bias(&bias, &weight, 2, 3, -128), bias);
+        let fb = fold_offset_bias(&bias, &weight, 2, 3, 0);
+        assert_eq!(fb, vec![100 - 128 * 5, -200 + 128]);
+    }
+
+    /// Builds the offset-binary u8 column-block layout directly from raw
+    /// activations — an independent statement of the format the kernel
+    /// consumes (the production writer is pinned against the i16 writer
+    /// in `lowering::tests`).
+    fn build_u8_lowered(vals: &[i8], cols: usize, patch: usize, in_zp: i32) -> Vec<u8> {
+        let ps = patch_stride(patch);
+        let mut low = vec![(in_zp + 128) as u8; cols.div_ceil(NR_I8) * NR_I8 * ps];
+        for col in 0..cols {
+            for r in 0..patch {
+                low[(col / NR_I8) * NR_I8 * ps
+                    + (r / 2) * 2 * NR_I8
+                    + 2 * (col % NR_I8)
+                    + (r % 2)] = (vals[col * patch + r] as u8) ^ 0x80;
+            }
+        }
+        low
+    }
+
+    #[test]
+    fn i8_kernel_matches_i16_reference_on_ragged_shapes() {
+        // Same ragged-shape table as the i16 test, swept across the
+        // adversarial zero points; scalar and (where the host allows)
+        // AVX2 bodies both pinned bit-exact against the qgemm_row
+        // reference at several pool widths.
+        for (out_channels, patch, cols) in [
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (4, 8, 6),
+            (5, 9, 7),
+            (6, 24, 33),
+            (11, 30, 233),
+            (8, 16, 64),
+        ] {
+            for in_zp in [-128i32, 0, 127] {
+                let mut s = 7u64 ^ (in_zp as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rnd = move || {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as i8
+                };
+                let weight: Vec<i8> = (0..out_channels * patch).map(|_| rnd()).collect();
+                let bias: Vec<i32> = (0..out_channels as i32).map(|i| i * 31 - 50).collect();
+                let mults: Vec<FixedMultiplier> = (0..out_channels)
+                    .map(|i| FixedMultiplier::from_real(0.001 + 0.01 * i as f32))
+                    .collect();
+                // Raw activations; centered row-major for the reference.
+                let raw: Vec<i8> = (0..cols * patch).map(|_| rnd()).collect();
+                let mut low_cm = vec![0i16; patch * cols];
+                for col in 0..cols {
+                    for r in 0..patch {
+                        low_cm[r * cols + col] = (raw[col * patch + r] as i32 - in_zp) as i16;
+                    }
+                }
+                let want = reference(
+                    &weight,
+                    out_channels,
+                    patch,
+                    &low_cm,
+                    &bias,
+                    &mults,
+                    -5,
+                    true,
+                    cols,
+                );
+                let panels = pack_conv_panels_i8(&weight, out_channels, patch);
+                let fb = fold_offset_bias(&bias, &weight, out_channels, patch, in_zp);
+                let low = build_u8_lowered(&raw, cols, patch, in_zp);
+                let mut simd_modes = vec![false];
+                #[cfg(target_arch = "x86_64")]
+                if avx2_available() {
+                    simd_modes.push(true);
+                }
+                for use_simd in simd_modes {
+                    for threads in [1usize, 2, 3, 8] {
+                        let mut got = vec![0i8; out_channels * cols];
+                        qconv_panels_i8_frames_into(
+                            Pool::new(threads),
+                            &panels,
+                            patch,
+                            &low,
+                            &fb,
+                            &mults,
+                            -5,
+                            true,
+                            1,
+                            &mut got,
+                            use_simd,
+                        );
+                        assert_eq!(
+                            got, want,
+                            "c_out {out_channels} patch {patch} cols {cols} \
+                             zp {in_zp} simd {use_simd} t{threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_kernel_exact_at_saturation_corners() {
+        // All-negative filter rows against extreme zero points, biases
+        // near the i32 edges and saturating multipliers: the epilogue's
+        // i64 widening, the rounding sign trick, and the clamp chain must
+        // all match the scalar reference exactly.
+        let (out_channels, patch, cols) = (4usize, 8usize, 21usize);
+        let weight = vec![-128i8; out_channels * patch];
+        let bias = vec![
+            i32::MAX - 400_000,
+            i32::MIN + 400_000,
+            0,
+            i32::MAX - 400_000,
+        ];
+        let mults = vec![
+            FixedMultiplier::from_real(3.0e9), // saturates apply()
+            FixedMultiplier::from_real(1.0),
+            FixedMultiplier::from_real(1.0e-9), // rounds everything to 0
+            FixedMultiplier::from_real(0.5),
+        ];
+        for in_zp in [-128i32, 0, 127] {
+            for out_zp in [-128i32, 0, 127] {
+                let mut s = 11u64;
+                let mut rnd = move || {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (s >> 56) as i8
+                };
+                let raw: Vec<i8> = (0..cols * patch).map(|_| rnd()).collect();
+                let mut low_cm = vec![0i16; patch * cols];
+                for col in 0..cols {
+                    for r in 0..patch {
+                        low_cm[r * cols + col] = (raw[col * patch + r] as i32 - in_zp) as i16;
+                    }
+                }
+                for relu in [false, true] {
+                    let want = reference(
+                        &weight,
+                        out_channels,
+                        patch,
+                        &low_cm,
+                        &bias,
+                        &mults,
+                        out_zp,
+                        relu,
+                        cols,
+                    );
+                    let panels = pack_conv_panels_i8(&weight, out_channels, patch);
+                    let fb = fold_offset_bias(&bias, &weight, out_channels, patch, in_zp);
+                    let low = build_u8_lowered(&raw, cols, patch, in_zp);
+                    let mut simd_modes = vec![false];
+                    #[cfg(target_arch = "x86_64")]
+                    if avx2_available() {
+                        simd_modes.push(true);
+                    }
+                    for use_simd in simd_modes {
+                        let mut got = vec![0i8; out_channels * cols];
+                        qconv_panels_i8_frames_into(
+                            Pool::serial(),
+                            &panels,
+                            patch,
+                            &low,
+                            &fb,
+                            &mults,
+                            out_zp,
+                            relu,
+                            1,
+                            &mut got,
+                            use_simd,
+                        );
+                        assert_eq!(got, want, "zp {in_zp}/{out_zp} relu {relu} simd {use_simd}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_i8_kernel_equals_per_frame_runs() {
+        for (out_channels, patch, cols, batch) in [
+            (1usize, 1usize, 1usize, 1usize),
+            (3, 7, 5, 2),
+            (5, 9, 7, 3),
+            (6, 24, 33, 4),
+            (11, 30, 41, 8),
+        ] {
+            let mut s = 29u64;
+            let mut rnd = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 56) as i8
+            };
+            let weight: Vec<i8> = (0..out_channels * patch).map(|_| rnd()).collect();
+            let bias: Vec<i32> = (0..out_channels as i32).map(|i| i * 17 - 40).collect();
+            let mults: Vec<FixedMultiplier> = (0..out_channels)
+                .map(|i| FixedMultiplier::from_real(0.002 + 0.008 * i as f32))
+                .collect();
+            let in_zp = -37i32;
+            let panels = pack_conv_panels_i8(&weight, out_channels, patch);
+            let fb = fold_offset_bias(&bias, &weight, out_channels, patch, in_zp);
+            // Per-frame-blocked u8 lowering of `batch` frames.
+            let frames_raw: Vec<Vec<i8>> = (0..batch)
+                .map(|_| (0..cols * patch).map(|_| rnd()).collect())
+                .collect();
+            let flen = crate::lowering::u8_lowered_len(cols, patch);
+            let mut low = Vec::with_capacity(batch * flen);
+            for f in &frames_raw {
+                low.extend_from_slice(&build_u8_lowered(f, cols, patch, in_zp));
+            }
+
+            let mut simd_modes = vec![false];
+            #[cfg(target_arch = "x86_64")]
+            if avx2_available() {
+                simd_modes.push(true);
+            }
+            for use_simd in simd_modes {
+                // Reference: the single-frame i8 kernel, frame by frame.
+                let mut want = vec![0i8; batch * out_channels * cols];
+                for b in 0..batch {
+                    qconv_panels_i8_frames_into(
+                        Pool::serial(),
+                        &panels,
+                        patch,
+                        &low[b * flen..(b + 1) * flen],
+                        &fb,
+                        &mults,
+                        3,
+                        true,
+                        1,
+                        &mut want[b * out_channels * cols..(b + 1) * out_channels * cols],
+                        use_simd,
+                    );
+                }
+                for threads in [1usize, 2, 3, 8] {
+                    let mut got = vec![0i8; batch * out_channels * cols];
+                    qconv_panels_i8_frames_into(
+                        Pool::new(threads),
+                        &panels,
+                        patch,
+                        &low,
+                        &fb,
+                        &mults,
+                        3,
+                        true,
+                        batch,
+                        &mut got,
+                        use_simd,
+                    );
+                    assert_eq!(
+                        got, want,
+                        "c_out {out_channels} patch {patch} cols {cols} \
+                         b{batch} simd {use_simd} t{threads}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -34,13 +34,38 @@
 //! [`MR`]: crate::microkernel::MR
 
 use crate::kernels::{qdw_plane, QConvGeometry};
-use crate::lowering::{patch_stride, qim2row_batch_into, qim2row_into};
-use crate::microkernel::{pack_conv_panels, qconv_panels_batch_into, qconv_panels_into};
+use crate::lowering::{
+    patch_stride, qim2row_batch_into, qim2row_into, qim2row_u8_batch_into, qim2row_u8_into,
+    u8_lowered_len,
+};
+use crate::microkernel::{
+    fold_offset_bias, kernel_isa, pack_conv_panels, pack_conv_panels_i8, qconv_panels_batch_into,
+    qconv_panels_i8_batch_into, qconv_panels_i8_into, qconv_panels_into, KernelIsa,
+};
 use crate::qnetwork::{QLayer, QuantizedNetwork};
 use crate::qparams::{fold_zero_point, QuantParams};
 use crate::requant::{requantize_to_i8, FixedMultiplier};
 use np_tensor::arena::{disjoint_pair, plan_arena, plan_arena_batched, BufferReq};
 use np_tensor::parallel::Pool;
+
+/// Compile-time weight format of a conv step, chosen by the program's
+/// [`KernelIsa`]. Both formats produce bit-identical outputs; they differ
+/// in packed footprint and in which register tile executes them.
+#[derive(Debug, Clone)]
+enum ConvWeights {
+    /// Pre-widened i16 filter rows at [`patch_stride`] spacing, padded to
+    /// whole microkernel panels (see [`pack_conv_panels`]) — the 4×2-tile
+    /// i16 path.
+    I16 { packed: Vec<i16>, bias: Vec<i32> },
+    /// Raw i8 filter rows at the same spacing
+    /// ([`pack_conv_panels_i8`], half the bytes) with the input
+    /// zero-point/weight-sum correction folded into the bias
+    /// ([`fold_offset_bias`]) — the 4×16-tile offset-binary u8 path.
+    I8 {
+        panels: Vec<i8>,
+        folded_bias: Vec<i32>,
+    },
+}
 
 /// One executable step. Buffers are referred to by id; the program maps
 /// ids to planner-assigned arena offsets.
@@ -51,10 +76,7 @@ enum Step {
         h: usize,
         w: usize,
         in_zp: i32,
-        /// Pre-widened i16 filter rows at [`patch_stride`] spacing, padded
-        /// to whole microkernel panels (see [`pack_conv_panels`]).
-        packed: Vec<i16>,
-        bias: Vec<i32>,
+        weights: ConvWeights,
         mults: Vec<FixedMultiplier>,
         out_zp: i32,
         relu: bool,
@@ -203,6 +225,10 @@ impl Bufs {
 pub struct QScratch {
     arena: Vec<i8>,
     lowered: Vec<i16>,
+    /// Offset-binary u8 im2row buffer for i8-format conv steps; empty
+    /// for programs compiled to an i16 isa (and vice versa), so a
+    /// program only pays for the lowering format it uses.
+    lowered_u8: Vec<u8>,
     out_f32: Vec<f32>,
 }
 
@@ -233,19 +259,28 @@ impl QScratch {
     /// batch-compiled program reserves its scaled batch plan too, so one
     /// scratch serves both the per-frame and the batched entry points.
     pub fn reserve(&mut self, program: &QuantizedProgram) {
-        let (arena_len, lowered_len, out_frames) = match &program.batch_plan {
+        let (arena_len, lowered_len, lowered_u8_len, out_frames) = match &program.batch_plan {
             Some(bp) => (
                 program.arena_len.max(bp.arena_len),
                 program.lowered_len.max(bp.lowered_len),
+                program.lowered_u8_len.max(bp.lowered_u8_len),
                 bp.max_batch,
             ),
-            None => (program.arena_len, program.lowered_len, 1),
+            None => (
+                program.arena_len,
+                program.lowered_len,
+                program.lowered_u8_len,
+                1,
+            ),
         };
         if self.arena.len() < arena_len {
             self.arena.resize(arena_len, 0);
         }
         if self.lowered.len() < lowered_len {
             self.lowered.resize(lowered_len, 0);
+        }
+        if self.lowered_u8.len() < lowered_u8_len {
+            self.lowered_u8.resize(lowered_u8_len, 0);
         }
         let out_len = out_frames * program.buf_sizes[program.output_buf];
         if self.out_f32.len() < out_len {
@@ -257,7 +292,7 @@ impl QScratch {
     /// arena + im2row matrix + dequantized output) — the steady-state
     /// working-set counterpart of [`QuantizedProgram::arena_bytes`].
     pub fn bytes(&self) -> usize {
-        self.arena.len() + 2 * self.lowered.len() + 4 * self.out_f32.len()
+        self.arena.len() + 2 * self.lowered.len() + self.lowered_u8.len() + 4 * self.out_f32.len()
     }
 }
 
@@ -276,6 +311,7 @@ struct BatchPlan {
     buf_offsets: Vec<usize>,
     arena_len: usize,
     lowered_len: usize,
+    lowered_u8_len: usize,
     /// One span per step for batched passes, named `{name}@batch/..` so
     /// per-frame drift reports never mix the two populations.
     step_spans: Vec<np_trace::SpanId>,
@@ -299,6 +335,10 @@ pub struct QuantizedProgram {
     buf_sizes: Vec<usize>,
     arena_len: usize,
     lowered_len: usize,
+    /// Size of the offset-binary u8 im2row buffer (i8-format convs);
+    /// zero when every conv packed i16, so the unused format costs no
+    /// scratch bytes.
+    lowered_u8_len: usize,
     output_buf: usize,
     /// One np-trace span per step, registered at compile time so the
     /// executor's hot path never touches the span registry. All-INACTIVE
@@ -315,9 +355,34 @@ pub struct QuantizedProgram {
 
 impl QuantizedProgram {
     /// Compiles `net` for inputs of shape `chw`. All planning, packing,
-    /// and bias folding happens here, once.
+    /// and bias folding happens here, once. The conv weight format
+    /// follows the process-wide [`kernel_isa`] (raw-i8 panels on AVX2
+    /// hosts, i16 panels otherwise / under `NP_ISA`).
     pub fn compile(net: &QuantizedNetwork, chw: (usize, usize, usize)) -> Self {
-        Self::compile_with(net, chw, 1)
+        Self::compile_with(net, chw, 1, kernel_isa())
+    }
+
+    /// [`Self::compile`] with an explicit kernel isa instead of the
+    /// process-wide default — lets tests and benchmarks pin the i16 and
+    /// i8 formats side by side in one process regardless of `NP_ISA`.
+    pub fn compile_for_isa(
+        net: &QuantizedNetwork,
+        chw: (usize, usize, usize),
+        isa: KernelIsa,
+    ) -> Self {
+        Self::compile_with(net, chw, 1, isa)
+    }
+
+    /// [`Self::compile_batched`] with an explicit kernel isa; see
+    /// [`Self::compile_for_isa`].
+    pub fn compile_batched_for_isa(
+        net: &QuantizedNetwork,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+        isa: KernelIsa,
+    ) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        Self::compile_with(net, chw, max_batch, isa)
     }
 
     /// [`Self::compile`] plus a cross-frame batch plan: the returned
@@ -332,15 +397,21 @@ impl QuantizedProgram {
         max_batch: usize,
     ) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        Self::compile_with(net, chw, max_batch)
+        Self::compile_with(net, chw, max_batch, kernel_isa())
     }
 
-    fn compile_with(net: &QuantizedNetwork, chw: (usize, usize, usize), max_batch: usize) -> Self {
+    fn compile_with(
+        net: &QuantizedNetwork,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+        isa: KernelIsa,
+    ) -> Self {
         let (mut c, mut h, mut w) = chw;
         let mut zp = net.input_params().zero_point;
         let mut bufs = Bufs::new(c * h * w);
         let mut steps = Vec::with_capacity(net.qlayers().len());
         let mut lowered_len = 0usize;
+        let mut lowered_u8_len = 0usize;
 
         for layer in net.qlayers() {
             match layer {
@@ -355,15 +426,32 @@ impl QuantizedProgram {
                     let (oh, ow) = geo.out_hw(h, w);
                     let cols = oh * ow;
                     let patch = geo.in_channels * geo.kernel * geo.kernel;
-                    lowered_len = lowered_len.max(cols * patch_stride(patch));
+                    let weights = if isa.packs_i8() {
+                        lowered_u8_len = lowered_u8_len.max(u8_lowered_len(cols, patch));
+                        ConvWeights::I8 {
+                            panels: pack_conv_panels_i8(weight, geo.out_channels, patch),
+                            folded_bias: fold_offset_bias(
+                                bias,
+                                weight,
+                                geo.out_channels,
+                                patch,
+                                zp,
+                            ),
+                        }
+                    } else {
+                        lowered_len = lowered_len.max(cols * patch_stride(patch));
+                        ConvWeights::I16 {
+                            packed: pack_conv_panels(weight, geo.out_channels, patch),
+                            bias: bias.clone(),
+                        }
+                    };
                     let (input, output) = bufs.advance(geo.out_channels * cols);
                     steps.push(Step::Conv {
                         geo: *geo,
                         h,
                         w,
                         in_zp: zp,
-                        packed: pack_conv_panels(weight, geo.out_channels, patch),
-                        bias: bias.clone(),
+                        weights,
                         mults: mults.clone(),
                         out_zp: out.zero_point,
                         relu: *relu,
@@ -527,6 +615,7 @@ impl QuantizedProgram {
                 buf_offsets: bplan.offsets,
                 arena_len: bplan.arena_bytes,
                 lowered_len: lowered_len * max_batch,
+                lowered_u8_len: lowered_u8_len * max_batch,
                 step_spans: steps
                     .iter()
                     .enumerate()
@@ -553,6 +642,7 @@ impl QuantizedProgram {
             buf_sizes: bufs.sizes,
             arena_len: plan.arena_bytes,
             lowered_len,
+            lowered_u8_len,
             output_buf: bufs.cur,
             step_spans,
             step_bytes,
@@ -609,7 +699,13 @@ impl QuantizedProgram {
         self.steps
             .iter()
             .map(|s| match s {
-                Step::Conv { packed, bias, .. } => 2 * packed.len() + 4 * bias.len(),
+                Step::Conv { weights, .. } => match weights {
+                    ConvWeights::I16 { packed, bias } => 2 * packed.len() + 4 * bias.len(),
+                    ConvWeights::I8 {
+                        panels,
+                        folded_bias,
+                    } => panels.len() + 4 * folded_bias.len(),
+                },
                 Step::Depthwise { weight, bias, .. } => weight.len() + 4 * bias.len(),
                 Step::Linear {
                     weight,
@@ -807,7 +903,12 @@ impl QuantizedProgram {
     /// weight-amortized batched loops.
     fn exec_steps_batched(&self, pool: Pool, scratch: &mut QScratch, batch: usize) {
         let bp = self.batch_plan.as_ref().expect("batch plan");
-        let QScratch { arena, lowered, .. } = scratch;
+        let QScratch {
+            arena,
+            lowered,
+            lowered_u8,
+            ..
+        } = scratch;
         let run_start = np_trace::start();
         for (step_idx, step) in self.steps.iter().enumerate() {
             let step_start = np_trace::start();
@@ -817,8 +918,7 @@ impl QuantizedProgram {
                     h,
                     w,
                     in_zp,
-                    packed,
-                    bias,
+                    weights,
                     mults,
                     out_zp,
                     relu,
@@ -828,31 +928,62 @@ impl QuantizedProgram {
                     let (oh, ow) = geo.out_hw(*h, *w);
                     let cols = oh * ow;
                     let patch = geo.in_channels * geo.kernel * geo.kernel;
-                    let ps = patch_stride(patch);
                     let (in_off, in_len) = self.batch_buf_at(*input, batch);
-                    qim2row_batch_into(
-                        &arena[in_off..in_off + in_len],
-                        batch,
-                        *h,
-                        *w,
-                        *in_zp,
-                        *geo,
-                        &mut lowered[..batch * cols * ps],
-                    );
                     let (out_off, out_len) = self.batch_buf_at(*output, batch);
                     let pool = pool.for_work(batch * geo.out_channels * patch * cols);
-                    qconv_panels_batch_into(
-                        pool,
-                        packed,
-                        patch,
-                        &lowered[..batch * cols * ps],
-                        bias,
-                        mults,
-                        *out_zp,
-                        *relu,
-                        batch,
-                        &mut arena[out_off..out_off + out_len],
-                    );
+                    match weights {
+                        ConvWeights::I16 { packed, bias } => {
+                            let ps = patch_stride(patch);
+                            qim2row_batch_into(
+                                &arena[in_off..in_off + in_len],
+                                batch,
+                                *h,
+                                *w,
+                                *in_zp,
+                                *geo,
+                                &mut lowered[..batch * cols * ps],
+                            );
+                            qconv_panels_batch_into(
+                                pool,
+                                packed,
+                                patch,
+                                &lowered[..batch * cols * ps],
+                                bias,
+                                mults,
+                                *out_zp,
+                                *relu,
+                                batch,
+                                &mut arena[out_off..out_off + out_len],
+                            );
+                        }
+                        ConvWeights::I8 {
+                            panels,
+                            folded_bias,
+                        } => {
+                            let flen = u8_lowered_len(cols, patch);
+                            qim2row_u8_batch_into(
+                                &arena[in_off..in_off + in_len],
+                                batch,
+                                *h,
+                                *w,
+                                *in_zp,
+                                *geo,
+                                &mut lowered_u8[..batch * flen],
+                            );
+                            qconv_panels_i8_batch_into(
+                                pool,
+                                panels,
+                                patch,
+                                &lowered_u8[..batch * flen],
+                                folded_bias,
+                                mults,
+                                *out_zp,
+                                *relu,
+                                batch,
+                                &mut arena[out_off..out_off + out_len],
+                            );
+                        }
+                    }
                 }
                 Step::Depthwise {
                     channels,
@@ -1089,7 +1220,12 @@ impl QuantizedProgram {
     /// including the np-trace probes (spans were registered at compile
     /// time; recording writes into preallocated rings).
     fn exec_steps(&self, pool: Pool, scratch: &mut QScratch) {
-        let QScratch { arena, lowered, .. } = scratch;
+        let QScratch {
+            arena,
+            lowered,
+            lowered_u8,
+            ..
+        } = scratch;
         let frame_start = np_trace::start();
         for (step_idx, step) in self.steps.iter().enumerate() {
             let step_start = np_trace::start();
@@ -1099,8 +1235,7 @@ impl QuantizedProgram {
                     h,
                     w,
                     in_zp,
-                    packed,
-                    bias,
+                    weights,
                     mults,
                     out_zp,
                     relu,
@@ -1110,29 +1245,58 @@ impl QuantizedProgram {
                     let (oh, ow) = geo.out_hw(*h, *w);
                     let cols = oh * ow;
                     let patch = geo.in_channels * geo.kernel * geo.kernel;
-                    let ps = patch_stride(patch);
                     let (in_off, in_len) = self.buf_at(*input);
-                    qim2row_into(
-                        &arena[in_off..in_off + in_len],
-                        *h,
-                        *w,
-                        *in_zp,
-                        *geo,
-                        &mut lowered[..cols * ps],
-                    );
                     let (out_off, out_len) = self.buf_at(*output);
                     let pool = pool.for_work(geo.out_channels * patch * cols);
-                    qconv_panels_into(
-                        pool,
-                        packed,
-                        patch,
-                        &lowered[..cols * ps],
-                        bias,
-                        mults,
-                        *out_zp,
-                        *relu,
-                        &mut arena[out_off..out_off + out_len],
-                    );
+                    match weights {
+                        ConvWeights::I16 { packed, bias } => {
+                            let ps = patch_stride(patch);
+                            qim2row_into(
+                                &arena[in_off..in_off + in_len],
+                                *h,
+                                *w,
+                                *in_zp,
+                                *geo,
+                                &mut lowered[..cols * ps],
+                            );
+                            qconv_panels_into(
+                                pool,
+                                packed,
+                                patch,
+                                &lowered[..cols * ps],
+                                bias,
+                                mults,
+                                *out_zp,
+                                *relu,
+                                &mut arena[out_off..out_off + out_len],
+                            );
+                        }
+                        ConvWeights::I8 {
+                            panels,
+                            folded_bias,
+                        } => {
+                            let flen = u8_lowered_len(cols, patch);
+                            qim2row_u8_into(
+                                &arena[in_off..in_off + in_len],
+                                *h,
+                                *w,
+                                *in_zp,
+                                *geo,
+                                &mut lowered_u8[..flen],
+                            );
+                            qconv_panels_i8_into(
+                                pool,
+                                panels,
+                                patch,
+                                &lowered_u8[..flen],
+                                folded_bias,
+                                mults,
+                                *out_zp,
+                                *relu,
+                                &mut arena[out_off..out_off + out_len],
+                            );
+                        }
+                    }
                 }
                 Step::Depthwise {
                     channels,

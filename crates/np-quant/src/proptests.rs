@@ -9,8 +9,11 @@ use crate::kernels::{
     qconv2d_reference, qconv2d_with, qdepthwise_conv2d, qdepthwise_conv2d_reference,
     qdepthwise_conv2d_with, QConvGeometry,
 };
-use crate::lowering::{patch_stride, qgemm_row};
-use crate::microkernel::{pack_conv_panels, qconv_panels_into};
+use crate::lowering::{patch_stride, qgemm_row, u8_lowered_len};
+use crate::microkernel::{
+    fold_offset_bias, pack_conv_panels, pack_conv_panels_i8, qconv_panels_i8_batch_into,
+    qconv_panels_i8_frames_into, qconv_panels_into, KernelIsa, NR_I8,
+};
 use crate::program::QScratch;
 use crate::qnetwork::QuantizedNetwork;
 use crate::requant::{requantize_to_i8, FixedMultiplier};
@@ -171,6 +174,108 @@ proptest! {
         }
     }
 
+    /// The raw-i8 offset-binary kernel against the scalar i16 reference
+    /// at adversarial quantization corners: input zero points drawn from
+    /// {−128, 0, 127} (plus an interior value), optionally all-negative
+    /// weight rows (the worst case for the folded weight-sum
+    /// correction), and requant multipliers optionally forced into
+    /// `FixedMultiplier::from_real`'s saturating range so the i32→i8
+    /// epilogue rails are exercised — across B ∈ {1, 2, 8} frames,
+    /// every pool width an `NP_THREADS=1..8` run resolves to, and with
+    /// the SIMD body forced off (the host-dispatched body is covered by
+    /// the public batch entry).
+    #[test]
+    fn i8_microkernel_matches_i16_reference_at_adversarial_corners(
+        out_channels in 1usize..13,
+        cols in 1usize..48,
+        patch in 1usize..36,
+        zp_sel in 0usize..4,
+        out_zp in -128i32..128,
+        neg_sel in 0u8..2,
+        sat_sel in 0u8..2,
+        relu_sel in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let relu = relu_sel == 1;
+        let in_zp = [-128i32, 0, 127, -37][zp_sel];
+        let mut weight = seeded_i8("i8-w", seed, out_channels * patch);
+        if neg_sel == 1 {
+            for w in &mut weight {
+                *w = -1 - (*w & 0x7f);
+            }
+        }
+        let bias = seeded_bias("i8-b", seed, out_channels);
+        let mults: Vec<FixedMultiplier> = if sat_sel == 1 {
+            // Out-of-range reals saturate `from_real` to the shift-0
+            // edge, driving every accumulator to the requant rails.
+            (0..out_channels)
+                .map(|i| FixedMultiplier::from_real(2.0e9 + 1.0e9 * i as f32))
+                .collect()
+        } else {
+            seeded_mults("i8-m", seed, out_channels)
+        };
+
+        // 8 frames of raw activations: offset-binary u8 blocks for the
+        // kernel, centered row-major i16 for the reference.
+        let raw = seeded_i8("i8-x", seed, 8 * cols * patch);
+        let ps = patch_stride(patch);
+        let flen = u8_lowered_len(cols, patch);
+        let mut low = vec![(in_zp + 128) as u8; 8 * flen];
+        let mut want = vec![0i8; 8 * out_channels * cols];
+        let mut low_cm = vec![0i16; patch * cols];
+        let mut acc = vec![0i32; cols];
+        for b in 0..8 {
+            let vals = &raw[b * cols * patch..(b + 1) * cols * patch];
+            for col in 0..cols {
+                for r in 0..patch {
+                    let v = vals[col * patch + r];
+                    low_cm[r * cols + col] = (v as i32 - in_zp) as i16;
+                    low[b * flen
+                        + (col / NR_I8) * NR_I8 * ps
+                        + (r / 2) * 2 * NR_I8
+                        + 2 * (col % NR_I8)
+                        + (r & 1)] = (v as u8) ^ 0x80;
+                }
+            }
+            for co in 0..out_channels {
+                qgemm_row(&weight[co * patch..(co + 1) * patch], &low_cm, bias[co], &mut acc);
+                let dst = &mut want[(b * out_channels + co) * cols..][..cols];
+                for (o, &a) in dst.iter_mut().zip(acc.iter()) {
+                    let q = requantize_to_i8(a, mults[co], out_zp);
+                    *o = if relu && (q as i32) < out_zp {
+                        out_zp.clamp(-128, 127) as i8
+                    } else {
+                        q
+                    };
+                }
+            }
+        }
+
+        let panels = pack_conv_panels_i8(&weight, out_channels, patch);
+        let fb = fold_offset_bias(&bias, &weight, out_channels, patch, in_zp);
+        for batch in [1usize, 2, 8] {
+            for threads in 1usize..=8 {
+                let mut got = vec![0i8; batch * out_channels * cols];
+                qconv_panels_i8_batch_into(
+                    Pool::new(threads),
+                    &panels, patch, &low[..batch * flen], &fb, &mults, out_zp, relu,
+                    batch, &mut got,
+                );
+                prop_assert_eq!(
+                    &got, &want[..batch * out_channels * cols],
+                    "zp {} batch {} threads {}", in_zp, batch, threads
+                );
+            }
+        }
+        // Forced-scalar body, independent of the host dispatch.
+        let mut got = vec![0i8; 8 * out_channels * cols];
+        qconv_panels_i8_frames_into(
+            Pool::serial(), &panels, patch, &low, &fb, &mults, out_zp, relu,
+            8, &mut got, false,
+        );
+        prop_assert_eq!(&got, &want, "forced scalar, zp {}", in_zp);
+    }
+
     /// The depthwise interior/edge fast path against the retained guarded
     /// reference. Kernel sizes 1..8 hit every const-generic specialization
     /// (1/3/5/7) and the fallback sizes; small planes with large padding
@@ -276,6 +381,65 @@ proptest! {
                     &mut scratch,
                     &inputs[..batch * frame_len],
                     batch,
+                );
+                prop_assert_eq!(got, &want[..], "batch {} threads {}", batch, threads);
+            }
+        }
+    }
+
+    /// A whole network compiled to the raw-i8 format against the same
+    /// network compiled to the scalar-i16 format: bit-identical outputs
+    /// across B ∈ {1, 2, 8} and threads 1..=8, with the i8 program's
+    /// packed weights strictly smaller. This pins the full stack — u8
+    /// lowering, folded bias, arena planning, batched layout — not just
+    /// the kernel.
+    #[test]
+    fn i8_program_equals_scalar_i16_program_across_batches(
+        c1 in 1usize..6,
+        c2 in 1usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        side in 8usize..13,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed(seed ^ 0x18A8);
+        let k = Initializer::KaimingUniform;
+        let oh = conv_out_dim(side, kernel, stride, 1);
+        let net = Sequential::with_name(
+            "isa-prop",
+            vec![
+                Box::new(Conv2d::new(1, c1, kernel, stride, 1, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(DepthwiseConv2d::new(c1, 3, 1, 1, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Conv2d::new(c1, c2, 1, 1, 0, k, &mut rng)),
+                Box::new(Relu::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(c2 * oh * oh, 4, k, &mut rng)),
+            ],
+        );
+        let frame_len = side * side;
+        let calib = Tensor::from_vec(
+            &[3, 1, side, side],
+            seeded_f32("ic-c", seed, 3 * frame_len),
+        );
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let p16 = qnet.compile_batched_for_isa((1, side, side), 8, KernelIsa::ScalarI16);
+        let p8 = qnet.compile_batched_for_isa((1, side, side), 8, KernelIsa::Avx2I8);
+        prop_assert!(p8.packed_weight_bytes() < p16.packed_weight_bytes());
+        let mut scratch = QScratch::for_programs(&[&p16, &p8]);
+        let inputs = seeded_i8("ip-x", seed, 8 * frame_len);
+
+        for batch in [1usize, 2, 8] {
+            let want = {
+                let (out, _) = p16.run_int_batched(
+                    Pool::serial(), &mut scratch, &inputs[..batch * frame_len], batch,
+                );
+                out.to_vec()
+            };
+            for threads in 1usize..=8 {
+                let (got, _) = p8.run_int_batched(
+                    Pool::new(threads), &mut scratch, &inputs[..batch * frame_len], batch,
                 );
                 prop_assert_eq!(got, &want[..], "batch {} threads {}", batch, threads);
             }

@@ -225,6 +225,29 @@ impl QuantizedNetwork {
         crate::program::QuantizedProgram::compile_batched(self, chw, max_batch)
     }
 
+    /// [`Self::compile`] with an explicit kernel isa (weight format)
+    /// instead of the process-wide [`crate::microkernel::kernel_isa`]
+    /// default — lets callers pin the i16 and raw-i8 conv formats side
+    /// by side in one process.
+    pub fn compile_for_isa(
+        &self,
+        chw: (usize, usize, usize),
+        isa: crate::microkernel::KernelIsa,
+    ) -> crate::program::QuantizedProgram {
+        crate::program::QuantizedProgram::compile_for_isa(self, chw, isa)
+    }
+
+    /// [`Self::compile_batched`] with an explicit kernel isa; see
+    /// [`Self::compile_for_isa`].
+    pub fn compile_batched_for_isa(
+        &self,
+        chw: (usize, usize, usize),
+        max_batch: usize,
+        isa: crate::microkernel::KernelIsa,
+    ) -> crate::program::QuantizedProgram {
+        crate::program::QuantizedProgram::compile_batched_for_isa(self, chw, max_batch, isa)
+    }
+
     /// [`Self::compile`] wrapped in an [`std::sync::Arc`] so many
     /// sessions (or threads) can execute the same packed weights without
     /// copying them. A `QuantizedProgram` holds no interior mutability —
