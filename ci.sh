@@ -24,7 +24,12 @@ cargo build --release --features trace
 cargo clippy --workspace --all-targets --features trace -- -D warnings
 cargo test -q --features trace --test zero_alloc
 
-echo "==> trace_report: layer profiles, drift, <=5% overhead gate"
+echo "==> np-calib: profile, fit, write artifact (<=15% calibrated-drift gate)"
+cargo run --release -q -p np-bench --features trace --bin calibrate \
+    CALIB.json /tmp/BENCH_calib.fresh.json >/dev/null
+
+echo "==> trace_report: layer profiles, calibrated drift, <=5% overhead gate"
+NP_CALIB=CALIB.json \
 cargo run --release -q -p np-bench --features trace --bin trace_report \
     BENCH_trace.json /tmp/BENCH_trace_events.json >/dev/null
 
@@ -74,6 +79,7 @@ cargo run --release -q -p np-bench --bin bench_pipeline /tmp/BENCH_pipeline.fres
 cargo run --release -q -p np-bench --bin bench_compare -- --strict \
     BENCH_kernels.json /tmp/BENCH_kernels.fresh.json \
     BENCH_pipeline.json /tmp/BENCH_pipeline.fresh.json \
-    BENCH_serving.json /tmp/BENCH_serving.fresh.json
+    BENCH_serving.json /tmp/BENCH_serving.fresh.json \
+    BENCH_calib.json /tmp/BENCH_calib.fresh.json
 
 echo "==> ci.sh passed"

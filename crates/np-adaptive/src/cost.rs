@@ -42,6 +42,10 @@ pub struct CostModel {
     pub config: Gap8Config,
     /// Power model for energy accounting.
     pub power: PowerModel,
+    /// True when every source plan was priced by a fitted calibration
+    /// artifact — i.e. the policy thresholds below rest on measured, not
+    /// analytic, per-layer costs.
+    pub calibrated: bool,
 }
 
 impl CostModel {
@@ -58,6 +62,7 @@ impl CostModel {
             },
             config: small.config.clone(),
             power: PowerModel::default(),
+            calibrated: small.calibrated && big.calibrated && aux.calibrated,
         }
     }
 
@@ -121,6 +126,7 @@ mod tests {
             },
             config: cfg,
             power: PowerModel::default(),
+            calibrated: false,
         }
     }
 

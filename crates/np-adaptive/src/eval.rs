@@ -141,6 +141,7 @@ mod tests {
             decision_overhead: CycleBreakdown::default(),
             config: Gap8Config::default(),
             power: PowerModel::default(),
+            calibrated: false,
         }
     }
 

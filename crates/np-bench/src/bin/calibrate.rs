@@ -1,0 +1,6 @@
+//! Fits the GAP8 cycle model from traced zoo layers; see
+//! `np_bench::calibrate`.
+
+fn main() {
+    np_bench::calibrate::main();
+}

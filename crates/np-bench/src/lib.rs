@@ -19,6 +19,8 @@
 //! Scale is controlled by `NP_SCALE`: `full` (default — paper-shaped
 //! datasets, more epochs) or `fast` (small datasets for smoke runs).
 
+#[cfg(feature = "trace")]
+pub mod calibrate;
 pub mod figures;
 #[cfg(feature = "trace")]
 pub mod trace_report;

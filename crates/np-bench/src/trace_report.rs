@@ -8,9 +8,15 @@
 //!    recording costs more than [`MAX_OVERHEAD_PCT`] percent.
 //! 2. **Per-layer profiles** — p50/p95/p99/max per program step over
 //!    [`PROFILE_FRAMES`] frames, from the span histograms.
-//! 3. **Cycle-model drift** — each model's measured step p50s fitted
-//!    against the np-dory/np-gap8 cycle predictions for the same proxy
-//!    topology ([`np_trace::drift`]).
+//! 3. **Cycle-model drift** — each model's measured step medians (exact,
+//!    from the raw ring-buffer events — the log-histogram p50s are too
+//!    coarse to score a ≤15% gate) fitted against the np-dory/np-gap8
+//!    cycle predictions for the same proxy topology
+//!    ([`np_trace::drift`]). When a calibration artifact is loaded
+//!    (`NP_CALIB`, produced by the `calibrate` binary) the drift of the
+//!    *calibrated* model is reported side by side with the analytic one
+//!    and gated at
+//!    [`MAX_CALIBRATED_DRIFT_PCT`](crate::calibrate::MAX_CALIBRATED_DRIFT_PCT).
 //! 4. **Stream telemetry** — the D1 = (F1, M1.0) ensemble over a
 //!    [`STREAM_FRAMES`]-frame synthetic stream: per-frame decision, OP
 //!    score vs threshold, little/big latency split, running `frac_big`,
@@ -24,8 +30,9 @@
 //! A second output file holds the stream's span events in Chrome trace
 //! format for `chrome://tracing` / Perfetto.
 
+use crate::calibrate::MAX_CALIBRATED_DRIFT_PCT;
 use np_adaptive::FrameRunner;
-use np_dory::deploy;
+use np_dory::{deploy_analytic, deploy_calibrated};
 use np_gap8::Gap8Config;
 use np_nn::init::SmallRng;
 use np_quant::{QScratch, QuantizedNetwork};
@@ -120,6 +127,7 @@ pub fn main() {
         .find(|(id, _, _)| *id == ModelId::M10)
         .unwrap();
     let program = qm10.compile(PROXY_INPUT);
+    let kernel_isa = program.isa().as_str();
     let mut scratch = QScratch::for_program(&program);
     let q = qm10.input_params().quantize_slice(frame.as_slice());
 
@@ -151,6 +159,30 @@ pub fn main() {
         .into_iter()
         .filter(|s| s.count > 0)
         .collect();
+    // Exact per-span medians from the raw events: the histogram p50s
+    // quantize at ~12.5% per bucket, which would drown a ≤15% drift gate.
+    let span_names = np_trace::span_names();
+    let medians = np_calib::median_ns_by_span(&np_trace::span_events());
+    // A name can be registered more than once (the overhead gate compiles
+    // M1.0 separately); only the profile-loop registration has events
+    // after the reset above, so scan every id carrying the name.
+    let median_of = |name: &str| -> f64 {
+        span_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.as_str() == name)
+            .find_map(|(idx, _)| {
+                medians
+                    .iter()
+                    .find(|(s, _)| *s as usize == idx)
+                    .map(|(_, m)| *m)
+            })
+            .expect("profiled span must be registered with events")
+    };
+
+    // Calibration artifact (NP_CALIB): when present, the calibrated cycle
+    // model is scored side by side with the analytic one.
+    let calib_model = np_gap8::calib::current_or_warn("trace_report drift");
 
     let gap8 = Gap8Config::default();
     let mut model_sections = Vec::new();
@@ -165,7 +197,8 @@ pub fn main() {
             .iter()
             .filter(|s| is_compute_step(&s.name, &name))
             .collect();
-        let plan = deploy(&net.describe(PROXY_INPUT), &gap8).expect("proxy model must fit GAP8");
+        let desc = net.describe(PROXY_INPUT);
+        let plan = deploy_analytic(&desc, &gap8).expect("proxy model must fit GAP8");
         assert_eq!(
             steps.len(),
             plan.layers.len(),
@@ -174,18 +207,39 @@ pub fn main() {
         let triples: Vec<(String, f64, f64)> = steps
             .iter()
             .zip(&plan.layers)
-            .map(|(s, l)| (s.name.clone(), s.p50_ns as f64, l.cycles.total() as f64))
+            .map(|(s, l)| (s.name.clone(), median_of(&s.name), l.cycles.total() as f64))
             .collect();
         let drift = np_trace::drift::drift_report(&triples);
-        np_trace::info!(
-            "[trace_report] {name}: {} steps, drift mean |{:.1}|% max |{:.1}|% \
-             (scale {:.3} ns/cycle)",
-            steps.len(),
-            drift.mean_abs_drift_pct,
-            drift.max_abs_drift_pct,
-            drift.scale_ns_per_cycle
-        );
-        model_sections.push((name, layers, drift));
+        let drift_calibrated = calib_model.map(|m| {
+            let cal_plan = deploy_calibrated(&desc, &gap8, m).expect("proxy model must fit GAP8");
+            let triples: Vec<(String, f64, f64)> = steps
+                .iter()
+                .zip(&cal_plan.layers)
+                .map(|(s, l)| (s.name.clone(), median_of(&s.name), l.cycles.total() as f64))
+                .collect();
+            np_trace::drift::drift_report(&triples)
+        });
+        match &drift_calibrated {
+            Some(cal) => np_trace::info!(
+                "[trace_report] {name}: {} steps, analytic drift mean |{:.1}|% max \
+                 |{:.1}|% -> calibrated mean |{:.1}|% max |{:.1}|% (gate \
+                 {MAX_CALIBRATED_DRIFT_PCT}%)",
+                steps.len(),
+                drift.mean_abs_drift_pct,
+                drift.max_abs_drift_pct,
+                cal.mean_abs_drift_pct,
+                cal.max_abs_drift_pct
+            ),
+            None => np_trace::info!(
+                "[trace_report] {name}: {} steps, drift mean |{:.1}|% max |{:.1}|% \
+                 (scale {:.3} ns/cycle, no calibration artifact)",
+                steps.len(),
+                drift.mean_abs_drift_pct,
+                drift.max_abs_drift_pct,
+                drift.scale_ns_per_cycle
+            ),
+        }
+        model_sections.push((name, layers, drift, drift_calibrated));
     }
     np_trace::reset(); // stream section gets a clean event log
 
@@ -264,10 +318,22 @@ pub fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"cpus_available\": {cpus},");
     let _ = writeln!(json, "  \"profile_frames\": {PROFILE_FRAMES},");
+    let _ = writeln!(json, "  \"kernel_isa\": \"{kernel_isa}\",");
+    let _ = writeln!(json, "  \"np_threads\": {},", pool.threads());
     let _ = writeln!(
         json,
         "  \"input_chw\": [{}, {}, {}],",
         PROXY_INPUT.0, PROXY_INPUT.1, PROXY_INPUT.2
+    );
+    let _ = writeln!(
+        json,
+        "  \"calibration\": {{\"present\": {}, \"source\": \"{}\"}},",
+        calib_model.is_some(),
+        if calib_model.is_some() {
+            std::env::var("NP_CALIB").unwrap_or_default()
+        } else {
+            "analytic".to_string()
+        }
     );
     let _ = writeln!(
         json,
@@ -276,10 +342,18 @@ pub fn main() {
     );
     json.push_str("  \"models\": [\n");
     let n_models = model_sections.len();
-    for (i, (name, layers, drift)) in model_sections.iter().enumerate() {
+    for (i, (name, layers, drift, drift_calibrated)) in model_sections.iter().enumerate() {
         let _ = writeln!(json, "    {{\"model\": \"{name}\",");
         let _ = writeln!(json, "     \"layers\": {},", summary_json(layers, 5));
-        let _ = writeln!(json, "     \"drift\": {}", drift.to_json(5));
+        let _ = writeln!(json, "     \"drift\": {},", drift.to_json(5));
+        match drift_calibrated {
+            Some(cal) => {
+                let _ = writeln!(json, "     \"drift_calibrated\": {}", cal.to_json(5));
+            }
+            None => {
+                let _ = writeln!(json, "     \"drift_calibrated\": null");
+            }
+        }
         let _ = writeln!(json, "    }}{}", if i + 1 < n_models { "," } else { "" });
     }
     json.push_str("  ],\n");
@@ -359,4 +433,14 @@ pub fn main() {
         overhead_pct <= MAX_OVERHEAD_PCT,
         "instrumentation overhead {overhead_pct:.2}% exceeds the {MAX_OVERHEAD_PCT}% gate"
     );
+    for (name, _, _, drift_calibrated) in &model_sections {
+        if let Some(cal) = drift_calibrated {
+            assert!(
+                cal.mean_abs_drift_pct <= MAX_CALIBRATED_DRIFT_PCT,
+                "{name}: post-calibration mean abs drift {:.2}% exceeds the \
+                 {MAX_CALIBRATED_DRIFT_PCT}% gate",
+                cal.mean_abs_drift_pct
+            );
+        }
+    }
 }

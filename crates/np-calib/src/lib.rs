@@ -1,0 +1,176 @@
+//! # np-calib
+//!
+//! The profiling-to-calibration subsystem that closes the cycle-model
+//! drift loop.
+//!
+//! `BENCH_trace.json` (PR 4) exposed ~67% mean per-layer drift between
+//! measured host time and the np-dory/np-gap8 analytic cycle predictions
+//! — the hardware proxy every adaptive-policy cost claim rests on was
+//! visibly uncalibrated. This crate *fits* the model instead of just
+//! reporting the gap:
+//!
+//! 1. **Capture** ([`capture`]) — run every zoo program layer-by-layer
+//!    under the np-trace recorder, tag each compute span with its kernel
+//!    class and workload descriptors (MACs, bytes moved, im2row panel bytes,
+//!    `KernelIsa`), and take exact per-span medians.
+//! 2. **Fit** ([`fit`]) — dependency-free weighted least squares
+//!    producing per-kernel-class coefficients (cycles-per-MAC +
+//!    cycles-per-byte + cycles-per-column + fixed overhead), with
+//!    degenerate classes falling back to a pooled fit and a residual
+//!    report per class.
+//! 3. **Artifact** ([`calibrate`]) — assemble a versioned
+//!    [`np_gap8::calib::CalibModel`] (`CALIB.json`: coefficients, host
+//!    fingerprint, `KernelIsa`, fit residuals, schema version) that
+//!    np-dory plans and np-gap8 perf load via `NP_CALIB`, with the
+//!    analytic model as the explicit warn-once fallback.
+//!
+//! The fitted coefficients live in *nanoseconds* at capture time; the
+//! artifact stores them in *cycles* by dividing through the global
+//! least-squares ns-per-cycle scale between measured layers and the
+//! analytic plan — so calibrated and analytic predictions share one
+//! absolute scale and DVFS conversion applies to both unchanged.
+
+pub mod capture;
+pub mod fit;
+
+pub use capture::{capture_zoo, median_ns_by_span, Capture, CapturedLayer};
+pub use fit::{fit_all, fit_samples, FitOutcome, Sample};
+
+use np_gap8::calib::{CalibModel, ClassCoeffs, ClassFit, SCHEMA_VERSION};
+
+/// Least-squares ns-per-cycle scale between measured times and analytic
+/// predictions: `argmin_s Σ (measured - s·predicted)²` =
+/// `Σ m·p / Σ p²` — the same anchor `np_trace::drift` fits, so the
+/// artifact's cycle unit matches the drift report's.
+pub fn ns_per_cycle_scale(layers: &[CapturedLayer]) -> f64 {
+    let num: f64 = layers
+        .iter()
+        .map(|l| l.sample.measured_ns * l.analytic_cycles)
+        .sum();
+    let den: f64 = layers.iter().map(|l| l.analytic_cycles.powi(2)).sum();
+    if den > 0.0 {
+        num / den
+    } else {
+        1.0
+    }
+}
+
+fn rescale(fit: &ClassFit, ns_per_cycle: f64) -> ClassFit {
+    let s = ns_per_cycle.max(1e-12);
+    ClassFit {
+        coeffs: ClassCoeffs {
+            cycles_per_mac: fit.coeffs.cycles_per_mac / s,
+            cycles_per_byte: fit.coeffs.cycles_per_byte / s,
+            cycles_per_im2row_byte: fit.coeffs.cycles_per_im2row_byte / s,
+            overhead_cycles: fit.coeffs.overhead_cycles / s,
+        },
+        ..fit.clone()
+    }
+}
+
+/// Fits a capture into a versioned calibration artifact.
+///
+/// # Errors
+///
+/// Returns an error when the capture is empty or even the pooled fit is
+/// degenerate.
+pub fn calibrate(capture: &Capture) -> Result<CalibModel, String> {
+    let samples: Vec<Sample> = capture.layers.iter().map(|l| l.sample.clone()).collect();
+    let outcome = fit_all(&samples)?;
+    let scale = ns_per_cycle_scale(&capture.layers);
+    if scale <= 0.0 {
+        return Err(format!("non-positive ns/cycle scale {scale}"));
+    }
+    Ok(CalibModel {
+        schema_version: SCHEMA_VERSION,
+        host: capture.host.clone(),
+        kernel_isa: capture.kernel_isa.clone(),
+        np_threads: capture.np_threads,
+        profile_frames: capture.profile_frames,
+        scale_ns_per_cycle: scale,
+        classes: outcome.classes.iter().map(|f| rescale(f, scale)).collect(),
+        pooled: rescale(&outcome.pooled, scale),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_gap8::perf::KernelClass;
+
+    fn layer(class: KernelClass, macs: u64, bytes: u64, ns: f64, cycles: f64) -> CapturedLayer {
+        CapturedLayer {
+            sample: Sample {
+                name: format!("m/{macs}"),
+                class,
+                macs,
+                io_bytes: bytes,
+                im2row_bytes: 0,
+                measured_ns: ns,
+            },
+            model: "F1".into(),
+            analytic_cycles: cycles,
+        }
+    }
+
+    /// Synthetic capture at a known 0.5 ns/cycle scale with layers obeying
+    /// `t = 1.0·macs + 400` ns: the artifact must carry cycle-unit
+    /// coefficients (2 cycles/MAC, 800 cycles overhead) and calibrated
+    /// predictions must land on the measurements after scale conversion.
+    #[test]
+    fn calibrate_rescales_fitted_ns_into_cycles() {
+        let mks: [u64; 4] = [10_000, 40_000, 90_000, 160_000];
+        let layers: Vec<CapturedLayer> = mks
+            .iter()
+            .map(|&m| {
+                let t = 1.0 * m as f64 + 400.0;
+                // Analytic prediction exactly 2·t cycles → scale 0.5.
+                layer(KernelClass::Linear, m, m / 8, t, 2.0 * t)
+            })
+            .collect();
+        let capture = Capture {
+            layers,
+            kernel_isa: "scalar".into(),
+            np_threads: 1,
+            profile_frames: 30,
+            host: "test/1cpu".into(),
+        };
+        let model = calibrate(&capture).expect("calibrate");
+        assert!((model.scale_ns_per_cycle - 0.5).abs() < 1e-9);
+        let lin = model.coeffs(KernelClass::Linear);
+        // The ladder may keep bytes (collinear with macs here it is not:
+        // bytes = macs/8 exactly → collinear → dropped) — so macs+const.
+        assert!((lin.cycles_per_mac * 0.5 + lin.cycles_per_byte * 0.5 / 8.0 - 1.0).abs() < 1e-6);
+        assert!((lin.overhead_cycles * 0.5 - 400.0).abs() < 1e-3);
+        // Calibrated cycles × scale reproduces measured ns.
+        for &m in &mks {
+            let pred_cycles = lin.predict(m, m / 8, 0);
+            let pred_ns = pred_cycles * model.scale_ns_per_cycle;
+            let want = 1.0 * m as f64 + 400.0;
+            assert!((pred_ns - want).abs() / want < 1e-9, "macs {m}");
+        }
+    }
+
+    #[test]
+    fn empty_capture_is_an_error() {
+        let capture = Capture {
+            layers: vec![],
+            kernel_isa: "scalar".into(),
+            np_threads: 1,
+            profile_frames: 30,
+            host: "test".into(),
+        };
+        assert!(calibrate(&capture).is_err());
+    }
+
+    #[test]
+    fn scale_matches_closed_form() {
+        let layers = vec![
+            layer(KernelClass::Conv, 1_000, 100, 1_000.0, 2_000.0),
+            layer(KernelClass::Conv, 2_000, 200, 2_000.0, 4_000.0),
+        ];
+        // measured = 0.5 · predicted exactly.
+        assert!((ns_per_cycle_scale(&layers) - 0.5).abs() < 1e-12);
+        assert_eq!(ns_per_cycle_scale(&[]), 1.0);
+    }
+}

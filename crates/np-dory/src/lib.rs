@@ -43,5 +43,8 @@ pub mod plan;
 pub mod schedule;
 pub mod tiling;
 
-pub use plan::{deploy, ensemble_l2_bytes, DeployError, DeploymentPlan, LayerPlan};
+pub use plan::{
+    deploy, deploy_analytic, deploy_calibrated, ensemble_l2_bytes, DeployError, DeploymentPlan,
+    LayerPlan,
+};
 pub use tiling::{Tile, TilingChoice};

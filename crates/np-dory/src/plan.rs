@@ -1,7 +1,8 @@
 //! Whole-network deployment plans.
 
-use crate::schedule::schedule_layer;
+use crate::schedule::schedule_layer_with;
 use crate::tiling::{matters, solve_tiling, TilingChoice, TilingObjective};
+use np_gap8::calib::CalibModel;
 use np_gap8::mem::{MemoryKind, MemoryPlan};
 use np_gap8::perf::CycleBreakdown;
 use np_gap8::power::PowerModel;
@@ -63,6 +64,9 @@ pub struct DeploymentPlan {
     pub weight_bytes: usize,
     /// Ping-pong activation buffer bytes in L2 (largest input+output pair).
     pub activation_bytes: usize,
+    /// True when the cycle prices came from a fitted calibration artifact
+    /// ([`np_gap8::calib::CalibModel`]) rather than the analytic model.
+    pub calibrated: bool,
     /// The SoC configuration the plan was priced under.
     pub config: Gap8Config,
 }
@@ -91,6 +95,11 @@ impl DeploymentPlan {
 
 /// Plans `network` onto GAP8 with the default (max-tile) objective.
 ///
+/// Cycle prices come from the process-wide calibration artifact when one
+/// is loaded (`NP_CALIB`, see [`np_gap8::calib::current`]); otherwise the
+/// analytic model applies and the first caller gets a warn-once through
+/// the np-trace log facade.
+///
 /// # Errors
 ///
 /// Returns [`DeployError`] if any layer cannot be tiled into L1 or the
@@ -100,7 +109,8 @@ pub fn deploy(network: &NetworkDesc, cfg: &Gap8Config) -> Result<DeploymentPlan,
 }
 
 /// Plans `network` with an explicit tiling objective (for the ablation
-/// bench comparing `MaxTile` vs `MinDma`).
+/// bench comparing `MaxTile` vs `MinDma`). Consults the process-wide
+/// calibration artifact like [`deploy`].
 ///
 /// # Errors
 ///
@@ -111,6 +121,56 @@ pub fn deploy_with_objective(
     cfg: &Gap8Config,
     objective: TilingObjective,
 ) -> Result<DeploymentPlan, DeployError> {
+    deploy_with(
+        network,
+        cfg,
+        objective,
+        np_gap8::calib::current_or_warn("np-dory deploy"),
+    )
+}
+
+/// Plans `network` with the uncalibrated analytic cycle model regardless
+/// of any loaded calibration artifact — the explicit fallback path, kept
+/// callable so drift reports can show analytic vs calibrated side by side.
+///
+/// # Errors
+///
+/// Returns [`DeployError`] if any layer cannot be tiled into L1 or the
+/// network overflows L2.
+pub fn deploy_analytic(
+    network: &NetworkDesc,
+    cfg: &Gap8Config,
+) -> Result<DeploymentPlan, DeployError> {
+    deploy_with(network, cfg, TilingObjective::MaxTile, None)
+}
+
+/// Plans `network` priced by an explicit calibration artifact.
+///
+/// # Errors
+///
+/// Returns [`DeployError`] if any layer cannot be tiled into L1 or the
+/// network overflows L2.
+pub fn deploy_calibrated(
+    network: &NetworkDesc,
+    cfg: &Gap8Config,
+    calib: &CalibModel,
+) -> Result<DeploymentPlan, DeployError> {
+    deploy_with(network, cfg, TilingObjective::MaxTile, Some(calib))
+}
+
+/// The general planner: explicit tiling objective and optional
+/// calibration artifact.
+///
+/// # Errors
+///
+/// Returns [`DeployError`] if any layer cannot be tiled into L1 or the
+/// network overflows L2.
+pub fn deploy_with(
+    network: &NetworkDesc,
+    cfg: &Gap8Config,
+    objective: TilingObjective,
+    calib: Option<&CalibModel>,
+) -> Result<DeploymentPlan, DeployError> {
     let mut layers = Vec::new();
     let mut total = CycleBreakdown::default();
     for layer in &network.layers {
@@ -119,7 +179,7 @@ pub fn deploy_with_objective(
         }
         let choice = solve_tiling(layer, cfg, objective)
             .ok_or_else(|| DeployError::TilingFailed(layer.name.clone()))?;
-        let cycles = schedule_layer(layer, choice, cfg);
+        let cycles = schedule_layer_with(layer, choice, cfg, calib);
         total = total.add(&cycles);
         layers.push(LayerPlan {
             name: layer.name.clone(),
@@ -150,6 +210,7 @@ pub fn deploy_with_objective(
         cycles: total,
         weight_bytes,
         activation_bytes,
+        calibrated: calib.is_some(),
         config: cfg.clone(),
     })
 }
@@ -268,6 +329,54 @@ mod tests {
             together,
             weight_bytes(&a) + weight_bytes(&b) + activation_bytes(&a).max(activation_bytes(&b))
         );
+    }
+
+    #[test]
+    fn calibrated_deploy_reprices_and_flags_the_plan() {
+        use np_gap8::calib::{ClassCoeffs, ClassFit, SCHEMA_VERSION};
+        use np_gap8::perf::KernelClass;
+
+        let cfg = Gap8Config::default();
+        let desc = frontnet_ish(16, 32);
+        let analytic = deploy_analytic(&desc, &cfg).unwrap();
+        assert!(!analytic.calibrated);
+
+        let pooled = ClassFit {
+            class: KernelClass::Elementwise,
+            coeffs: ClassCoeffs {
+                cycles_per_mac: 0.5,
+                cycles_per_byte: 0.0,
+                cycles_per_im2row_byte: 0.0,
+                overhead_cycles: 2_000.0,
+            },
+            samples: 8,
+            features: "pooled".into(),
+            mean_abs_residual_pct: 0.0,
+            max_abs_residual_pct: 0.0,
+        };
+        let model = CalibModel {
+            schema_version: SCHEMA_VERSION,
+            host: "test".into(),
+            kernel_isa: "scalar".into(),
+            np_threads: 1,
+            profile_frames: 1,
+            scale_ns_per_cycle: 1.0,
+            classes: vec![],
+            pooled,
+        };
+        let calibrated = deploy_calibrated(&desc, &cfg, &model).unwrap();
+        assert!(calibrated.calibrated);
+        assert_eq!(calibrated.layers.len(), analytic.layers.len());
+        // Every layer is repriced by the pooled linear model.
+        for (cal, layer) in calibrated.layers.iter().zip(
+            desc.layers
+                .iter()
+                .filter(|l| crate::tiling::matters(l.kind)),
+        ) {
+            let expected = (0.5 * layer.macs() as f64).round() as u64 + 2_000;
+            assert_eq!(cal.cycles.total(), expected, "layer {}", cal.name);
+        }
+        assert_ne!(calibrated.total_cycles(), analytic.total_cycles());
     }
 
     #[test]

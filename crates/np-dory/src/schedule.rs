@@ -1,6 +1,7 @@
 //! Per-layer schedule pricing: compute vs DMA under double buffering.
 
 use crate::tiling::{matters, total_dma_bytes, TilingChoice};
+use np_gap8::calib::CalibModel;
 use np_gap8::dma::DmaLink;
 use np_gap8::perf::{compute_cycles, CycleBreakdown, KernelClass};
 use np_gap8::Gap8Config;
@@ -25,6 +26,23 @@ pub fn kernel_class(layer: &LayerDesc) -> KernelClass {
     }
 }
 
+/// The linear-model workload descriptors of one layer: MACs, activation
+/// bytes moved (int8 input read + output written), and im2row panel bytes
+/// lowered (`columns × patch = macs / out_channels` for im2row-lowered
+/// conv kinds — the u8 patch matrix written once and re-read by the GEMM;
+/// zero for kernels that never build it). These are the features the
+/// `np-calib` fitter regresses measured time against, so the analytic and
+/// calibrated paths price exactly the same quantities.
+pub fn layer_workload(layer: &LayerDesc) -> (u64, u64, u64) {
+    let macs = layer.macs();
+    let io_bytes = layer.input_elems() + layer.output_elems();
+    let im2row_bytes = match layer.kind {
+        LayerKind::Conv2d => macs / (layer.out_channels.max(1) as u64),
+        _ => 0,
+    };
+    (macs, io_bytes, im2row_bytes)
+}
+
 /// Prices one layer: compute cycles from the kernel model, per-tile DMA
 /// over L2↔L1, and the stall cycles double buffering cannot hide.
 ///
@@ -33,6 +51,19 @@ pub fn kernel_class(layer: &LayerDesc) -> KernelClass {
 /// `max(compute_tile, dma_tile)`, plus a prologue (first input transfer)
 /// and epilogue (last output transfer).
 pub fn schedule_layer(layer: &LayerDesc, choice: TilingChoice, cfg: &Gap8Config) -> CycleBreakdown {
+    schedule_layer_with(layer, choice, cfg, None)
+}
+
+/// [`schedule_layer`] with an optional calibration artifact: when `calib`
+/// is present the layer is priced by the fitted per-kernel-class linear
+/// model over [`layer_workload`] descriptors; when absent (or for free
+/// folded ops) the analytic model applies.
+pub fn schedule_layer_with(
+    layer: &LayerDesc,
+    choice: TilingChoice,
+    cfg: &Gap8Config,
+    calib: Option<&CalibModel>,
+) -> CycleBreakdown {
     if !matters(layer.kind) {
         // Folded/free ops: zero cost at deployment granularity. (BatchNorm
         // is folded into convs before deployment; standalone activations
@@ -41,8 +72,11 @@ pub fn schedule_layer(layer: &LayerDesc, choice: TilingChoice, cfg: &Gap8Config)
     }
 
     let class = kernel_class(layer);
-    let macs = layer.macs();
-    let compute = compute_cycles(cfg, class, macs, layer.out_channels);
+    let (macs, io_bytes, im2row_bytes) = layer_workload(layer);
+    if let Some(model) = calib {
+        return model.breakdown(class, macs, io_bytes, im2row_bytes);
+    }
+    let compute = compute_cycles(cfg, class, macs, layer.out_channels, io_bytes);
 
     let dma_bytes = total_dma_bytes(layer, choice);
     let dma_total = DmaLink::L2ToL1.transfer_cycles(dma_bytes / choice.n_tiles.max(1))
@@ -123,6 +157,74 @@ mod tests {
         let l = layer(LayerKind::Activation, 32, 32, (24, 40), 1);
         let choice = solve_tiling(&l, &cfg, TilingObjective::MaxTile).unwrap();
         assert_eq!(schedule_layer(&l, choice, &cfg).total(), 0);
+    }
+
+    #[test]
+    fn calibrated_pricing_uses_fitted_coefficients() {
+        use np_gap8::calib::{CalibModel, ClassCoeffs, ClassFit};
+
+        let cfg = Gap8Config::default();
+        let l = layer(LayerKind::Conv2d, 32, 32, (24, 40), 3);
+        let choice = solve_tiling(&l, &cfg, TilingObjective::MaxTile).unwrap();
+        let pooled = ClassFit {
+            class: KernelClass::Elementwise,
+            coeffs: ClassCoeffs {
+                cycles_per_mac: 1.0,
+                cycles_per_byte: 0.0,
+                cycles_per_im2row_byte: 0.0,
+                overhead_cycles: 0.0,
+            },
+            samples: 3,
+            features: "pooled".into(),
+            mean_abs_residual_pct: 0.0,
+            max_abs_residual_pct: 0.0,
+        };
+        let model = CalibModel {
+            schema_version: np_gap8::calib::SCHEMA_VERSION,
+            host: "test".into(),
+            kernel_isa: "scalar".into(),
+            np_threads: 1,
+            profile_frames: 1,
+            scale_ns_per_cycle: 1.0,
+            classes: vec![ClassFit {
+                class: KernelClass::Conv,
+                coeffs: ClassCoeffs {
+                    cycles_per_mac: 0.25,
+                    cycles_per_byte: 0.0,
+                    cycles_per_im2row_byte: 0.0,
+                    overhead_cycles: 100.0,
+                },
+                ..pooled.clone()
+            }],
+            pooled,
+        };
+        let calibrated = schedule_layer_with(&l, choice, &cfg, Some(&model));
+        let (macs, _, _) = layer_workload(&l);
+        // The fitted linear model is applied verbatim...
+        assert_eq!(calibrated.total(), macs / 4 + 100);
+        // ...and differs from the analytic price.
+        assert_ne!(calibrated.total(), schedule_layer(&l, choice, &cfg).total());
+        // Free ops stay free even under calibration.
+        let relu = layer(LayerKind::Activation, 32, 32, (24, 40), 1);
+        assert_eq!(
+            schedule_layer_with(&relu, choice, &cfg, Some(&model)).total(),
+            0
+        );
+    }
+
+    #[test]
+    fn workload_descriptors_match_layer_shapes() {
+        let conv = layer(LayerKind::Conv2d, 32, 32, (24, 40), 3);
+        let (macs, io_bytes, im2row) = layer_workload(&conv);
+        assert_eq!(macs, conv.macs());
+        assert_eq!(io_bytes, conv.input_elems() + conv.output_elems());
+        // cols x patch = (24*40) x (32*3*3) u8 panel bytes per frame.
+        assert_eq!(im2row, 24 * 40 * 32 * 9);
+        // Non-im2row kinds lower no panel bytes.
+        let dw = layer(LayerKind::DepthwiseConv2d, 32, 32, (24, 40), 3);
+        assert_eq!(layer_workload(&dw).2, 0);
+        let lin = layer(LayerKind::Linear, 100, 4, (1, 1), 1);
+        assert_eq!(layer_workload(&lin).2, 0);
     }
 
     #[test]

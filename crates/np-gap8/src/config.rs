@@ -36,6 +36,14 @@ pub struct Gap8Config {
     pub linear_mac_per_cycle_core: f64,
     /// Output elements/cycle (whole cluster) for pooling kernels.
     pub pool_elems_per_cycle: f64,
+    /// Activation bytes (input read + output written) per cycle sustained
+    /// by pooling/elementwise kernels. These kernels do ~no arithmetic per
+    /// element, so their cost is dominated by streaming the activation
+    /// planes through L1 — the traffic term whose absence showed up as the
+    /// +253% F1 maxpool drift in `BENCH_trace.json`. The rate here is the
+    /// GAP8-plausible cluster aggregate; the measured host rate lives in
+    /// the `CALIB.json` pool-class coefficients.
+    pub pool_bytes_per_cycle: f64,
     /// Fixed cluster-offload cost per layer (FC→CL handshake, cluster
     /// wakeup, kernel argument marshalling), in cycles.
     pub layer_setup_cycles: u64,
@@ -59,6 +67,7 @@ impl Default for Gap8Config {
             depthwise_mac_per_cycle_core: 0.34,
             linear_mac_per_cycle_core: 0.45,
             pool_elems_per_cycle: 2.0,
+            pool_bytes_per_cycle: 2.0,
             layer_setup_cycles: 6_000,
             channel_util_knee: 6.0,
         }

@@ -33,6 +33,7 @@
 //! assert!(conv > 2.0 * dw);
 //! ```
 
+pub mod calib;
 pub mod config;
 pub mod dma;
 pub mod dvfs;

@@ -54,18 +54,32 @@ impl CycleBreakdown {
 }
 
 /// Compute-only cycles for `macs` MAC operations of the given class with
-/// `out_channels` output channels (determines cluster utilization).
+/// `out_channels` output channels (determines cluster utilization) moving
+/// `io_bytes` of activations (input read + output written).
 ///
 /// MAC kernels pay two multiplicative utilization penalties: the empirical
 /// channel-count knee (small layers cannot amortize per-core ramp-up) and
 /// the exact DORY/PULP-NN partition raggedness of splitting `out_channels`
 /// across the cluster cores ([`Gap8Config::core_partition_utilization`]).
+/// Their activation traffic is priced separately by the DMA stall model,
+/// so `io_bytes` is ignored for them.
 ///
-/// Pooling/elementwise "macs" are interpreted as output-element counts.
-pub fn compute_cycles(cfg: &Gap8Config, class: KernelClass, macs: u64, out_channels: usize) -> u64 {
+/// Pooling/elementwise "macs" are interpreted as output-element counts,
+/// and — being ~0 arithmetic per element — these kernels additionally pay
+/// a streaming term of `io_bytes / pool_bytes_per_cycle`: their real cost
+/// is moving the planes, not comparing elements.
+pub fn compute_cycles(
+    cfg: &Gap8Config,
+    class: KernelClass,
+    macs: u64,
+    out_channels: usize,
+    io_bytes: u64,
+) -> u64 {
     match class {
         KernelClass::Pool | KernelClass::Elementwise => {
-            (macs as f64 / cfg.pool_elems_per_cycle).ceil() as u64
+            let element_cycles = macs as f64 / cfg.pool_elems_per_cycle;
+            let traffic_cycles = io_bytes as f64 / cfg.pool_bytes_per_cycle.max(1e-9);
+            (element_cycles + traffic_cycles).ceil() as u64
         }
         _ => {
             let throughput = cfg.mac_per_cycle(class)
@@ -83,16 +97,16 @@ mod tests {
     #[test]
     fn conv_faster_than_depthwise_per_mac() {
         let cfg = Gap8Config::default();
-        let conv = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32);
-        let dw = compute_cycles(&cfg, KernelClass::DepthwiseConv, 1_000_000, 32);
+        let conv = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32, 0);
+        let dw = compute_cycles(&cfg, KernelClass::DepthwiseConv, 1_000_000, 32, 0);
         assert!(dw > 2 * conv, "dw {dw} vs conv {conv}");
     }
 
     #[test]
     fn small_channel_counts_underutilize() {
         let cfg = Gap8Config::default();
-        let narrow = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 4);
-        let wide = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 64);
+        let narrow = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 4, 0);
+        let wide = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 64, 0);
         assert!(narrow > wide);
     }
 
@@ -102,9 +116,31 @@ mod tests {
         // round, so per-MAC cost exceeds the 32-channel layout even though
         // the channel-knee utilization slightly improves.
         let cfg = Gap8Config::default();
-        let aligned = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32);
-        let ragged = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 33);
+        let aligned = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 32, 0);
+        let ragged = compute_cycles(&cfg, KernelClass::Conv, 1_000_000, 33, 0);
         assert!(ragged > aligned, "ragged {ragged} vs aligned {aligned}");
+    }
+
+    #[test]
+    fn maxpool_prediction_prices_activation_traffic() {
+        // F1's 2x2/2 maxpool over 32x24x40 int8 activations: 7680 output
+        // elements, 30720 window-element "macs", 38400 bytes streamed
+        // (30720 in + 7680 out). The pre-fix element-rate model priced
+        // this at ~15k cycles and drifted +253% against the traced
+        // measurement; with the traffic term the prediction must sit in
+        // a sane band for a memory-bound kernel and the traffic term
+        // must carry more than the element term.
+        let cfg = Gap8Config::default();
+        let macs = 30_720;
+        let io_bytes = 30_720 + 7_680;
+        let cycles = compute_cycles(&cfg, KernelClass::Pool, macs, 32, io_bytes);
+        assert!(
+            (25_000..60_000).contains(&cycles),
+            "maxpool prediction {cycles} cycles outside the sane band"
+        );
+        // The traffic term must be material, not a rounding correction.
+        let without_traffic = compute_cycles(&cfg, KernelClass::Pool, macs, 32, 0);
+        assert!(cycles > 2 * without_traffic);
     }
 
     #[test]
@@ -125,7 +161,7 @@ mod tests {
         // 4.5 MMAC of standard conv at default throughputs lands in the
         // single-digit-millisecond range at 170 MHz, like the paper's F1.
         let cfg = Gap8Config::default();
-        let cycles = compute_cycles(&cfg, KernelClass::Conv, 4_510_000, 32);
+        let cycles = compute_cycles(&cfg, KernelClass::Conv, 4_510_000, 32, 0);
         let ms = cfg.cycles_to_ms(cycles);
         assert!(ms > 2.0 && ms < 9.0, "unrealistic latency {ms} ms");
     }

@@ -49,7 +49,7 @@ pub mod qparams;
 pub mod requant;
 
 pub use microkernel::{kernel_isa, KernelIsa};
-pub use program::{QScratch, QuantizedProgram};
+pub use program::{QScratch, QuantizedProgram, StepWorkload};
 pub use qnetwork::QuantizedNetwork;
 pub use qparams::{MinMaxObserver, QuantParams};
 

@@ -174,6 +174,32 @@ impl Step {
     }
 }
 
+/// Workload descriptors of one executable step, as consumed by the
+/// `np-calib` cycle-model fitter: the quantities a linear cost model can
+/// regress measured span time against. Indices line up with the program's
+/// step spans (`{name}/{index:02}-{kind}`), so a traced duration joins
+/// its descriptors by position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepWorkload {
+    /// Step position in the program (== the span-name index).
+    pub index: usize,
+    /// Step kind tag as it appears in span names (`"conv"`, `"dw"`, ...).
+    pub kind: &'static str,
+    /// Spatial kernel size (1 for linear/elementwise; distinguishes
+    /// pointwise from standard convolutions).
+    pub kernel: usize,
+    /// Output channels / features.
+    pub out_channels: usize,
+    /// Multiply-accumulates (window elements for pooling, touched
+    /// elements for elementwise).
+    pub macs: u64,
+    /// Arena bytes read + written ([`Step::io_bytes`]).
+    pub io_bytes: u64,
+    /// im2row patch columns lowered (conv steps only; zero for kernels
+    /// that never build the patch matrix).
+    pub im2row_cols: u64,
+}
+
 /// Buffer bookkeeping during compilation: sizes and live ranges of the
 /// activation chain, one logical time tick per executed step.
 struct Bufs {
@@ -348,6 +374,8 @@ pub struct QuantizedProgram {
     step_bytes: Vec<u64>,
     /// Span covering one whole `exec_steps` pass.
     frame_span: np_trace::SpanId,
+    /// The kernel isa the program's weights were packed for.
+    isa: KernelIsa,
     /// Present iff compiled with [`Self::compile_batched`]: the scaled
     /// arena plan for cross-frame batched passes.
     batch_plan: Option<BatchPlan>,
@@ -647,6 +675,7 @@ impl QuantizedProgram {
             step_spans,
             step_bytes,
             frame_span,
+            isa,
             batch_plan,
         }
     }
@@ -692,6 +721,111 @@ impl QuantizedProgram {
     /// every intermediate buffer, with no offset reuse.
     pub fn naive_activation_bytes(&self) -> usize {
         self.buf_sizes.iter().sum()
+    }
+
+    /// The kernel isa the program was compiled for (weight packing and
+    /// executor tile selection) — recorded so profiling artifacts can
+    /// attribute measurements to the kernel configuration that produced
+    /// them.
+    pub fn isa(&self) -> KernelIsa {
+        self.isa
+    }
+
+    /// Per-step workload descriptors, index-aligned with the program's
+    /// step spans — the join key the `np-calib` profiler uses to tag each
+    /// traced duration with the quantities the cycle model prices.
+    pub fn step_workloads(&self) -> Vec<StepWorkload> {
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(index, s)| {
+                let (kind, kernel, out_channels, macs, im2row_cols) = match *s {
+                    Step::Conv { ref geo, h, w, .. } => {
+                        let (oh, ow) = geo.out_hw(h, w);
+                        let cols = (oh * ow) as u64;
+                        let patch = (geo.in_channels * geo.kernel * geo.kernel) as u64;
+                        (
+                            s.kind(),
+                            geo.kernel,
+                            geo.out_channels,
+                            cols * geo.out_channels as u64 * patch,
+                            cols,
+                        )
+                    }
+                    Step::Depthwise {
+                        channels,
+                        kernel,
+                        stride,
+                        padding,
+                        h,
+                        w,
+                        ..
+                    } => {
+                        let oh = (h + 2 * padding - kernel) / stride + 1;
+                        let ow = (w + 2 * padding - kernel) / stride + 1;
+                        (
+                            s.kind(),
+                            kernel,
+                            channels,
+                            (oh * ow * channels * kernel * kernel) as u64,
+                            0,
+                        )
+                    }
+                    Step::Linear {
+                        in_features,
+                        out_features,
+                        ..
+                    } => (
+                        s.kind(),
+                        1,
+                        out_features,
+                        (in_features * out_features) as u64,
+                        0,
+                    ),
+                    Step::MaxPool {
+                        channels,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        ..
+                    }
+                    | Step::AvgPool {
+                        channels,
+                        h,
+                        w,
+                        kernel,
+                        stride,
+                        ..
+                    } => {
+                        let oh = (h - kernel) / stride + 1;
+                        let ow = (w - kernel) / stride + 1;
+                        (
+                            s.kind(),
+                            kernel,
+                            channels,
+                            (oh * ow * channels * kernel * kernel) as u64,
+                            0,
+                        )
+                    }
+                    Step::GlobalAvgPool { channels, h, w, .. } => {
+                        (s.kind(), 1, channels, (channels * h * w) as u64, 0)
+                    }
+                    Step::ReluInPlace { buf, .. } => {
+                        (s.kind(), 1, 0, self.buf_sizes[buf] as u64, 0)
+                    }
+                };
+                StepWorkload {
+                    index,
+                    kind,
+                    kernel,
+                    out_channels,
+                    macs,
+                    io_bytes: self.step_bytes[index],
+                    im2row_cols,
+                }
+            })
+            .collect()
     }
 
     /// Bytes of pre-packed weights/biases held by the program.
@@ -1593,6 +1727,38 @@ mod tests {
         assert_eq!(program.output_chw(), (3, 1, 1));
         assert_eq!(program.output_len(), 3);
         assert!(program.packed_weight_bytes() > 0);
+    }
+
+    #[test]
+    fn step_workloads_align_with_steps_and_count_macs() {
+        let mut rng = SmallRng::seed(45);
+        let net = mixed_net(&mut rng, 16);
+        let calib = calib_batch(&mut rng, 4, 16);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let program = qnet.compile((1, 16, 16));
+        let loads = program.step_workloads();
+        assert_eq!(loads.len(), program.steps.len());
+        for (i, l) in loads.iter().enumerate() {
+            assert_eq!(l.index, i);
+            assert_eq!(l.kind, program.steps[i].kind());
+            assert_eq!(l.io_bytes, program.step_bytes[i]);
+            assert!(l.macs > 0, "step {i} ({}) has zero macs", l.kind);
+        }
+        // First conv: 1→5 channels, k=3, stride 2 on 16x16 → 8x8 out.
+        let conv = &loads[0];
+        assert_eq!(conv.kind, "conv");
+        assert_eq!(conv.im2row_cols, 64);
+        assert_eq!(conv.macs, 64 * 5 * 9);
+        // Maxpool 2x2/2 on 8x8x5 → 4x4x5: window elems and buffer bytes.
+        let pool = loads.iter().find(|l| l.kind == "maxpool").unwrap();
+        assert_eq!(pool.macs, 4 * 4 * 5 * 4);
+        assert_eq!(pool.io_bytes, (8 * 8 * 5 + 4 * 4 * 5) as u64);
+        assert_eq!(pool.im2row_cols, 0);
+        // Linear: in=6*4*4, out=3.
+        let lin = loads.iter().find(|l| l.kind == "linear").unwrap();
+        assert_eq!(lin.macs, (6 * 4 * 4 * 3) as u64);
+        // The compiled isa is recorded.
+        let _ = program.isa();
     }
 
     #[test]

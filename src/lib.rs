@@ -17,6 +17,7 @@
 //! ```
 
 pub use np_adaptive as adaptive;
+pub use np_calib as calib;
 pub use np_control as control;
 pub use np_dataset as dataset;
 pub use np_dory as dory;
